@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: hashing,
+// RSA/smartcard operations, id algebra, routing-table and leaf-set
+// operations, wire codecs and the cache.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+#include "src/pastry/leaf_set.h"
+#include "src/pastry/messages.h"
+#include "src/pastry/routing_table.h"
+#include "src/storage/cache.h"
+
+namespace past {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(3);
+  Bytes key = rng.RandomBytes(32);
+  Bytes data = rng.RandomBytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaKeyPair::Generate(static_cast<int>(state.range(0)), &rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_RsaSign(benchmark::State& state) {
+  Rng rng(5);
+  RsaKeyPair kp = RsaKeyPair::Generate(static_cast<int>(state.range(0)), &rng);
+  Bytes msg = rng.RandomBytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaSignMessage(kp, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  Rng rng(6);
+  RsaKeyPair kp = RsaKeyPair::Generate(static_cast<int>(state.range(0)), &rng);
+  Bytes msg = rng.RandomBytes(256);
+  Bytes sig = RsaSignMessage(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaVerifyMessage(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_U128Digits(benchmark::State& state) {
+  Rng rng(7);
+  U128 id = rng.NextU128();
+  U128 key = rng.NextU128();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(id.SharedPrefixLength(key, 4));
+    benchmark::DoNotOptimize(key.Digit(5, 4));
+    benchmark::DoNotOptimize(id.RingDistance(key));
+  }
+}
+BENCHMARK(BM_U128Digits);
+
+void BM_RoutingTableLookup(benchmark::State& state) {
+  Rng rng(8);
+  PastryConfig config;
+  NodeId self = rng.NextU128();
+  RoutingTable table(self, config, nullptr);
+  for (int i = 0; i < 2000; ++i) {
+    table.MaybeAdd(NodeDescriptor{rng.NextU128(), static_cast<NodeAddr>(i)});
+  }
+  U128 key = rng.NextU128();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.EntryForKey(key));
+    key = key.Add(U128(0x1234, 0x9876543210ULL));
+  }
+}
+BENCHMARK(BM_RoutingTableLookup);
+
+void BM_LeafSetInsert(benchmark::State& state) {
+  Rng rng(9);
+  NodeId self = rng.NextU128();
+  for (auto _ : state) {
+    state.PauseTiming();
+    LeafSet leaf(self, 32);
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      leaf.MaybeAdd(NodeDescriptor{rng.NextU128(), static_cast<NodeAddr>(i)});
+    }
+    benchmark::DoNotOptimize(leaf.size());
+  }
+}
+BENCHMARK(BM_LeafSetInsert);
+
+void BM_RouteMsgCodec(benchmark::State& state) {
+  Rng rng(10);
+  RouteMsg msg;
+  msg.key = rng.NextU128();
+  msg.source = NodeDescriptor{rng.NextU128(), 7};
+  msg.app_type = 100;
+  msg.seq = 12345;
+  msg.payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes wire = EncodeMessage(msg);
+    Reader r(ByteSpan(wire.data(), wire.size()));
+    PastryMsgType type;
+    (void)DecodeHeader(&r, &type);
+    RouteMsg out;
+    benchmark::DoNotOptimize(DecodeBodyStrict(&r, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RouteMsgCodec)->Arg(64)->Arg(4096);
+
+void BM_CacheGdsInsertGet(benchmark::State& state) {
+  Rng rng(11);
+  Cache cache(CachePolicy::kGreedyDualSize);
+  std::vector<FileCertificate> certs;
+  for (int i = 0; i < 500; ++i) {
+    FileCertificate cert;
+    cert.file_id = rng.NextU160();
+    cert.file_size = 1 + rng.UniformU64(8192);
+    certs.push_back(cert);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const FileCertificate& cert = certs[i % certs.size()];
+    if (!cache.Contains(cert.file_id)) {
+      cache.Insert(cert, {}, 1 << 20);
+    }
+    benchmark::DoNotOptimize(cache.Get(cert.file_id));
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheGdsInsertGet);
+
+}  // namespace
+}  // namespace past
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E10 — Persistence and availability under churn.
+//
+// HotOS text: "a file remains available as long as one of the k nodes that
+// store the file is alive and reachable" and "in the event of storage node
+// failures, the system automatically restores k copies of a file as part of
+// a failure recovery procedure".
+#include "bench/exp_util.h"
+
+int main() {
+  using namespace past;
+  PrintHeader("E10: file availability and k-restoration under churn (200 nodes)",
+              "available while >=1 replica lives; recovery restores k copies");
+
+  std::printf("%6s %14s %16s %18s %16s\n", "k", "nodes killed", "avail (fresh)",
+              "avail (healed)", "avg replicas");
+  for (uint32_t k : {2u, 3u, 5u}) {
+    PastNetworkOptions options;
+    options.overlay.seed = 10'000 + k;
+    options.overlay.pastry.keep_alive_period = 1 * kMicrosPerSecond;
+    options.overlay.pastry.failure_timeout = 3 * kMicrosPerSecond;
+    options.overlay.pastry.death_quarantine = 6 * kMicrosPerSecond;
+    options.broker.modulus_pool = 8;
+    options.past.verify_crypto = false;
+    options.past.default_replication = k;
+    options.past.request_timeout = 10 * kMicrosPerSecond;
+    options.default_node_capacity = 4 << 20;
+    options.default_user_quota = ~0ULL >> 2;
+
+    PastNetwork net(options);
+    net.Build(200);
+    PastNode* client = net.node(0);
+    std::vector<FileId> files;
+    for (int f = 0; f < 40; ++f) {
+      auto r = net.InsertSyntheticSync(client, "av-" + std::to_string(f), 4096, k);
+      if (r.ok()) {
+        files.push_back(r.value());
+      }
+    }
+
+    // Kill 15% of nodes at once (sparing the client).
+    Rng rng(k * 31);
+    int to_kill = 30;
+    int killed = 0;
+    while (killed < to_kill) {
+      size_t victim = 1 + rng.UniformU64(net.size() - 1);
+      if (net.node(victim)->overlay()->active()) {
+        net.CrashNode(victim);
+        ++killed;
+      }
+    }
+
+    // Fresh availability (no repair window yet).
+    int fresh_ok = 0;
+    for (const FileId& id : files) {
+      fresh_ok += net.LookupSync(client, id).ok() ? 1 : 0;
+    }
+    // After recovery.
+    net.Run(60 * kMicrosPerSecond);
+    int healed_ok = 0;
+    double replica_sum = 0;
+    for (const FileId& id : files) {
+      healed_ok += net.LookupSync(client, id).ok() ? 1 : 0;
+      replica_sum += net.CountReplicas(id);
+    }
+    std::printf("%6u %14d %15.1f%% %17.1f%% %16.2f\n", k, to_kill,
+                100.0 * fresh_ok / static_cast<double>(files.size()),
+                100.0 * healed_ok / static_cast<double>(files.size()),
+                replica_sum / static_cast<double>(files.size()));
+  }
+  std::printf("\nExpected shape: higher k -> fresh availability closer to 100%%;\n");
+  std::printf("after the repair window every file is back to k replicas.\n");
+  return 0;
+}

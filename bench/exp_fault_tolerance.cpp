@@ -1,0 +1,173 @@
+// E6 — Fault tolerance of routing.
+//
+// HotOS text: (a) "with concurrent node failures, eventual delivery is
+// guaranteed unless floor(l/2) nodes with adjacent nodeIds fail
+// simultaneously"; (b) "a randomized routing protocol ensures that a retried
+// operation will eventually be routed around the malicious node"; (c) failed
+// nodes are detected via timeouts and tables are repaired.
+#include "bench/exp_util.h"
+
+namespace {
+
+using namespace past;
+
+// Launches `count` lookups concurrently, runs the simulation for `window`,
+// and returns (successes, avg hops of successful lookups).
+std::pair<int, double> BatchLookups(Overlay* overlay, std::vector<ExpApp>* apps,
+                                    int count, SimTime window, Rng* rng) {
+  struct Query {
+    U128 key;
+    NodeAddr expected;
+  };
+  std::vector<Query> queries;
+  for (int t = 0; t < count; ++t) {
+    U128 key = overlay->RandomKey();
+    PastryNode* expected = overlay->GloballyClosestLiveNode(key);
+    overlay->RandomLiveNode()->Route(key, 1, {});
+    queries.push_back({key, expected->addr()});
+    (void)rng;
+  }
+  overlay->Run(window);
+  int ok = 0;
+  double hops = 0;
+  for (const Query& q : queries) {
+    for (const DeliverContext& ctx : (*apps)[q.expected].delivered) {
+      if (ctx.key == q.key) {
+        ++ok;
+        hops += ctx.hops;
+        break;
+      }
+    }
+  }
+  for (auto& app : *apps) {
+    app.delivered.clear();
+  }
+  return {ok, ok > 0 ? hops / ok : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E6a: routing success under crash failures (N=600, l=32)",
+              "delivery guaranteed unless floor(l/2)=16 adjacent nodes fail");
+
+  std::printf("%12s %16s %16s %12s\n", "failed", "success (fresh)",
+              "success (healed)", "avg hops");
+  for (double frac : {0.05, 0.10, 0.20}) {
+    OverlayOptions opts;
+    opts.seed = 60 + static_cast<uint64_t>(frac * 100);
+    opts.pastry.keep_alive_period = 1 * kMicrosPerSecond;
+    opts.pastry.failure_timeout = 3 * kMicrosPerSecond;
+    opts.pastry.death_quarantine = 6 * kMicrosPerSecond;
+    Overlay overlay(opts);
+    overlay.Build(600);
+    std::vector<ExpApp> apps(overlay.size());
+    for (size_t i = 0; i < overlay.size(); ++i) {
+      overlay.node(i)->SetApp(&apps[i]);
+    }
+    Rng rng(5);
+    int to_kill = static_cast<int>(600 * frac);
+    int killed = 0;
+    while (killed < to_kill) {
+      size_t victim = rng.UniformU64(overlay.size());
+      if (overlay.node(victim)->active()) {
+        overlay.node(victim)->Fail();
+        ++killed;
+      }
+    }
+    // Fresh: routed immediately after the crashes (per-hop acks must cope).
+    auto [ok_fresh, hops_fresh] =
+        BatchLookups(&overlay, &apps, 200, 20 * kMicrosPerSecond, &rng);
+    // Healed: after the repair protocols ran.
+    overlay.Run(30 * kMicrosPerSecond);
+    auto [ok_healed, hops_healed] =
+        BatchLookups(&overlay, &apps, 200, 20 * kMicrosPerSecond, &rng);
+    std::printf("%11.0f%% %15.1f%% %15.1f%% %12.2f\n", frac * 100, ok_fresh / 2.0,
+                ok_healed / 2.0, hops_healed);
+    (void)hops_fresh;
+  }
+
+  PrintHeader("E6b: client retries vs malicious forwarders (N=300)",
+              "randomized routing lets a retried query evade bad nodes");
+  std::printf("%12s %14s %22s %22s\n", "malicious", "retries", "deterministic",
+              "randomized");
+  for (double frac : {0.1, 0.2}) {
+    // success[mode][retry_budget]
+    double success[2][3];
+    const int retry_budgets[3] = {1, 3, 8};
+    for (int mode = 0; mode < 2; ++mode) {
+      OverlayOptions opts;
+      opts.seed = 77;
+      opts.pastry.keep_alive_period = 0;  // no failures here, only droppers
+      opts.pastry.per_hop_acks = false;   // malicious nodes ack but drop
+      opts.pastry.randomized_routing = mode == 1;
+      opts.pastry.randomize_epsilon = 0.3;
+      Overlay overlay(opts);
+      overlay.Build(300);
+      std::vector<ExpApp> apps(overlay.size());
+      for (size_t i = 0; i < overlay.size(); ++i) {
+        overlay.node(i)->SetApp(&apps[i]);
+      }
+      Rng rng(123);
+      for (size_t i = 0; i < overlay.size(); ++i) {
+        if (rng.Bernoulli(frac)) {
+          overlay.node(i)->SetMalicious(true);
+        }
+      }
+      // Pick honest (src, key) pairs.
+      struct Query {
+        PastryNode* src;
+        U128 key;
+        NodeAddr expected;
+        bool reached = false;
+      };
+      std::vector<Query> queries;
+      const int kQueries = 150;
+      while (static_cast<int>(queries.size()) < kQueries) {
+        U128 key = overlay.RandomKey();
+        PastryNode* expected = overlay.GloballyClosestLiveNode(key);
+        PastryNode* src = overlay.RandomLiveNode();
+        if (src->malicious() || expected->malicious() || src == expected) {
+          continue;
+        }
+        queries.push_back({src, key, expected->addr(), false});
+      }
+      // Retry rounds; record success at each budget.
+      for (int round = 0; round < retry_budgets[2]; ++round) {
+        for (Query& q : queries) {
+          if (!q.reached) {
+            q.src->Route(q.key, 1, {});
+          }
+        }
+        overlay.RunAll();
+        for (Query& q : queries) {
+          for (const DeliverContext& ctx : apps[q.expected].delivered) {
+            if (ctx.key == q.key) {
+              q.reached = true;
+              break;
+            }
+          }
+        }
+        for (auto& app : apps) {
+          app.delivered.clear();
+        }
+        for (int b = 0; b < 3; ++b) {
+          if (round + 1 == retry_budgets[b]) {
+            int ok = 0;
+            for (const Query& q : queries) {
+              ok += q.reached ? 1 : 0;
+            }
+            success[mode][b] = 100.0 * ok / kQueries;
+          }
+        }
+      }
+    }
+    for (int b = 0; b < 3; ++b) {
+      std::printf("%11.0f%% %14d %21.1f%% %21.1f%%\n", frac * 100, retry_budgets[b],
+                  success[0][b], success[1][b]);
+    }
+  }
+  std::printf("\nWith retries, the randomized column should rise toward 100%%\n");
+  std::printf("while deterministic routing keeps failing on the same path.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// E3 — Cost of node arrival.
+//
+// HotOS text: "after a node failure or the arrival of a new node, the
+// invariants in all affected routing tables can be restored by exchanging
+// O(log_2b N) messages".
+#include "bench/exp_util.h"
+
+int main() {
+  using namespace past;
+  PrintHeader("E3: messages exchanged per node join vs N",
+              "join restores invariants with O(log_16 N) messages");
+
+  std::printf("%8s %14s %14s %16s\n", "N", "msgs/join", "log16 N",
+              "msgs / log16 N");
+  for (int n : {128, 512, 2048, 8192}) {
+    ExpOverlay net(n, 4242);
+    // Average over a batch of joins at this size.
+    const int joins = 20;
+    uint64_t before = net.overlay->network().stats().sent;
+    for (int j = 0; j < joins; ++j) {
+      net.overlay->AddNode();
+    }
+    uint64_t per_join =
+        (net.overlay->network().stats().sent - before) / static_cast<uint64_t>(joins);
+    std::printf("%8d %14llu %14.2f %16.1f\n", n,
+                static_cast<unsigned long long>(per_join), Log16(n),
+                static_cast<double>(per_join) / Log16(n));
+  }
+  std::printf("\nThe msgs/log16N column should stay roughly constant: join\n");
+  std::printf("traffic = rows from each of ~log16 N path hops + leaf set +\n");
+  std::printf("neighborhood handover + announcements to every state entry.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E1 — Routing hop count vs. network size.
+//
+// HotOS text: "The number of PAST nodes traversed while routing a client
+// request is at most logarithmic in the total number of PAST nodes" and
+// "Pastry can route to the numerically closest node in less than
+// ceil(log_2b N) steps on average (b = 4)". Mirrors the hops-vs-N figure of
+// the Pastry evaluation (ref [11]).
+#include "bench/exp_util.h"
+
+int main() {
+  using namespace past;
+  PrintHeader("E1: average routing hops vs N (b=4, l=32)",
+              "avg hops < ceil(log_16 N); delivery always at closest node");
+
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "lookups", "avg hops",
+              "max hops", "bound", "correct");
+  for (int n : {256, 1024, 4096, 10000}) {
+    ExpOverlay net(n, 42 + static_cast<uint64_t>(n));
+    const int lookups = n >= 4096 ? 500 : 1000;
+    double total_hops = 0;
+    int max_hops = 0;
+    int correct = 0;
+    for (int i = 0; i < lookups; ++i) {
+      U128 key = net.overlay->RandomKey();
+      PastryNode* expected = net.overlay->GloballyClosestLiveNode(key);
+      auto ctx = net.RouteOnce(key);
+      if (!ctx.has_value()) {
+        continue;
+      }
+      total_hops += ctx->hops;
+      max_hops = std::max(max_hops, static_cast<int>(ctx->hops));
+      if (net.overlay->node(ctx->path.back())->id() == expected->id()) {
+        ++correct;
+      }
+    }
+    double bound = std::ceil(Log16(n));
+    std::printf("%8d %10d %10.2f %10d %10.0f %11.1f%%\n", n, lookups,
+                total_hops / lookups, max_hops, bound, 100.0 * correct / lookups);
+  }
+
+  // Hop-count distribution at N = 4096 (the Pastry paper's figure 4 analog).
+  std::printf("\nHop distribution, N=4096 (expect mass at <= ceil(log_16 N) = 3):\n");
+  ExpOverlay net(4096, 777);
+  std::vector<int> histogram(10, 0);
+  const int lookups = 1000;
+  for (int i = 0; i < lookups; ++i) {
+    auto ctx = net.RouteOnce(net.overlay->RandomKey());
+    if (ctx.has_value() && ctx->hops < histogram.size() * 1u) {
+      histogram[ctx->hops]++;
+    }
+  }
+  for (int h = 0; h < 7; ++h) {
+    std::printf("  hops=%d : %5.1f%% %s\n", h, 100.0 * histogram[h] / lookups,
+                std::string(static_cast<size_t>(60.0 * histogram[h] / lookups), '#')
+                    .c_str());
+  }
+  return 0;
+}

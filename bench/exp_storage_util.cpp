@@ -1,0 +1,131 @@
+// E7 — Global storage utilization vs. insert rejection (the SOSP tables).
+//
+// HotOS text: "PAST can achieve global storage utilization in excess of 95%,
+// while the rate of rejected file insertions remains below 5% and failed
+// insertions are heavily biased towards large files" (ref [12]).
+//
+// Three policies are compared on the same workload:
+//   none       — no diversion at all (a replica either fits or the insert dies)
+//   replica    — replica diversion into leaf sets
+//   replica+file — replica diversion plus salt-retry file diversion
+// plus a sweep of the admission thresholds t_pri / t_div.
+#include "bench/exp_util.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using namespace past;
+
+struct RunResult {
+  double utilization = 0;
+  double reject_rate = 0;
+  double avg_size_accepted = 0;
+  double avg_size_rejected = 0;
+};
+
+RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
+                    double t_div, uint64_t seed) {
+  PastNetworkOptions options;
+  options.overlay.seed = seed;
+  options.overlay.pastry.keep_alive_period = 0;
+  options.broker.modulus_pool = 8;
+  options.past.verify_crypto = false;  // placement-only experiment
+  options.past.cache_policy = CachePolicy::kNone;
+  options.past.cache_on_insert_path = false;
+  options.past.cache_push_on_lookup = false;
+  options.past.enable_replica_diversion = replica_diversion;
+  options.past.file_diversion_retries = file_retries;
+  options.past.policy.t_pri = t_pri;
+  options.past.policy.t_div = t_div;
+  options.past.default_replication = 3;
+  options.past.request_timeout = 10 * kMicrosPerSecond;
+  options.default_user_quota = ~0ULL >> 2;
+
+  // Capacity/file-size regime follows the SOSP evaluation: node disks hold
+  // hundreds to thousands of median files (their traces had KB-scale files
+  // on hundred-MB disks). The absolute scale is shrunk so the experiment
+  // fills the system in a few thousand insertions.
+  const int kNodes = 100;
+  PastNetwork net(options);
+  Rng rng(seed ^ 0xabcdef);
+  CapacityModel capacities;
+  capacities.base = 8 << 10;  // 16 KiB .. 800 KiB per node (mean ~408 KiB)
+  uint64_t total_capacity = 0;
+  for (int i = 0; i < kNodes; ++i) {
+    uint64_t c = capacities.Sample(&rng);
+    total_capacity += c;
+    net.AddNode(c, options.default_user_quota);
+  }
+
+  FileSizeModel sizes;  // median ~1 KiB, mean ~2 KiB, max 16 KiB
+  sizes.lognormal_mu = 6.9;
+  sizes.lognormal_sigma = 1.5;
+  sizes.pareto_xm = 4 << 10;
+  sizes.pareto_alpha = 1.3;
+  sizes.max_size = 16 << 10;
+  // SOSP methodology: the offered workload is sized to the system — total
+  // offered bytes (x k replicas) roughly equals the total storage. The
+  // interesting quantities are how much of the storage the policy manages to
+  // use and how many of the offered insertions it had to reject.
+  RunResult result;
+  uint64_t accepted_bytes = 0, rejected_bytes = 0;
+  uint64_t offered = 0;
+  int accepted = 0, rejected = 0;
+  int index = 0;
+  while (offered * 3 < total_capacity) {
+    uint64_t size = sizes.Sample(&rng);
+    offered += size;
+    auto r = net.InsertSyntheticSync(net.RandomLiveNode(),
+                                     "u" + std::to_string(index++), size, 3);
+    if (r.ok()) {
+      ++accepted;
+      accepted_bytes += size;
+    } else {
+      ++rejected;
+      rejected_bytes += size;
+    }
+  }
+  auto summary = net.Summary();
+  result.utilization = summary.utilization();
+  result.reject_rate = 100.0 * rejected / (accepted + rejected);
+  result.avg_size_accepted = accepted > 0 ? static_cast<double>(accepted_bytes) / accepted : 0;
+  result.avg_size_rejected = rejected > 0 ? static_cast<double>(rejected_bytes) / rejected : 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E7: storage utilization vs insert rejections (100 nodes, k=3)",
+              ">95% utilization with <5% rejections; rejections biased large");
+
+  std::printf("%16s %8s %8s %12s %12s %14s %14s\n", "policy", "t_pri", "t_div",
+              "utilization", "rejected", "avg acc size", "avg rej size");
+  struct PolicyRow {
+    const char* name;
+    bool replica;
+    int retries;
+  };
+  for (const PolicyRow& p : {PolicyRow{"none", false, 0},
+                             PolicyRow{"replica", true, 0},
+                             PolicyRow{"replica+file", true, 3}}) {
+    RunResult r = RunPolicy(p.replica, p.retries, 0.1, 0.05, 7001);
+    std::printf("%16s %8.2f %8.2f %11.1f%% %11.1f%% %14.0f %14.0f\n", p.name, 0.1,
+                0.05, 100.0 * r.utilization, r.reject_rate, r.avg_size_accepted,
+                r.avg_size_rejected);
+  }
+
+  std::printf("\nThreshold sweep (policy = replica+file):\n");
+  std::printf("%8s %8s %12s %12s\n", "t_pri", "t_div", "utilization", "rejected");
+  for (double t_pri : {0.05, 0.1, 0.2, 0.5}) {
+    double t_div = t_pri / 2;
+    RunResult r = RunPolicy(true, 3, t_pri, t_div, 7002);
+    std::printf("%8.2f %8.2f %11.1f%% %11.1f%%\n", t_pri, t_div,
+                100.0 * r.utilization, r.reject_rate);
+  }
+  std::printf("\nExpected shape (SOSP ref [12]): the full scheme reaches >95%%\n");
+  std::printf("utilization with few rejections; without diversion the system\n");
+  std::printf("strands capacity on small/unlucky nodes; rejected files are on\n");
+  std::printf("average much larger than accepted ones.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// E2 — Per-node state size vs. network size.
+//
+// HotOS text: "The tables required in each PAST node have only
+// (2^b - 1) * ceil(log_2b N) + 2l entries". Populated routing-table rows
+// should track log_16 N.
+#include "bench/exp_util.h"
+
+int main() {
+  using namespace past;
+  PrintHeader("E2: per-node state vs N (b=4, l=32, |M|=32)",
+              "state <= (2^b-1)*ceil(log_16 N) + 2l entries; rows ~ log_16 N");
+
+  PastryConfig config;
+  std::printf("%8s %12s %12s %12s %10s %10s %12s\n", "N", "avg RT", "max RT",
+              "RT bound", "avg rows", "log16 N", "leaf+nb");
+  for (int n : {256, 1024, 4096, 10000}) {
+    ExpOverlay net(n, 100 + static_cast<uint64_t>(n));
+    double rt_sum = 0, rows_sum = 0, leaf_nb_sum = 0;
+    size_t rt_max = 0;
+    for (size_t i = 0; i < net.overlay->size(); ++i) {
+      PastryNode* node = net.overlay->node(i);
+      rt_sum += static_cast<double>(node->routing_table().EntryCount());
+      rt_max = std::max(rt_max, node->routing_table().EntryCount());
+      rows_sum += node->routing_table().PopulatedRows();
+      leaf_nb_sum += static_cast<double>(node->leaf_set().size() +
+                                         node->neighborhood_set().size());
+    }
+    double bound = (config.cols() - 1) * std::ceil(Log16(n));
+    std::printf("%8d %12.1f %12zu %12.0f %10.2f %10.2f %12.1f\n", n,
+                rt_sum / static_cast<double>(n), rt_max, bound,
+                rows_sum / static_cast<double>(n), Log16(n),
+                leaf_nb_sum / static_cast<double>(n));
+  }
+  std::printf("\nTotal state bound incl. leaf set: (2^b-1)*ceil(log_16 N) + 2l\n");
+  std::printf("e.g. N=10000: %.0f + %d = %.0f entries\n",
+              15 * std::ceil(Log16(10000)), 2 * config.leaf_set_size,
+              15 * std::ceil(Log16(10000)) + 2 * config.leaf_set_size);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the experiment binaries.
+//
+// Each exp_*.cc binary regenerates one table/figure-equivalent from the
+// paper's evaluation claims (see DESIGN.md section 4 and EXPERIMENTS.md) and
+// prints it in a fixed-width table with the paper's expectation alongside.
+#ifndef BENCH_EXP_UTIL_H_
+#define BENCH_EXP_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/pastry/overlay.h"
+#include "src/storage/past_network.h"
+
+namespace past {
+
+// Records deliveries for routing experiments.
+struct ExpApp : public PastryApp {
+  std::vector<DeliverContext> delivered;
+  void Deliver(const DeliverContext& ctx, ByteSpan) override {
+    delivered.push_back(ctx);
+  }
+};
+
+// An overlay with ExpApps attached to every node and heartbeats disabled
+// (routing experiments run without failures, so the queue can drain fully).
+class ExpOverlay {
+ public:
+  ExpOverlay(int n, uint64_t seed, bool locality = true, bool randomized = false,
+             TopologyKind topology = TopologyKind::kSphere) {
+    OverlayOptions opts;
+    opts.seed = seed;
+    opts.topology = topology;
+    opts.pastry.keep_alive_period = 0;
+    opts.pastry.locality_aware = locality;
+    opts.pastry.randomized_routing = randomized;
+    opts.nearest_bootstrap = locality;
+    overlay = std::make_unique<Overlay>(opts);
+    overlay->Build(n);
+    AttachApps();
+  }
+
+  void AttachApps() {
+    apps.resize(overlay->size());
+    for (size_t i = 0; i < overlay->size(); ++i) {
+      overlay->node(i)->SetApp(&apps[i]);
+    }
+  }
+
+  // Routes one message from a random node and returns the delivery context.
+  std::optional<DeliverContext> RouteOnce(const U128& key, PastryNode* src = nullptr,
+                                          uint8_t replica_k = 0) {
+    if (src == nullptr) {
+      src = overlay->RandomLiveNode();
+    }
+    src->Route(key, 1, {}, replica_k);
+    overlay->RunAll();
+    std::optional<DeliverContext> result;
+    for (auto& app : apps) {
+      if (!app.delivered.empty()) {
+        result = app.delivered.back();
+        app.delivered.clear();
+      }
+    }
+    return result;
+  }
+
+  std::unique_ptr<Overlay> overlay;
+  std::vector<ExpApp> apps;
+};
+
+inline double Log16(double n) { return std::log(n) / std::log(16.0); }
+
+inline void PrintHeader(const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+// Percentile of a sorted vector.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+}  // namespace past
+
+#endif  // BENCH_EXP_UTIL_H_

@@ -1,0 +1,33 @@
+// Byte-buffer aliases and hex helpers shared across the library.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace past {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Lower-case hex encoding of `data`.
+std::string HexEncode(ByteSpan data);
+
+// Decodes a hex string (case-insensitive). Returns false on odd length or a
+// non-hex character; `out` is cleared first and left valid either way.
+bool HexDecode(std::string_view hex, Bytes* out);
+
+// Converts a string to a byte vector (no encoding change).
+Bytes ToBytes(std::string_view s);
+
+// Constant-time byte comparison (avoids timing side channels when comparing
+// MACs or signatures; the simulator does not attack itself, but the crypto
+// substrate follows standard practice).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+}  // namespace past
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,38 @@
+// Invariant-checking macros for the PAST library.
+//
+// PAST_CHECK aborts (in all build types) when a protocol or data-structure
+// invariant is violated; such a violation is always a programming error, never
+// a recoverable runtime condition, so we fail fast with a readable message.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PAST_CHECK(cond)                                                              \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "PAST_CHECK failed: %s at %s:%d\n", #cond, __FILE__,       \
+                   __LINE__);                                                         \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define PAST_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "PAST_CHECK failed: %s (%s) at %s:%d\n", #cond, (msg),     \
+                   __FILE__, __LINE__);                                               \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+// For conditions that indicate an unreachable code path.
+#define PAST_UNREACHABLE(msg)                                                         \
+  do {                                                                                \
+    std::fprintf(stderr, "PAST_UNREACHABLE: %s at %s:%d\n", (msg), __FILE__,          \
+                 __LINE__);                                                           \
+    std::abort();                                                                     \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through PAST_LOG(level, ...); the global threshold is a
+// process-wide setting so tests and benches can silence chatter. printf-style
+// formatting keeps the hot path allocation-free when the level is filtered.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace past {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Global threshold; messages below it are dropped. Defaults to kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+const char* LogLevelName(LogLevel level);
+
+}  // namespace past
+
+#define PAST_LOG(level, ...)                                                          \
+  do {                                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::past::GetLogLevel())) {         \
+      std::fprintf(stderr, "[%s] ", ::past::LogLevelName(level));                     \
+      std::fprintf(stderr, __VA_ARGS__);                                              \
+      std::fprintf(stderr, "\n");                                                     \
+    }                                                                                 \
+  } while (0)
+
+#define PAST_TRACE(...) PAST_LOG(::past::LogLevel::kTrace, __VA_ARGS__)
+#define PAST_DEBUG(...) PAST_LOG(::past::LogLevel::kDebug, __VA_ARGS__)
+#define PAST_INFO(...) PAST_LOG(::past::LogLevel::kInfo, __VA_ARGS__)
+#define PAST_WARN(...) PAST_LOG(::past::LogLevel::kWarn, __VA_ARGS__)
+#define PAST_ERROR(...) PAST_LOG(::past::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,155 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace past {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t n) {
+  PAST_CHECK(n > 0);
+  // Rejection sampling over the largest multiple of n.
+  const uint64_t limit = ~0ULL - (~0ULL % n);
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return x % n;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PAST_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    return static_cast<int64_t>(NextU64());  // full 64-bit range
+  }
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Gaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * Gaussian());
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  PAST_CHECK(xm > 0 && alpha > 0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::Exponential(double rate) {
+  PAST_CHECK(rate > 0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+U128 Rng::NextU128() { return U128(NextU64(), NextU64()); }
+
+U160 Rng::NextU160() {
+  Bytes raw = RandomBytes(U160::kBytes);
+  return U160::FromBytes(raw);
+}
+
+Bytes Rng::RandomBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t x = NextU64();
+    for (int j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<uint8_t>(x >> (8 * j));
+    }
+    i += 8;
+  }
+  if (i < n) {
+    uint64_t x = NextU64();
+    for (; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(x);
+      x >>= 8;
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  PAST_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    cdf_[i] /= acc;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace past

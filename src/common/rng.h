@@ -1,0 +1,85 @@
+// Deterministic random number generation for simulations and workloads.
+//
+// All randomness in the library flows through Rng (xoshiro256** seeded via
+// splitmix64), so that every experiment is reproducible from a single seed.
+// ZipfDistribution implements the heavy-tailed popularity model used by the
+// caching and storage-management experiments.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/u128.h"
+#include "src/common/u160.h"
+
+namespace past {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t UniformU64(uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Uniform in [0, 1).
+  double UniformDouble();
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+  // exp(mu + sigma * N(0,1)).
+  double Lognormal(double mu, double sigma);
+  // Pareto with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha);
+  // Exponential with the given rate (> 0).
+  double Exponential(double rate);
+
+  U128 NextU128();
+  U160 NextU160();
+  Bytes RandomBytes(size_t n);
+
+  // Derives an independent child generator (for per-node RNGs).
+  Rng Fork();
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformU64(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Picks a uniformly random element index; container must be non-empty.
+  size_t PickIndex(size_t size) { return static_cast<size_t>(UniformU64(size)); }
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+// Zipf distribution over ranks {0, ..., n-1} with exponent s:
+// P(rank = i) proportional to 1 / (i+1)^s. Sampling is O(log n) via binary
+// search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_RNG_H_

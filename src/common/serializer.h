@@ -1,0 +1,74 @@
+// Bounds-checked binary serialization.
+//
+// Every wire message in the Pastry/PAST protocols encodes to bytes through
+// Writer and decodes through Reader. Reader never reads past the end of the
+// buffer: each accessor returns false on truncation, and decoding code
+// propagates that as StatusCode::kDecodeError. Integers are little-endian.
+#ifndef SRC_COMMON_SERIALIZER_H_
+#define SRC_COMMON_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/u128.h"
+#include "src/common/u160.h"
+
+namespace past {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Id128(const U128& v);
+  void Id160(const U160& v);
+  // Length-prefixed (u32) byte string.
+  void Blob(ByteSpan data);
+  void Str(std::string_view s);
+
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Bool(bool* v);
+  bool Id128(U128* v);
+  bool Id160(U160* v);
+  bool Blob(Bytes* out);
+  bool Str(std::string* out);
+
+  // True when the whole buffer has been consumed; decoders should require
+  // this to reject trailing garbage.
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** p);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_SERIALIZER_H_

@@ -1,0 +1,41 @@
+#include "src/common/status.h"
+
+namespace past {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kInsufficientStorage:
+      return "INSUFFICIENT_STORAGE";
+    case StatusCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+    case StatusCode::kInsertRejected:
+      return "INSERT_REJECTED";
+    case StatusCode::kVerificationFailed:
+      return "VERIFICATION_FAILED";
+    case StatusCode::kNotAuthorized:
+      return "NOT_AUTHORIZED";
+    case StatusCode::kCertificateExpired:
+      return "CERTIFICATE_EXPIRED";
+    case StatusCode::kDecodeError:
+      return "DECODE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace past

@@ -1,0 +1,80 @@
+// Error model for the PAST library.
+//
+// Protocol and storage paths do not use exceptions: every fallible operation
+// returns a StatusCode or a Result<T>. StatusCode values mirror the failure
+// modes the PAST paper discusses (quota exhaustion, insufficient storage,
+// failed verification, unreachable nodes, ...).
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace past {
+
+enum class StatusCode {
+  kOk = 0,
+  // Generic.
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnavailable,
+  kTimeout,
+  kInternal,
+  // Storage management.
+  kInsufficientStorage,   // node (and its leaf set) cannot host the replica
+  kQuotaExceeded,         // smartcard quota would go negative
+  kInsertRejected,        // insert failed after file diversion retries
+  // Security.
+  kVerificationFailed,    // signature or content hash mismatch
+  kNotAuthorized,         // e.g. reclaim by non-owner
+  kCertificateExpired,
+  // Serialization / wire.
+  kDecodeError,
+};
+
+// Human-readable name, for logs and test diagnostics.
+const char* StatusCodeName(StatusCode code);
+
+// Result<T> is a value-or-status sum type. Accessing the value of a failed
+// Result is a checked invariant violation.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets functions `return value;` / `return code;`.
+  Result(T value) : inner_(std::move(value)) {}                 // NOLINT
+  Result(StatusCode code) : inner_(code) {                      // NOLINT
+    PAST_CHECK_MSG(code != StatusCode::kOk, "ok result must carry a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+  StatusCode status() const {
+    return ok() ? StatusCode::kOk : std::get<StatusCode>(inner_);
+  }
+
+  const T& value() const& {
+    PAST_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(inner_);
+  }
+  T& value() & {
+    PAST_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(inner_);
+  }
+  T&& value() && {
+    PAST_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(std::move(inner_));
+  }
+
+  const T& value_or(const T& fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, StatusCode> inner_;
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_STATUS_H_

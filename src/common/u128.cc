@@ -1,0 +1,134 @@
+#include "src/common/u128.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+U128 U128::FromBytes(ByteSpan bytes) {
+  PAST_CHECK_MSG(bytes.size() == 16, "U128 requires exactly 16 bytes");
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | bytes[i];
+  }
+  for (int i = 8; i < 16; ++i) {
+    lo = (lo << 8) | bytes[i];
+  }
+  return U128(hi, lo);
+}
+
+std::array<uint8_t, 16> U128::ToBytes() const {
+  std::array<uint8_t, 16> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(hi_ >> (56 - 8 * i));
+    out[8 + i] = static_cast<uint8_t>(lo_ >> (56 - 8 * i));
+  }
+  return out;
+}
+
+std::string U128::ToHex() const {
+  auto bytes = ToBytes();
+  return HexEncode(ByteSpan(bytes.data(), bytes.size()));
+}
+
+bool U128::FromHex(std::string_view hex, U128* out) {
+  *out = Zero();
+  Bytes raw;
+  if (!HexDecode(hex, &raw) || raw.size() != 16) {
+    return false;
+  }
+  *out = FromBytes(raw);
+  return true;
+}
+
+U128 U128::Add(const U128& other) const {
+  uint64_t lo = lo_ + other.lo_;
+  uint64_t carry = (lo < lo_) ? 1 : 0;
+  return U128(hi_ + other.hi_ + carry, lo);
+}
+
+U128 U128::Sub(const U128& other) const {
+  uint64_t lo = lo_ - other.lo_;
+  uint64_t borrow = (lo_ < other.lo_) ? 1 : 0;
+  return U128(hi_ - other.hi_ - borrow, lo);
+}
+
+U128 U128::AbsDiff(const U128& other) const {
+  return (*this >= other) ? Sub(other) : other.Sub(*this);
+}
+
+U128 U128::RingDistance(const U128& other) const {
+  U128 forward = other.Sub(*this);   // walking up from *this to other
+  U128 backward = Sub(other);        // walking up from other to *this
+  return (forward <= backward) ? forward : backward;
+}
+
+bool U128::InArc(const U128& low, const U128& high) const {
+  if (low == high) {
+    // Degenerate arc covers the entire ring.
+    return true;
+  }
+  if (low < high) {
+    return *this > low && *this <= high;
+  }
+  // Arc wraps through zero.
+  return *this > low || *this <= high;
+}
+
+int U128::Digit(int index, int bits_per_digit) const {
+  PAST_CHECK(bits_per_digit > 0 && 128 % bits_per_digit == 0);
+  const int digits = 128 / bits_per_digit;
+  PAST_CHECK(index >= 0 && index < digits);
+  const int shift = 128 - (index + 1) * bits_per_digit;
+  const uint64_t mask = (bits_per_digit >= 64) ? ~0ULL : ((1ULL << bits_per_digit) - 1);
+  uint64_t word;
+  int word_shift;
+  if (shift >= 64) {
+    word = hi_;
+    word_shift = shift - 64;
+  } else {
+    word = lo_;
+    word_shift = shift;
+  }
+  // A digit never straddles the hi/lo boundary because bits_per_digit divides
+  // 128 and 64.
+  return static_cast<int>((word >> word_shift) & mask);
+}
+
+U128 U128::WithDigit(int index, int bits_per_digit, int value) const {
+  PAST_CHECK(bits_per_digit > 0 && 128 % bits_per_digit == 0);
+  const int digits = 128 / bits_per_digit;
+  PAST_CHECK(index >= 0 && index < digits);
+  PAST_CHECK(value >= 0 && value < (1 << bits_per_digit));
+  const int shift = 128 - (index + 1) * bits_per_digit;
+  const uint64_t mask = (1ULL << bits_per_digit) - 1;
+  uint64_t hi = hi_;
+  uint64_t lo = lo_;
+  if (shift >= 64) {
+    int s = shift - 64;
+    hi = (hi & ~(mask << s)) | (static_cast<uint64_t>(value) << s);
+  } else {
+    lo = (lo & ~(mask << shift)) | (static_cast<uint64_t>(value) << shift);
+  }
+  return U128(hi, lo);
+}
+
+int U128::SharedPrefixLength(const U128& other, int bits_per_digit) const {
+  const int digits = 128 / bits_per_digit;
+  for (int i = 0; i < digits; ++i) {
+    if (Digit(i, bits_per_digit) != other.Digit(i, bits_per_digit)) {
+      return i;
+    }
+  }
+  return digits;
+}
+
+int U128::Bit(int index) const {
+  PAST_CHECK(index >= 0 && index < 128);
+  if (index < 64) {
+    return static_cast<int>((hi_ >> (63 - index)) & 1);
+  }
+  return static_cast<int>((lo_ >> (127 - index)) & 1);
+}
+
+}  // namespace past

@@ -1,0 +1,92 @@
+// U128 — a 128-bit unsigned integer with the digit algebra Pastry needs.
+//
+// Pastry treats nodeIds (and the 128 most significant bits of fileIds) as
+// 128-bit unsigned integers and, for routing, as a sequence of digits in base
+// 2^b (most significant digit first). The id space is circular: distance
+// between two ids is measured around the 2^128 ring.
+#ifndef SRC_COMMON_U128_H_
+#define SRC_COMMON_U128_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace past {
+
+class U128 {
+ public:
+  static constexpr int kBits = 128;
+
+  constexpr U128() : hi_(0), lo_(0) {}
+  constexpr U128(uint64_t hi, uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  static constexpr U128 Zero() { return U128(0, 0); }
+  static constexpr U128 Max() { return U128(~0ULL, ~0ULL); }
+
+  // Big-endian conversions. FromBytes requires exactly 16 bytes.
+  static U128 FromBytes(ByteSpan bytes);
+  std::array<uint8_t, 16> ToBytes() const;
+
+  // 32 lower-case hex characters. FromHex returns Zero() + false on error.
+  std::string ToHex() const;
+  static bool FromHex(std::string_view hex, U128* out);
+
+  uint64_t hi() const { return hi_; }
+  uint64_t lo() const { return lo_; }
+
+  friend bool operator==(const U128& a, const U128& b) = default;
+  friend std::strong_ordering operator<=>(const U128& a, const U128& b) {
+    if (a.hi_ != b.hi_) {
+      return a.hi_ <=> b.hi_;
+    }
+    return a.lo_ <=> b.lo_;
+  }
+
+  // Wrapping arithmetic in the 2^128 ring.
+  U128 Add(const U128& other) const;
+  U128 Sub(const U128& other) const;
+
+  // |a - b| as plain 128-bit integers (no wrap).
+  U128 AbsDiff(const U128& other) const;
+
+  // min(a - b mod 2^128, b - a mod 2^128): distance around the ring. This is
+  // the metric for "numerically closest" in leaf sets and replica placement.
+  U128 RingDistance(const U128& other) const;
+
+  // True if this id lies on the clockwise arc (low, high], walking in
+  // increasing id order with wraparound. Used for leaf-set coverage checks.
+  bool InArc(const U128& low, const U128& high) const;
+
+  // --- Digit algebra (base 2^b, msb digit first) ---------------------------
+  // Digit index 0 is the most significant digit. `bits_per_digit` must divide
+  // 128 (Pastry's b; typical value 4 -> 32 hex digits).
+  int Digit(int index, int bits_per_digit) const;
+  U128 WithDigit(int index, int bits_per_digit, int value) const;
+
+  // Number of leading digits this id shares with `other` (0..128/b).
+  int SharedPrefixLength(const U128& other, int bits_per_digit) const;
+
+  // Bit i (0 = most significant).
+  int Bit(int index) const;
+
+  size_t HashValue() const {
+    return std::hash<uint64_t>()(hi_ * 0x9e3779b97f4a7c15ULL ^ lo_);
+  }
+
+ private:
+  uint64_t hi_;
+  uint64_t lo_;
+};
+
+struct U128Hash {
+  size_t operator()(const U128& v) const { return v.HashValue(); }
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_U128_H_

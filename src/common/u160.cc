@@ -1,0 +1,42 @@
+#include "src/common/u160.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+U160 U160::FromBytes(ByteSpan bytes) {
+  PAST_CHECK_MSG(bytes.size() == kBytes, "U160 requires exactly 20 bytes");
+  U160 out;
+  for (int i = 0; i < kBytes; ++i) {
+    out.bytes_[i] = bytes[i];
+  }
+  return out;
+}
+
+std::string U160::ToHex() const {
+  return HexEncode(ByteSpan(bytes_.data(), bytes_.size()));
+}
+
+bool U160::FromHex(std::string_view hex, U160* out) {
+  *out = U160();
+  Bytes raw;
+  if (!HexDecode(hex, &raw) || raw.size() != kBytes) {
+    return false;
+  }
+  *out = FromBytes(raw);
+  return true;
+}
+
+U128 U160::Top128() const {
+  return U128::FromBytes(ByteSpan(bytes_.data(), 16));
+}
+
+size_t U160::HashValue() const {
+  uint64_t acc = 0xcbf29ce484222325ULL;
+  for (uint8_t b : bytes_) {
+    acc = (acc ^ b) * 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(acc);
+}
+
+}  // namespace past

@@ -1,0 +1,59 @@
+// U160 — a 160-bit unsigned integer for PAST fileIds.
+//
+// FileIds are the SHA-1 (160-bit) hash of the file's textual name, the
+// owner's public key and a random salt. Routing uses only the 128 most
+// significant bits (Top128()); the remaining 32 bits disambiguate files that
+// would otherwise collide on the routing key.
+#ifndef SRC_COMMON_U160_H_
+#define SRC_COMMON_U160_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/u128.h"
+
+namespace past {
+
+class U160 {
+ public:
+  static constexpr int kBytes = 20;
+
+  constexpr U160() : bytes_{} {}
+
+  // Big-endian conversions. FromBytes requires exactly 20 bytes.
+  static U160 FromBytes(ByteSpan bytes);
+  const std::array<uint8_t, kBytes>& bytes() const { return bytes_; }
+
+  std::string ToHex() const;
+  static bool FromHex(std::string_view hex, U160* out);
+
+  // The 128 most significant bits; this is the Pastry routing key.
+  U128 Top128() const;
+
+  friend bool operator==(const U160& a, const U160& b) = default;
+  friend std::strong_ordering operator<=>(const U160& a, const U160& b) {
+    for (int i = 0; i < kBytes; ++i) {
+      if (a.bytes_[i] != b.bytes_[i]) {
+        return a.bytes_[i] <=> b.bytes_[i];
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+
+  size_t HashValue() const;
+
+ private:
+  std::array<uint8_t, kBytes> bytes_;
+};
+
+struct U160Hash {
+  size_t operator()(const U160& v) const { return v.HashValue(); }
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_U160_H_

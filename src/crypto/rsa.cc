@@ -1,0 +1,98 @@
+#include "src/crypto/rsa.h"
+
+#include "src/common/check.h"
+#include "src/common/serializer.h"
+#include "src/crypto/sha1.h"
+
+namespace past {
+namespace {
+
+// PKCS#1 v1.5-style padding: 0x00 0x01 0xFF... 0x00 digest, sized to the
+// modulus width. Guarantees the padded value is < n (leading zero byte).
+Bytes PadDigest(ByteSpan digest, size_t modulus_bytes) {
+  PAST_CHECK_MSG(digest.size() + 11 <= modulus_bytes, "digest too long for modulus");
+  Bytes padded(modulus_bytes, 0xFF);
+  padded[0] = 0x00;
+  padded[1] = 0x01;
+  padded[modulus_bytes - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(), padded.end() - digest.size());
+  return padded;
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::Encode() const {
+  Writer w;
+  w.Blob(n.ToBytes());
+  w.Blob(e.ToBytes());
+  return w.Take();
+}
+
+bool RsaPublicKey::Decode(ByteSpan data, RsaPublicKey* out) {
+  Reader r(data);
+  Bytes n_bytes, e_bytes;
+  if (!r.Blob(&n_bytes) || !r.Blob(&e_bytes) || !r.AtEnd()) {
+    return false;
+  }
+  out->n = BigNum::FromBytes(n_bytes);
+  out->e = BigNum::FromBytes(e_bytes);
+  return true;
+}
+
+RsaKeyPair RsaKeyPair::Generate(int modulus_bits, Rng* rng) {
+  PAST_CHECK(modulus_bits >= 128);
+  const BigNum e = BigNum::FromU64(65537);
+  while (true) {
+    BigNum p = BigNum::GeneratePrime(modulus_bits / 2, rng);
+    BigNum q = BigNum::GeneratePrime(modulus_bits - modulus_bits / 2, rng);
+    if (p == q) {
+      continue;
+    }
+    BigNum n = p.Mul(q);
+    BigNum phi = p.Sub(BigNum::FromU64(1)).Mul(q.Sub(BigNum::FromU64(1)));
+    BigNum d;
+    if (!BigNum::ModInverse(e, phi, &d)) {
+      continue;  // gcd(e, phi) != 1; re-draw primes
+    }
+    RsaKeyPair pair;
+    pair.pub.n = std::move(n);
+    pair.pub.e = e;
+    pair.d = std::move(d);
+    return pair;
+  }
+}
+
+Bytes RsaSignDigest(const RsaKeyPair& key, ByteSpan digest) {
+  size_t modulus_bytes = key.pub.n.ToBytes().size();
+  Bytes padded = PadDigest(digest, modulus_bytes);
+  BigNum m = BigNum::FromBytes(padded);
+  BigNum s = BigNum::ModExp(m, key.d, key.pub.n);
+  return s.ToBytes(modulus_bytes);
+}
+
+bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signature) {
+  size_t modulus_bytes = key.n.ToBytes().size();
+  if (signature.size() != modulus_bytes || digest.size() + 11 > modulus_bytes) {
+    return false;
+  }
+  BigNum s = BigNum::FromBytes(signature);
+  if (s >= key.n) {
+    return false;
+  }
+  BigNum m = BigNum::ModExp(s, key.e, key.n);
+  Bytes recovered = m.ToBytes(modulus_bytes);
+  Bytes expected = PadDigest(digest, modulus_bytes);
+  return ConstantTimeEqual(recovered, expected);
+}
+
+Bytes RsaSignMessage(const RsaKeyPair& key, ByteSpan message) {
+  auto digest = Sha1::Hash(message);
+  return RsaSignDigest(key, ByteSpan(digest.data(), digest.size()));
+}
+
+bool RsaVerifyMessage(const RsaPublicKey& key, ByteSpan message, ByteSpan signature) {
+  auto digest = Sha1::Hash(message);
+  return RsaVerifyDigest(key, ByteSpan(digest.data(), digest.size()), signature);
+}
+
+}  // namespace past

@@ -1,0 +1,52 @@
+// RSA signatures over SHA-1 digests, built on the from-scratch BigNum.
+//
+// This is the signature scheme held inside each PAST smartcard. Key sizes are
+// configurable; simulations default to 512-bit moduli so that thousands of
+// smartcards can be generated quickly, while the algorithmic path (keygen,
+// PKCS#1-style padding, sign, verify) is the real one.
+#ifndef SRC_CRYPTO_RSA_H_
+#define SRC_CRYPTO_RSA_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/crypto/bignum.h"
+
+namespace past {
+
+struct RsaPublicKey {
+  BigNum n;  // modulus
+  BigNum e;  // public exponent
+
+  // Deterministic byte encoding (length-prefixed n, e). NodeIds and
+  // pseudonyms are hashes of this encoding.
+  Bytes Encode() const;
+  static bool Decode(ByteSpan data, RsaPublicKey* out);
+
+  bool operator==(const RsaPublicKey& other) const = default;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigNum d;  // private exponent
+
+  // Generates a fresh key pair with a modulus of `modulus_bits`.
+  static RsaKeyPair Generate(int modulus_bits, Rng* rng);
+};
+
+// Signs a message digest (any length < modulus size - 16 bytes). Returns a
+// signature of exactly the modulus width.
+Bytes RsaSignDigest(const RsaKeyPair& key, ByteSpan digest);
+
+// Verifies a signature produced by RsaSignDigest.
+bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signature);
+
+// Convenience: SHA-1 the message (20-byte digest fits a 256-bit modulus,
+// the smallest size simulations use), then sign/verify the digest.
+Bytes RsaSignMessage(const RsaKeyPair& key, ByteSpan message);
+bool RsaVerifyMessage(const RsaPublicKey& key, ByteSpan message, ByteSpan signature);
+
+}  // namespace past
+
+#endif  // SRC_CRYPTO_RSA_H_

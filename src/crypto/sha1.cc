@@ -1,0 +1,120 @@
+#include "src/crypto/sha1.h"
+
+#include <cstring>
+
+namespace past {
+namespace {
+
+uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+}  // namespace
+
+Sha1::Sha1() : total_bytes_(0), buffered_(0) {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+}
+
+void Sha1::Update(ByteSpan data) {
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (buffered_ > 0) {
+    size_t take = std::min(data.size(), sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+std::array<uint8_t, Sha1::kDigestBytes> Sha1::Finish() {
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad = 0x80;
+  Update(ByteSpan(&pad, 1));
+  uint8_t zero = 0;
+  while (buffered_ != 56) {
+    Update(ByteSpan(&zero, 1));
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(ByteSpan(len_bytes, 8));
+
+  std::array<uint8_t, kDigestBytes> out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+std::array<uint8_t, Sha1::kDigestBytes> Sha1::Hash(ByteSpan data) {
+  Sha1 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+U160 Sha1::HashToU160(ByteSpan data) {
+  auto digest = Hash(data);
+  return U160::FromBytes(ByteSpan(digest.data(), digest.size()));
+}
+
+}  // namespace past

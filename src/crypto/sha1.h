@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// PAST derives 160-bit fileIds from SHA-1 of (file name, owner public key,
+// salt) and 128-bit nodeIds from a hash of the node's public key. SHA-1's
+// collision weaknesses do not matter here: the system needs uniform,
+// hard-to-target ids, and the reproduction keeps the paper's exact choice.
+#ifndef SRC_CRYPTO_SHA1_H_
+#define SRC_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/u160.h"
+
+namespace past {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestBytes = 20;
+
+  Sha1();
+
+  void Update(ByteSpan data);
+  std::array<uint8_t, kDigestBytes> Finish();
+
+  // One-shot helpers.
+  static std::array<uint8_t, kDigestBytes> Hash(ByteSpan data);
+  static U160 HashToU160(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+}  // namespace past
+
+#endif  // SRC_CRYPTO_SHA1_H_

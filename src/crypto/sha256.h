@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for HMAC keying, content hashes in file certificates, and anywhere a
+// 256-bit digest is preferable to SHA-1 (the paper only mandates SHA-1 for
+// fileIds).
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace past {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestBytes = 32;
+
+  Sha256();
+
+  void Update(ByteSpan data);
+  std::array<uint8_t, kDigestBytes> Finish();
+
+  static std::array<uint8_t, kDigestBytes> Hash(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+// HMAC-SHA256 (RFC 2104).
+std::array<uint8_t, Sha256::kDigestBytes> HmacSha256(ByteSpan key, ByteSpan message);
+
+}  // namespace past
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,69 @@
+#include "src/pastry/neighborhood_set.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+NeighborhoodSet::NeighborhoodSet(const NodeId& self, int capacity,
+                                 std::function<double(NodeAddr)> proximity)
+    : self_(self), capacity_(static_cast<size_t>(capacity)),
+      proximity_(std::move(proximity)) {
+  PAST_CHECK(capacity > 0);
+  PAST_CHECK(proximity_ != nullptr);
+}
+
+bool NeighborhoodSet::MaybeAdd(const NodeDescriptor& candidate) {
+  if (!candidate.valid() || candidate.id == self_) {
+    return false;
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].id == candidate.id) {
+      if (members_[i].addr != candidate.addr) {
+        members_[i].addr = candidate.addr;
+        distances_[i] = proximity_(candidate.addr);
+        return true;
+      }
+      return false;
+    }
+  }
+  double dist = proximity_(candidate.addr);
+  size_t pos = members_.size();
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (dist < distances_[i]) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos >= capacity_) {
+    return false;
+  }
+  members_.insert(members_.begin() + static_cast<long>(pos), candidate);
+  distances_.insert(distances_.begin() + static_cast<long>(pos), dist);
+  if (members_.size() > capacity_) {
+    members_.pop_back();
+    distances_.pop_back();
+  }
+  return true;
+}
+
+bool NeighborhoodSet::Remove(const NodeId& id) {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].id == id) {
+      members_.erase(members_.begin() + static_cast<long>(i));
+      distances_.erase(distances_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NeighborhoodSet::Contains(const NodeId& id) const {
+  for (const auto& d : members_) {
+    if (d.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace past

@@ -1,0 +1,45 @@
+// The Pastry neighborhood set: the |M| nodes closest to the local node
+// according to the *proximity* metric (not the id space). It is not used for
+// routing decisions; it seeds locality-aware routing-table maintenance and is
+// handed to joining nodes so they start with proximally relevant candidates.
+#ifndef SRC_PASTRY_NEIGHBORHOOD_SET_H_
+#define SRC_PASTRY_NEIGHBORHOOD_SET_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/pastry/node_id.h"
+
+namespace past {
+
+class NeighborhoodSet {
+ public:
+  NeighborhoodSet(const NodeId& self, int capacity,
+                  std::function<double(NodeAddr)> proximity);
+
+  // Returns true if membership changed.
+  bool MaybeAdd(const NodeDescriptor& candidate);
+  bool Remove(const NodeId& id);
+  bool Contains(const NodeId& id) const;
+
+  // Members ordered by increasing proximity distance.
+  const std::vector<NodeDescriptor>& Members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+  // Drops all members (used when a failed node rejoins with fresh state).
+  void Clear() {
+    members_.clear();
+    distances_.clear();
+  }
+
+ private:
+  NodeId self_;
+  size_t capacity_;
+  std::function<double(NodeAddr)> proximity_;
+  std::vector<NodeDescriptor> members_;  // sorted by proximity
+  std::vector<double> distances_;        // parallel to members_
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_NEIGHBORHOOD_SET_H_

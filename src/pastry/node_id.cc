@@ -1,0 +1,16 @@
+#include "src/pastry/node_id.h"
+
+#include "src/crypto/sha1.h"
+
+namespace past {
+
+NodeId NodeIdFromPublicKey(ByteSpan public_key) {
+  auto digest = Sha1::Hash(public_key);
+  return U128::FromBytes(ByteSpan(digest.data(), 16));
+}
+
+std::string NodeDescriptor::ToString() const {
+  return id.ToHex().substr(0, 8) + "@" + std::to_string(addr);
+}
+
+}  // namespace past

@@ -1,0 +1,109 @@
+#include "src/pastry/overlay.h"
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace past {
+
+Overlay::Overlay(const OverlayOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      topo_(options.topology, options.topology_scale, &rng_),
+      net_(&queue_, &topo_, options.network, rng_.NextU64()) {}
+
+PastryNode* Overlay::AddNode() {
+  // nodeId = hash of a fresh "public key" (random bytes stand in for the
+  // smartcard key; the PAST layer uses real RSA keys).
+  Bytes fake_key = rng_.RandomBytes(64);
+  return AddNodeWithId(NodeIdFromPublicKey(fake_key));
+}
+
+PastryNode* Overlay::AddNodeWithId(const NodeId& id) {
+  auto node = std::make_unique<PastryNode>(&net_, id, options_.pastry, rng_.NextU64());
+  PastryNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  JoinAndSettle(raw);
+  return raw;
+}
+
+void Overlay::JoinAndSettle(PastryNode* node) {
+  // First node bootstraps the overlay.
+  bool any_live = false;
+  for (const auto& n : nodes_) {
+    if (n.get() != node && n->active()) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) {
+    node->Bootstrap();
+    return;
+  }
+  PastryNode* bootstrap = options_.nearest_bootstrap ? NearestLiveNode(node->addr())
+                                                     : RandomLiveNode();
+  PAST_CHECK(bootstrap != nullptr);
+  node->Join(bootstrap->addr());
+  // Drive the simulation until the join completes.
+  const SimTime chunk = 50 * kMicrosPerMilli;
+  for (int i = 0; i < 20000 && !node->active(); ++i) {
+    queue_.RunUntil(queue_.Now() + chunk);
+  }
+  PAST_CHECK_MSG(node->active(), "join did not complete");
+  // Let announcements and table updates drain.
+  queue_.RunUntil(queue_.Now() + 200 * kMicrosPerMilli);
+}
+
+void Overlay::Build(int n) {
+  for (int i = 0; i < n; ++i) {
+    AddNode();
+  }
+}
+
+PastryNode* Overlay::RandomLiveNode() {
+  std::vector<PastryNode*> live;
+  live.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (n->active()) {
+      live.push_back(n.get());
+    }
+  }
+  if (live.empty()) {
+    return nullptr;
+  }
+  return live[rng_.PickIndex(live.size())];
+}
+
+PastryNode* Overlay::NearestLiveNode(NodeAddr addr) {
+  PastryNode* best = nullptr;
+  double best_dist = 0.0;
+  for (const auto& n : nodes_) {
+    if (!n->active() || n->addr() == addr) {
+      continue;
+    }
+    double dist = net_.Proximity(addr, n->addr());
+    if (best == nullptr || dist < best_dist) {
+      best = n.get();
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+PastryNode* Overlay::GloballyClosestLiveNode(const U128& key) {
+  PastryNode* best = nullptr;
+  U128 best_dist = U128::Max();
+  for (const auto& n : nodes_) {
+    if (!n->active()) {
+      continue;
+    }
+    U128 dist = n->id().RingDistance(key);
+    if (best == nullptr || dist < best_dist ||
+        (dist == best_dist && n->id() < best->id())) {
+      best = n.get();
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace past

@@ -1,0 +1,81 @@
+// Overlay — builds and owns a complete simulated Pastry network.
+//
+// Bundles the event queue, proximity topology, message network and the node
+// set, and drives the real join protocol to grow the overlay one node at a
+// time (each join completes before the next starts, as in the Pastry
+// evaluation methodology). Experiments and PAST both sit on top of this.
+#ifndef SRC_PASTRY_OVERLAY_H_
+#define SRC_PASTRY_OVERLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/pastry/pastry_node.h"
+#include "src/sim/network.h"
+#include "src/sim/topology.h"
+
+namespace past {
+
+struct OverlayOptions {
+  PastryConfig pastry;
+  NetworkConfig network;
+  TopologyKind topology = TopologyKind::kSphere;
+  double topology_scale = 1000.0;
+  uint64_t seed = 42;
+  // Join via the proximally nearest live node (the paper's assumption) or a
+  // uniformly random one (the locality ablation).
+  bool nearest_bootstrap = true;
+};
+
+class Overlay {
+ public:
+  explicit Overlay(const OverlayOptions& options);
+
+  // Adds one node with a quasi-random nodeId (hash of a random "public key")
+  // and runs the join protocol to completion. Returns the new node.
+  PastryNode* AddNode();
+  PastryNode* AddNodeWithId(const NodeId& id);
+
+  // Adds `n` nodes sequentially.
+  void Build(int n);
+
+  // Advances the simulation by `duration`.
+  void Run(SimTime duration) { queue_.RunUntil(queue_.Now() + duration); }
+  // Drains every pending event (only safe when periodic timers are off).
+  size_t RunAll(size_t max_events = 100'000'000) { return queue_.RunAll(max_events); }
+
+  EventQueue& queue() { return queue_; }
+  Network& network() { return net_; }
+  Topology& topology() { return topo_; }
+  Rng& rng() { return rng_; }
+
+  size_t size() const { return nodes_.size(); }
+  PastryNode* node(size_t i) { return nodes_[i].get(); }
+  const std::vector<std::unique_ptr<PastryNode>>& nodes() const { return nodes_; }
+
+  // A uniformly random live (active) node; nullptr if none.
+  PastryNode* RandomLiveNode();
+  // The live node proximally nearest to `addr` (excluding `addr` itself).
+  PastryNode* NearestLiveNode(NodeAddr addr);
+  // The live node whose id is ring-closest to `key` (global knowledge; used
+  // by experiments to verify delivery correctness).
+  PastryNode* GloballyClosestLiveNode(const U128& key);
+
+  U128 RandomKey() { return rng_.NextU128(); }
+
+  const OverlayOptions& options() const { return options_; }
+
+ private:
+  void JoinAndSettle(PastryNode* node);
+
+  OverlayOptions options_;
+  Rng rng_;
+  EventQueue queue_;
+  Topology topo_;
+  Network net_;
+  std::vector<std::unique_ptr<PastryNode>> nodes_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_OVERLAY_H_

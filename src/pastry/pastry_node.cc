@@ -1,0 +1,781 @@
+#include "src/pastry/pastry_node.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace past {
+namespace {
+
+// Hard cap on overlay hops; generously above ceil(log_16 N) for any feasible
+// N, so it only trips on routing loops (a bug) or pathological churn.
+constexpr uint16_t kMaxHops = 64;
+
+}  // namespace
+
+PastryNode::PastryNode(Network* net, const NodeId& id, const PastryConfig& config,
+                       uint64_t seed)
+    : net_(net),
+      queue_(net->queue()),
+      id_(id),
+      config_(config),
+      addr_(kInvalidAddr),
+      rng_(seed),
+      rt_(id, config, [this](NodeAddr a) { return net_->Proximity(addr_, a); }),
+      leaf_(id, config.leaf_set_size),
+      nb_(id, config.neighborhood_size,
+          [this](NodeAddr a) { return net_->Proximity(addr_, a); }) {
+  addr_ = net_->Register(this);
+}
+
+PastryNode::~PastryNode() = default;
+
+uint64_t PastryNode::NextSeq() {
+  return (static_cast<uint64_t>(addr_) << 32) | (++seq_counter_ & 0xffffffffULL);
+}
+
+void PastryNode::SendWire(NodeAddr to, Bytes wire, bool join_traffic,
+                          bool maintenance) {
+  ++stats_.msgs_sent;
+  if (join_traffic) {
+    ++stats_.join_msgs_sent;
+  }
+  if (maintenance) {
+    ++stats_.maintenance_msgs_sent;
+  }
+  net_->Send(addr_, to, std::move(wire));
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void PastryNode::Bootstrap() {
+  PAST_CHECK(!active_);
+  active_ = true;
+  joining_ = false;
+  ScheduleKeepAlive();
+}
+
+void PastryNode::Join(NodeAddr bootstrap) {
+  PAST_CHECK(!active_);
+  PAST_CHECK(bootstrap != addr_);
+  joining_ = true;
+  join_bootstrap_ = bootstrap;
+  SendJoinRequest();
+}
+
+void PastryNode::SendJoinRequest() {
+  join_seq_ = NextSeq();
+  JoinRequestMsg req;
+  req.joiner = descriptor();
+  req.hops = 0;
+  req.seq = join_seq_;
+  SendMsg(join_bootstrap_, req, /*join_traffic=*/true);
+  // Retry if the join gets lost (bootstrap died, message dropped).
+  if (join_retry_timer_ != 0) {
+    queue_->Cancel(join_retry_timer_);
+  }
+  join_retry_timer_ = queue_->After(config_.join_retry_timeout, [this] {
+    join_retry_timer_ = 0;
+    if (joining_) {
+      PAST_DEBUG("node %s retrying join", id_.ToHex().substr(0, 8).c_str());
+      SendJoinRequest();
+    }
+  });
+}
+
+void PastryNode::Fail() {
+  active_ = false;
+  joining_ = false;
+  malicious_ = false;
+  net_->SetUp(addr_, false);
+  if (keep_alive_timer_ != 0) {
+    queue_->Cancel(keep_alive_timer_);
+    keep_alive_timer_ = 0;
+  }
+  if (join_retry_timer_ != 0) {
+    queue_->Cancel(join_retry_timer_);
+    join_retry_timer_ = 0;
+  }
+  for (auto& [seq, pending] : pending_acks_) {
+    if (pending.timer != 0) {
+      queue_->Cancel(pending.timer);
+    }
+  }
+  pending_acks_.clear();
+  last_heard_.clear();
+  death_list_.clear();
+}
+
+void PastryNode::Recover(NodeAddr fallback_bootstrap) {
+  PAST_CHECK(!active_ && !joining_);
+  net_->SetUp(addr_, true);
+  rt_.Clear();
+  leaf_.Clear();
+  nb_.Clear();
+  // Paper: "A recovering node contacts the nodes in its last known leaf set".
+  NodeAddr bootstrap = fallback_bootstrap;
+  for (const auto& member : last_leaf_members_) {
+    if (member.valid() && member.addr != addr_ && net_->IsUp(member.addr)) {
+      bootstrap = member.addr;
+      break;
+    }
+  }
+  Join(bootstrap);
+}
+
+// --- routing -----------------------------------------------------------------
+
+uint64_t PastryNode::Route(const U128& key, uint32_t app_type, Bytes payload,
+                           uint8_t replica_k) {
+  PAST_CHECK_MSG(active_, "Route() on an inactive node");
+  RouteMsg msg;
+  msg.key = key;
+  msg.source = descriptor();
+  msg.app_type = app_type;
+  msg.seq = NextSeq();
+  msg.hops = 0;
+  msg.replica_k = replica_k;
+  msg.distance = 0.0;
+  msg.path.push_back(addr_);
+  msg.payload = std::move(payload);
+  uint64_t seq = msg.seq;
+  ProcessRouteMsg(std::move(msg), 0);
+  return seq;
+}
+
+void PastryNode::SendDirect(NodeAddr to, uint32_t app_type, Bytes payload) {
+  PAST_CHECK_MSG(active_, "SendDirect() on an inactive node");
+  AppDirectMsg msg;
+  msg.source = descriptor();
+  msg.app_type = app_type;
+  msg.payload = std::move(payload);
+  if (to == addr_) {
+    // Local shortcut with identical semantics.
+    if (app_ != nullptr) {
+      app_->ReceiveDirect(msg.source, msg.app_type,
+                          ByteSpan(msg.payload.data(), msg.payload.size()));
+    }
+    return;
+  }
+  SendMsg(to, msg);
+}
+
+std::vector<NodeDescriptor> PastryNode::CandidateHops(const U128& key, int min_prefix,
+                                                      const U128& self_dist) const {
+  std::vector<NodeDescriptor> out;
+  auto consider = [&](const NodeDescriptor& d) {
+    if (!d.valid() || d.id == id_) {
+      return;
+    }
+    if (d.id.SharedPrefixLength(key, config_.b) < min_prefix) {
+      return;
+    }
+    if (!(d.id.RingDistance(key) < self_dist)) {
+      return;
+    }
+    for (const auto& existing : out) {
+      if (existing.id == d.id) {
+        return;
+      }
+    }
+    out.push_back(d);
+  };
+  for (const auto& d : leaf_.Members()) {
+    consider(d);
+  }
+  for (const auto& d : rt_.Entries()) {
+    consider(d);
+  }
+  for (const auto& d : nb_.Members()) {
+    consider(d);
+  }
+  std::sort(out.begin(), out.end(),
+            [&](const NodeDescriptor& a, const NodeDescriptor& b) {
+              int pa = a.id.SharedPrefixLength(key, config_.b);
+              int pb = b.id.SharedPrefixLength(key, config_.b);
+              if (pa != pb) {
+                return pa > pb;
+              }
+              U128 da = a.id.RingDistance(key);
+              U128 db = b.id.RingDistance(key);
+              if (da != db) {
+                return da < db;
+              }
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t replica_k) {
+  if (key == id_) {
+    return std::nullopt;
+  }
+  const NodeDescriptor self = descriptor();
+  const U128 self_dist = id_.RingDistance(key);
+
+  if (leaf_.CoversKey(key)) {
+    if (replica_k > 0) {
+      // Any of the replica_k ring-closest nodes can deliver. If we are one of
+      // them, deliver here; otherwise jump to the proximally closest of them.
+      std::vector<NodeDescriptor> members =
+          leaf_.ClosestMembers(key, self, replica_k);
+      NodeDescriptor nearest;
+      double nearest_dist = 0.0;
+      for (const NodeDescriptor& d : members) {
+        if (d.id == id_) {
+          return std::nullopt;  // we hold a replica: deliver here
+        }
+        double dist = net_->Proximity(addr_, d.addr);
+        if (!nearest.valid() || dist < nearest_dist) {
+          nearest = d;
+          nearest_dist = dist;
+        }
+      }
+      if (nearest.valid()) {
+        return nearest;
+      }
+      return std::nullopt;
+    }
+    NodeDescriptor best = leaf_.ClosestTo(key, self, /*include_self=*/true);
+    if (!best.valid() || best.id == id_) {
+      return std::nullopt;  // we are the numerically closest node we know
+    }
+    if (!config_.randomized_routing) {
+      return best;
+    }
+    // Randomized: any leaf member strictly closer than self preserves
+    // progress; bias heavily toward the closest.
+    std::vector<NodeDescriptor> alts;
+    alts.push_back(best);
+    for (const auto& d : leaf_.Members()) {
+      if (d.id != best.id && d.id.RingDistance(key) < self_dist) {
+        alts.push_back(d);
+      }
+    }
+    if (alts.size() > 1 && rng_.Bernoulli(config_.randomize_epsilon)) {
+      return alts[1 + rng_.PickIndex(alts.size() - 1)];
+    }
+    return alts[0];
+  }
+
+  const int row = id_.SharedPrefixLength(key, config_.b);
+  std::optional<NodeDescriptor> entry = rt_.Get(row, key.Digit(row, config_.b));
+
+  if (!config_.randomized_routing) {
+    if (entry.has_value()) {
+      return entry;
+    }
+    // Rare case: no routing-table entry. Use any known node with an
+    // at-least-as-long prefix that is numerically closer.
+    std::vector<NodeDescriptor> cands = CandidateHops(key, row, self_dist);
+    if (cands.empty()) {
+      return std::nullopt;
+    }
+    return cands[0];
+  }
+
+  std::vector<NodeDescriptor> cands = CandidateHops(key, row, self_dist);
+  if (entry.has_value()) {
+    // Put the routing-table entry first (it is the "best" choice: one digit
+    // of progress with proximity-optimized selection).
+    std::vector<NodeDescriptor> reordered;
+    reordered.push_back(*entry);
+    for (const auto& d : cands) {
+      if (d.id != entry->id) {
+        reordered.push_back(d);
+      }
+    }
+    cands = std::move(reordered);
+  }
+  if (cands.empty()) {
+    return std::nullopt;
+  }
+  if (cands.size() > 1 && rng_.Bernoulli(config_.randomize_epsilon)) {
+    return cands[1 + rng_.PickIndex(cands.size() - 1)];
+  }
+  return cands[0];
+}
+
+void PastryNode::ProcessRouteMsg(RouteMsg msg, int attempts) {
+  ++stats_.routed_seen;
+  std::optional<NodeDescriptor> next = NextHop(msg.key, msg.replica_k);
+  if (next.has_value() && msg.replica_k > 0) {
+    // Replica-aware final hops jump by proximity, and two nodes with
+    // divergent leaf views could bounce a message between them; if the chosen
+    // hop was already visited, fall back to strict closest-node routing
+    // (which provably makes ring progress).
+    for (NodeAddr visited : msg.path) {
+      if (visited == next->addr) {
+        next = NextHop(msg.key, 0);
+        break;
+      }
+    }
+  }
+  if (!next.has_value()) {
+    ++stats_.delivered;
+    if (app_ != nullptr) {
+      DeliverContext ctx;
+      ctx.key = msg.key;
+      ctx.app_type = msg.app_type;
+      ctx.source = msg.source;
+      ctx.hops = msg.hops;
+      ctx.distance = msg.distance;
+      ctx.path = msg.path;
+      app_->Deliver(ctx, ByteSpan(msg.payload.data(), msg.payload.size()));
+    }
+    return;
+  }
+  if (app_ != nullptr &&
+      !app_->Forward(msg.key, msg.app_type, *next, &msg.payload)) {
+    return;  // absorbed by the application (e.g. answered from cache)
+  }
+  ++stats_.forwarded;
+  ForwardTo(*next, std::move(msg), attempts);
+}
+
+void PastryNode::ForwardTo(const NodeDescriptor& next, RouteMsg msg, int attempts) {
+  if (msg.hops >= kMaxHops) {
+    PAST_WARN("dropping message %llu: hop limit reached",
+              static_cast<unsigned long long>(msg.seq));
+    return;
+  }
+  RouteMsg original = msg;  // pre-hop state, for re-routing on ack timeout
+  msg.hops += 1;
+  msg.distance += ProximityTo(next.addr);
+  msg.path.push_back(next.addr);
+
+  if (config_.per_hop_acks) {
+    // Track the in-flight hop; if no ack arrives, assume the hop is dead,
+    // repair, and re-route the original message.
+    uint64_t seq = msg.seq;
+    auto [it, inserted] = pending_acks_.try_emplace(seq);
+    if (!inserted && it->second.timer != 0) {
+      queue_->Cancel(it->second.timer);
+    }
+    it->second.msg = std::move(original);
+    it->second.next = next;
+    it->second.attempts = attempts;
+    it->second.timer = queue_->After(config_.ack_timeout, [this, seq] {
+      auto pit = pending_acks_.find(seq);
+      if (pit == pending_acks_.end()) {
+        return;
+      }
+      PendingAck pending = std::move(pit->second);
+      pending_acks_.erase(pit);
+      ++stats_.reroutes;
+      HandleNodeFailure(pending.next);
+      if (pending.attempts + 1 < config_.max_reroute_attempts && active_) {
+        ProcessRouteMsg(std::move(pending.msg), pending.attempts + 1);
+      }
+    });
+  }
+  SendMsg(next.addr, msg);
+}
+
+// --- join protocol ------------------------------------------------------------
+
+void PastryNode::HandleJoinRequest(NodeAddr from, JoinRequestMsg msg) {
+  (void)from;
+  if (!active_ || msg.joiner.id == id_) {
+    return;
+  }
+  // Contribute routing-table rows 0..shl to the joiner. Rows below the shared
+  // prefix length still contain useful candidates for the joiner because the
+  // row constraint is relative to the *shared* prefix.
+  const int shl = id_.SharedPrefixLength(msg.joiner.id, config_.b);
+  JoinRowsMsg rows_msg;
+  rows_msg.sender = descriptor();
+  for (int r = 0; r <= shl && r < rt_.rows(); ++r) {
+    std::vector<NodeDescriptor> row = rt_.Row(r);
+    if (!row.empty()) {
+      rows_msg.row_indices.push_back(static_cast<uint16_t>(r));
+      rows_msg.rows.push_back(std::move(row));
+    }
+  }
+  SendMsg(msg.joiner.addr, rows_msg, /*join_traffic=*/true);
+
+  if (msg.hops == 0) {
+    // First node on the join path (assumed proximally close to the joiner):
+    // hand over the neighborhood set.
+    JoinNeighborhoodMsg nb_msg;
+    nb_msg.sender = descriptor();
+    nb_msg.neighbors = nb_.Members();
+    SendMsg(msg.joiner.addr, nb_msg, /*join_traffic=*/true);
+  }
+
+  std::optional<NodeDescriptor> next = NextHop(msg.joiner.id, 0);
+  if (next.has_value() && next->id != msg.joiner.id && msg.hops < kMaxHops) {
+    JoinRequestMsg fwd = msg;
+    fwd.hops += 1;
+    SendMsg(next->addr, fwd, /*join_traffic=*/true);
+    return;
+  }
+  // This node is numerically closest to the joiner: hand over the leaf set.
+  JoinLeafSetMsg leaf_msg;
+  leaf_msg.sender = descriptor();
+  leaf_msg.leaves = leaf_.Members();
+  leaf_msg.seq = msg.seq;
+  SendMsg(msg.joiner.addr, leaf_msg, /*join_traffic=*/true);
+}
+
+void PastryNode::HandleJoinRows(const JoinRowsMsg& msg) {
+  Learn(msg.sender);
+  for (const auto& row : msg.rows) {
+    for (const auto& d : row) {
+      Learn(d);
+    }
+  }
+}
+
+void PastryNode::HandleJoinNeighborhood(const JoinNeighborhoodMsg& msg) {
+  Learn(msg.sender);
+  for (const auto& d : msg.neighbors) {
+    Learn(d);
+  }
+}
+
+void PastryNode::HandleJoinLeafSet(const JoinLeafSetMsg& msg) {
+  Learn(msg.sender);
+  for (const auto& d : msg.leaves) {
+    Learn(d);
+  }
+  if (joining_) {
+    FinalizeJoin();
+  }
+}
+
+void PastryNode::FinalizeJoin() {
+  joining_ = false;
+  active_ = true;
+  if (join_retry_timer_ != 0) {
+    queue_->Cancel(join_retry_timer_);
+    join_retry_timer_ = 0;
+  }
+  // Announce arrival to every node now present in our state, so they fold us
+  // into their tables (restoring all Pastry invariants).
+  AnnounceArrivalMsg announce;
+  announce.joiner = descriptor();
+  std::vector<NodeDescriptor> targets = rt_.Entries();
+  for (const auto& d : leaf_.Members()) {
+    targets.push_back(d);
+  }
+  for (const auto& d : nb_.Members()) {
+    targets.push_back(d);
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+  targets.erase(std::unique(targets.begin(), targets.end(),
+                            [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                              return a.id == b.id;
+                            }),
+                targets.end());
+  for (const auto& d : targets) {
+    SendMsg(d.addr, announce, /*join_traffic=*/true);
+  }
+  last_leaf_members_ = leaf_.Members();
+  ScheduleKeepAlive();
+  if (app_ != nullptr) {
+    app_->OnLeafSetChanged();
+  }
+}
+
+// --- maintenance ---------------------------------------------------------------
+
+void PastryNode::ScheduleKeepAlive() {
+  if (config_.keep_alive_period <= 0) {
+    return;
+  }
+  // Random phase avoids a synchronized heartbeat storm.
+  SimTime first = static_cast<SimTime>(
+      config_.keep_alive_period * (0.5 + 0.5 * rng_.UniformDouble()));
+  keep_alive_timer_ = queue_->After(first, [this] { KeepAliveTick(); });
+}
+
+void PastryNode::KeepAliveTick() {
+  if (!active_) {
+    return;
+  }
+  const SimTime now = queue_->Now();
+  std::vector<NodeDescriptor> members = leaf_.Members();
+  std::vector<NodeDescriptor> suspects;
+  for (const auto& d : members) {
+    auto it = last_heard_.find(d.id);
+    if (it == last_heard_.end()) {
+      last_heard_[d.id] = now;  // newly tracked member
+    } else if (now - it->second > config_.failure_timeout) {
+      suspects.push_back(d);
+      continue;
+    }
+    KeepAliveMsg ka;
+    ka.sender = descriptor();
+    SendMsg(d.addr, ka, /*join_traffic=*/false, /*maintenance=*/true);
+  }
+  for (const auto& d : suspects) {
+    HandleNodeFailure(d);
+  }
+  last_leaf_members_ = leaf_.Members();
+  keep_alive_timer_ =
+      queue_->After(config_.keep_alive_period, [this] { KeepAliveTick(); });
+}
+
+void PastryNode::HandleNodeFailure(const NodeDescriptor& failed) {
+  if (!failed.valid() || failed.id == id_) {
+    return;
+  }
+  ++stats_.failures_detected;
+  death_list_[failed.id] = queue_->Now();
+  bool was_leaf = leaf_.Remove(failed.id);
+  std::vector<std::pair<int, int>> vacated = rt_.RemoveNode(failed.id);
+  nb_.Remove(failed.id);
+  last_heard_.erase(failed.id);
+
+  if (was_leaf) {
+    // Repair: ask the farthest live member on the failed node's side for its
+    // leaf set; overlap guarantees it knows the replacement.
+    NodeDescriptor target = leaf_.FarthestOnSideOf(failed.id);
+    if (target.valid()) {
+      LeafSetRequestMsg req;
+      req.sender = descriptor();
+      SendMsg(target.addr, req, /*join_traffic=*/false, /*maintenance=*/true);
+    }
+    if (app_ != nullptr) {
+      app_->OnLeafSetChanged();
+    }
+  }
+  RequestRowRepairs(vacated);
+}
+
+void PastryNode::RequestRowRepairs(const std::vector<std::pair<int, int>>& vacated) {
+  for (const auto& [row, col] : vacated) {
+    // Lazy repair: ask a peer from the same row (it satisfies the same prefix
+    // constraint) for its (row, col) entry; fall back to deeper rows.
+    for (int r = row; r < rt_.rows(); ++r) {
+      std::vector<NodeDescriptor> peers = rt_.Row(r);
+      if (peers.empty()) {
+        continue;
+      }
+      const NodeDescriptor& peer = peers[rng_.PickIndex(peers.size())];
+      RepairRequestMsg req;
+      req.sender = descriptor();
+      req.row = static_cast<uint16_t>(row);
+      req.col = static_cast<uint16_t>(col);
+      SendMsg(peer.addr, req, /*join_traffic=*/false, /*maintenance=*/true);
+      break;
+    }
+  }
+}
+
+bool PastryNode::Learn(const NodeDescriptor& d) {
+  if (!d.valid() || d.id == id_ || IsQuarantined(d.id)) {
+    return false;
+  }
+  bool leaf_changed = leaf_.MaybeAdd(d);
+  rt_.MaybeAdd(d);
+  nb_.MaybeAdd(d);
+  if (leaf_changed && last_heard_.find(d.id) == last_heard_.end()) {
+    last_heard_[d.id] = queue_->Now();
+  }
+  return leaf_changed;
+}
+
+bool PastryNode::IsQuarantined(const NodeId& node_id) {
+  auto it = death_list_.find(node_id);
+  if (it == death_list_.end()) {
+    return false;
+  }
+  if (queue_->Now() - it->second >= config_.death_quarantine) {
+    death_list_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void PastryNode::TouchLiveness(const NodeId& node_id) {
+  last_heard_[node_id] = queue_->Now();
+}
+
+// --- dispatch ------------------------------------------------------------------
+
+void PastryNode::OnMessage(NodeAddr from, ByteSpan wire) {
+  Reader r(wire);
+  PastryMsgType type;
+  if (!DecodeHeader(&r, &type)) {
+    PAST_WARN("node %u: undecodable message header from %u", addr_, from);
+    return;
+  }
+  switch (type) {
+    case PastryMsgType::kRoute: {
+      RouteMsg msg;
+      if (!DecodeBodyStrict(&r, &msg)) {
+        break;
+      }
+      if (config_.per_hop_acks) {
+        RouteAckMsg ack;
+        ack.seq = msg.seq;
+        SendMsg(from, ack);
+      }
+      if (!active_) {
+        break;
+      }
+      if (malicious_) {
+        // Accepts (and acks) the message but neither forwards nor delivers.
+        break;
+      }
+      TouchLiveness(msg.source.id);
+      ProcessRouteMsg(std::move(msg), 0);
+      break;
+    }
+    case PastryMsgType::kRouteAck: {
+      RouteAckMsg msg;
+      if (!DecodeBodyStrict(&r, &msg)) {
+        break;
+      }
+      auto it = pending_acks_.find(msg.seq);
+      if (it != pending_acks_.end()) {
+        if (it->second.timer != 0) {
+          queue_->Cancel(it->second.timer);
+        }
+        pending_acks_.erase(it);
+      }
+      break;
+    }
+    case PastryMsgType::kJoinRequest: {
+      JoinRequestMsg msg;
+      if (DecodeBodyStrict(&r, &msg)) {
+        HandleJoinRequest(from, std::move(msg));
+      }
+      break;
+    }
+    case PastryMsgType::kJoinRows: {
+      JoinRowsMsg msg;
+      if (DecodeBodyStrict(&r, &msg)) {
+        HandleJoinRows(msg);
+      }
+      break;
+    }
+    case PastryMsgType::kJoinLeafSet: {
+      JoinLeafSetMsg msg;
+      if (DecodeBodyStrict(&r, &msg)) {
+        HandleJoinLeafSet(msg);
+      }
+      break;
+    }
+    case PastryMsgType::kJoinNeighborhood: {
+      JoinNeighborhoodMsg msg;
+      if (DecodeBodyStrict(&r, &msg)) {
+        HandleJoinNeighborhood(msg);
+      }
+      break;
+    }
+    case PastryMsgType::kAnnounceArrival: {
+      AnnounceArrivalMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      // An announce comes from the (re)joining node itself: direct evidence
+      // of life.
+      ClearQuarantine(msg.joiner.id);
+      bool leaf_changed = Learn(msg.joiner);
+      TouchLiveness(msg.joiner.id);
+      if (leaf_changed && app_ != nullptr) {
+        app_->OnLeafSetChanged();
+      }
+      break;
+    }
+    case PastryMsgType::kKeepAlive: {
+      KeepAliveMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      ClearQuarantine(msg.sender.id);
+      TouchLiveness(msg.sender.id);
+      Learn(msg.sender);
+      KeepAliveAckMsg ack;
+      ack.sender = descriptor();
+      SendMsg(msg.sender.addr, ack, /*join_traffic=*/false, /*maintenance=*/true);
+      break;
+    }
+    case PastryMsgType::kKeepAliveAck: {
+      KeepAliveAckMsg msg;
+      if (DecodeBodyStrict(&r, &msg) && active_) {
+        ClearQuarantine(msg.sender.id);
+        TouchLiveness(msg.sender.id);
+      }
+      break;
+    }
+    case PastryMsgType::kLeafSetRequest: {
+      LeafSetRequestMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      LeafSetReplyMsg reply;
+      reply.sender = descriptor();
+      reply.leaves = leaf_.Members();
+      SendMsg(msg.sender.addr, reply, /*join_traffic=*/false, /*maintenance=*/true);
+      break;
+    }
+    case PastryMsgType::kLeafSetReply: {
+      LeafSetReplyMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      bool leaf_changed = Learn(msg.sender);
+      for (const auto& d : msg.leaves) {
+        leaf_changed |= Learn(d);
+      }
+      if (leaf_changed && app_ != nullptr) {
+        app_->OnLeafSetChanged();
+      }
+      break;
+    }
+    case PastryMsgType::kRepairRequest: {
+      RepairRequestMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      if (msg.row >= rt_.rows() || msg.col >= rt_.cols()) {
+        break;
+      }
+      RepairReplyMsg reply;
+      reply.sender = descriptor();
+      reply.row = msg.row;
+      reply.col = msg.col;
+      std::optional<NodeDescriptor> entry = rt_.Get(msg.row, msg.col);
+      if (entry.has_value()) {
+        reply.has_entry = true;
+        reply.entry = *entry;
+      } else if (id_.SharedPrefixLength(msg.sender.id, config_.b) >= msg.row &&
+                 id_.Digit(msg.row, config_.b) == msg.col) {
+        // This node itself fits the requested slot.
+        reply.has_entry = true;
+        reply.entry = descriptor();
+      }
+      SendMsg(msg.sender.addr, reply, /*join_traffic=*/false, /*maintenance=*/true);
+      break;
+    }
+    case PastryMsgType::kRepairReply: {
+      RepairReplyMsg msg;
+      if (DecodeBodyStrict(&r, &msg) && active_ && msg.has_entry) {
+        Learn(msg.entry);
+      }
+      break;
+    }
+    case PastryMsgType::kAppDirect: {
+      AppDirectMsg msg;
+      if (!DecodeBodyStrict(&r, &msg) || !active_) {
+        break;
+      }
+      ClearQuarantine(msg.source.id);
+      TouchLiveness(msg.source.id);
+      Learn(msg.source);
+      if (app_ != nullptr) {
+        app_->ReceiveDirect(msg.source, msg.app_type,
+                            ByteSpan(msg.payload.data(), msg.payload.size()));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace past

@@ -1,0 +1,235 @@
+// PastryNode — the Pastry protocol engine.
+//
+// Implements prefix routing, the self-organizing join protocol, leaf-set
+// heartbeats with failure recovery, lazy routing-table repair, per-hop
+// acknowledgments for dead-hop detection, and optional randomized route
+// selection (the paper's defense against malicious forwarders).
+//
+// Applications (PAST's storage layer, the examples, the experiment drivers)
+// attach through the PastryApp interface, mirroring the classic
+// deliver/forward/newLeafs API.
+#ifndef SRC_PASTRY_PASTRY_NODE_H_
+#define SRC_PASTRY_PASTRY_NODE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pastry/leaf_set.h"
+#include "src/pastry/messages.h"
+#include "src/pastry/neighborhood_set.h"
+#include "src/pastry/node_id.h"
+#include "src/pastry/routing_table.h"
+#include "src/sim/network.h"
+
+namespace past {
+
+// Context handed to the application when a routed message is delivered at the
+// numerically closest node.
+struct DeliverContext {
+  U128 key;
+  uint32_t app_type = 0;
+  NodeDescriptor source;
+  uint16_t hops = 0;
+  double distance = 0.0;            // accumulated proximity distance
+  std::vector<NodeAddr> path;       // addresses visited, source first
+};
+
+class PastryApp {
+ public:
+  virtual ~PastryApp() = default;
+
+  // The message reached the node responsible for `key`.
+  virtual void Deliver(const DeliverContext& ctx, ByteSpan payload) = 0;
+
+  // Called on each node the message transits, just before forwarding to
+  // `next`. The app may mutate the payload. Returning false absorbs the
+  // message (PAST answers lookups from caches this way).
+  virtual bool Forward(const U128& key, uint32_t app_type, const NodeDescriptor& next,
+                       Bytes* payload) {
+    (void)key;
+    (void)app_type;
+    (void)next;
+    (void)payload;
+    return true;
+  }
+
+  // A point-to-point message from another node's app layer.
+  virtual void ReceiveDirect(const NodeDescriptor& from, uint32_t app_type,
+                             ByteSpan payload) {
+    (void)from;
+    (void)app_type;
+    (void)payload;
+  }
+
+  // The leaf set changed (member added/removed) — PAST re-evaluates replica
+  // responsibility here.
+  virtual void OnLeafSetChanged() {}
+};
+
+class PastryNode : public NetReceiver {
+ public:
+  // Registers with the network immediately; the node stays inactive until
+  // Bootstrap() or Join() completes.
+  PastryNode(Network* net, const NodeId& id, const PastryConfig& config, uint64_t seed);
+  ~PastryNode() override;
+
+  PastryNode(const PastryNode&) = delete;
+  PastryNode& operator=(const PastryNode&) = delete;
+
+  // --- lifecycle ------------------------------------------------------------
+
+  // Declares this node the first member of a new overlay.
+  void Bootstrap();
+  // Joins via an existing (live) node, typically one that is near in the
+  // proximity metric.
+  void Join(NodeAddr bootstrap);
+  // Silent crash: the node stops sending/receiving and loses its timers.
+  void Fail();
+  // Rejoins after a failure: contacts the nodes of its last known leaf set
+  // (paper, Section 2.2 "Node addition and failure"); falls back to
+  // `fallback_bootstrap` if none respond to being used as bootstrap.
+  void Recover(NodeAddr fallback_bootstrap);
+
+  bool active() const { return active_; }
+
+  // --- application ----------------------------------------------------------
+
+  void SetApp(PastryApp* app) { app_ = app; }
+
+  // Routes a message toward the live node numerically closest to `key`.
+  // With replica_k > 0 the message may instead be delivered at any of the
+  // replica_k nodes ring-closest to the key, preferring proximally close
+  // ones — PAST lookups use this, since every replica holder can answer.
+  // Returns the message seq (for correlating with delivery in experiments).
+  uint64_t Route(const U128& key, uint32_t app_type, Bytes payload,
+                 uint8_t replica_k = 0);
+
+  // Point-to-point application message.
+  void SendDirect(NodeAddr to, uint32_t app_type, Bytes payload);
+
+  // --- introspection ---------------------------------------------------------
+
+  const NodeId& id() const { return id_; }
+  NodeAddr addr() const { return addr_; }
+  EventQueue* queue() const { return queue_; }
+  Network* net() const { return net_; }
+  NodeDescriptor descriptor() const { return NodeDescriptor{id_, addr_}; }
+  const PastryConfig& config() const { return config_; }
+
+  const LeafSet& leaf_set() const { return leaf_; }
+  const RoutingTable& routing_table() const { return rt_; }
+  const NeighborhoodSet& neighborhood_set() const { return nb_; }
+
+  // The k live nodes (including self) believed numerically closest to `key`.
+  // Meaningful on the node responsible for `key` — this is PAST's replica
+  // set.
+  std::vector<NodeDescriptor> ReplicaSet(const U128& key, int k) const {
+    return leaf_.ClosestMembers(key, descriptor(), k);
+  }
+
+  double ProximityTo(NodeAddr other) const { return net_->Proximity(addr_, other); }
+
+  // Simulates a malicious forwarder: the node accepts routed messages but
+  // silently drops them instead of forwarding (Section 2.2 "Fault-
+  // tolerance"). Honest per-hop acks are still sent, so upstream nodes do
+  // not detect it as dead.
+  void SetMalicious(bool malicious) { malicious_ = malicious; }
+  bool malicious() const { return malicious_; }
+
+  struct Stats {
+    uint64_t msgs_sent = 0;
+    uint64_t join_msgs_sent = 0;         // join-protocol traffic
+    uint64_t maintenance_msgs_sent = 0;  // heartbeats + repair
+    uint64_t routed_seen = 0;            // routed messages handled
+    uint64_t delivered = 0;
+    uint64_t forwarded = 0;
+    uint64_t reroutes = 0;               // re-sends after a dead next hop
+    uint64_t failures_detected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // NetReceiver:
+  void OnMessage(NodeAddr from, ByteSpan wire) override;
+
+ private:
+  struct PendingAck {
+    RouteMsg msg;
+    NodeDescriptor next;
+    EventQueue::EventId timer = 0;
+    int attempts = 0;
+  };
+
+  // Routing core. Returns the next hop, or nullopt when this node is the
+  // closest it knows (deliver here). replica_k as in Route().
+  std::optional<NodeDescriptor> NextHop(const U128& key, uint8_t replica_k);
+  std::vector<NodeDescriptor> CandidateHops(const U128& key, int min_prefix,
+                                            const U128& self_dist) const;
+  void ProcessRouteMsg(RouteMsg msg, int attempts);
+  void ForwardTo(const NodeDescriptor& next, RouteMsg msg, int attempts);
+
+  // Join protocol.
+  void HandleJoinRequest(NodeAddr from, JoinRequestMsg msg);
+  void HandleJoinRows(const JoinRowsMsg& msg);
+  void HandleJoinLeafSet(const JoinLeafSetMsg& msg);
+  void HandleJoinNeighborhood(const JoinNeighborhoodMsg& msg);
+  void FinalizeJoin();
+  void SendJoinRequest();
+
+  // Maintenance.
+  void ScheduleKeepAlive();
+  void KeepAliveTick();
+  void HandleNodeFailure(const NodeDescriptor& failed);
+  void RequestRowRepairs(const std::vector<std::pair<int, int>>& vacated);
+
+  // Folds a learned descriptor into all three state components (unless the
+  // node is under death quarantine). Returns true if the leaf set changed.
+  bool Learn(const NodeDescriptor& d);
+  void TouchLiveness(const NodeId& id);
+  bool IsQuarantined(const NodeId& id);
+  void ClearQuarantine(const NodeId& id) { death_list_.erase(id); }
+
+  void SendWire(NodeAddr to, Bytes wire, bool join_traffic, bool maintenance);
+  template <typename M>
+  void SendMsg(NodeAddr to, const M& msg, bool join_traffic = false,
+               bool maintenance = false) {
+    SendWire(to, EncodeMessage(msg), join_traffic, maintenance);
+  }
+
+  uint64_t NextSeq();
+
+  Network* net_;
+  EventQueue* queue_;
+  NodeId id_;
+  PastryConfig config_;
+  NodeAddr addr_;
+  Rng rng_;
+
+  RoutingTable rt_;
+  LeafSet leaf_;
+  NeighborhoodSet nb_;
+  PastryApp* app_ = nullptr;
+
+  bool active_ = false;
+  bool joining_ = false;
+  bool malicious_ = false;
+  uint64_t join_seq_ = 0;
+  NodeAddr join_bootstrap_ = kInvalidAddr;
+  EventQueue::EventId join_retry_timer_ = 0;
+  EventQueue::EventId keep_alive_timer_ = 0;
+  uint64_t seq_counter_ = 0;
+
+  std::unordered_map<uint64_t, PendingAck> pending_acks_;
+  std::unordered_map<U128, SimTime, U128Hash> last_heard_;
+  // Recently failed nodes: id -> time of death declaration.
+  std::unordered_map<U128, SimTime, U128Hash> death_list_;
+  std::vector<NodeDescriptor> last_leaf_members_;  // snapshot for recovery
+
+  Stats stats_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_PASTRY_NODE_H_

@@ -1,0 +1,116 @@
+#include "src/pastry/routing_table.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+RoutingTable::RoutingTable(const NodeId& self, const PastryConfig& config,
+                           std::function<double(NodeAddr)> proximity)
+    : self_(self), config_(config), proximity_(std::move(proximity)) {
+  slots_.resize(static_cast<size_t>(config_.digits()) * config_.cols());
+}
+
+std::optional<NodeDescriptor> RoutingTable::EntryForKey(const NodeId& key) const {
+  int row = self_.SharedPrefixLength(key, config_.b);
+  if (row >= config_.digits()) {
+    return std::nullopt;  // key == self id
+  }
+  return Get(row, key.Digit(row, config_.b));
+}
+
+std::optional<NodeDescriptor> RoutingTable::Get(int row, int col) const {
+  PAST_CHECK(row >= 0 && row < rows() && col >= 0 && col < cols());
+  return slots_[SlotIndex(row, col)];
+}
+
+bool RoutingTable::MaybeAdd(const NodeDescriptor& candidate) {
+  if (candidate.id == self_ || !candidate.valid()) {
+    return false;
+  }
+  int row = self_.SharedPrefixLength(candidate.id, config_.b);
+  PAST_CHECK(row < config_.digits());
+  int col = candidate.id.Digit(row, config_.b);
+  auto& slot = slots_[SlotIndex(row, col)];
+  if (!slot.has_value()) {
+    slot = candidate;
+    ++entry_count_;
+    return true;
+  }
+  if (slot->id == candidate.id) {
+    // Refresh the address in case the node rejoined elsewhere.
+    if (slot->addr != candidate.addr) {
+      slot->addr = candidate.addr;
+      return true;
+    }
+    return false;
+  }
+  if (config_.locality_aware && proximity_) {
+    if (proximity_(candidate.addr) < proximity_(slot->addr)) {
+      slot = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> RoutingTable::RemoveNode(const NodeId& id) {
+  std::vector<std::pair<int, int>> vacated;
+  // A node occupies at most one slot, but scan all to be safe against stale
+  // duplicates after address refreshes.
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      auto& slot = slots_[SlotIndex(r, c)];
+      if (slot.has_value() && slot->id == id) {
+        slot.reset();
+        --entry_count_;
+        vacated.emplace_back(r, c);
+      }
+    }
+  }
+  return vacated;
+}
+
+std::vector<NodeDescriptor> RoutingTable::Entries() const {
+  std::vector<NodeDescriptor> out;
+  out.reserve(entry_count_);
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) {
+      out.push_back(*slot);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeDescriptor> RoutingTable::Row(int row) const {
+  PAST_CHECK(row >= 0 && row < rows());
+  std::vector<NodeDescriptor> out;
+  for (int c = 0; c < cols(); ++c) {
+    const auto& slot = slots_[SlotIndex(row, c)];
+    if (slot.has_value()) {
+      out.push_back(*slot);
+    }
+  }
+  return out;
+}
+
+void RoutingTable::Clear() {
+  for (auto& slot : slots_) {
+    slot.reset();
+  }
+  entry_count_ = 0;
+}
+
+int RoutingTable::PopulatedRows() const {
+  int populated = 0;
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (slots_[SlotIndex(r, c)].has_value()) {
+        ++populated;
+        break;
+      }
+    }
+  }
+  return populated;
+}
+
+}  // namespace past

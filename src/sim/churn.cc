@@ -1,0 +1,81 @@
+#include "src/sim/churn.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+ChurnDriver::ChurnDriver(EventQueue* queue, const ChurnConfig& config, uint64_t seed)
+    : queue_(queue), config_(config), rng_(seed) {
+  PAST_CHECK(queue != nullptr);
+  PAST_CHECK(config.mean_session > 0);
+  PAST_CHECK(config.mean_downtime > 0);
+}
+
+ChurnDriver::~ChurnDriver() { Stop(); }
+
+SimTime ChurnDriver::SampleExp(SimTime mean) {
+  double sample = rng_.Exponential(1.0 / static_cast<double>(mean));
+  SimTime t = static_cast<SimTime>(sample);
+  return t < 1 ? 1 : t;
+}
+
+size_t ChurnDriver::Manage(std::function<void()> fail, std::function<void()> recover) {
+  Managed m;
+  m.fail = std::move(fail);
+  m.recover = std::move(recover);
+  managed_.push_back(std::move(m));
+  size_t index = managed_.size() - 1;
+  if (running_) {
+    ScheduleFailure(index);
+  }
+  return index;
+}
+
+void ChurnDriver::Start() {
+  running_ = true;
+  for (size_t i = 0; i < managed_.size(); ++i) {
+    if (!managed_[i].scheduled) {
+      ScheduleFailure(i);
+    }
+  }
+}
+
+void ChurnDriver::Stop() {
+  running_ = false;
+  for (Managed& m : managed_) {
+    if (m.timer != 0) {
+      queue_->Cancel(m.timer);
+      m.timer = 0;
+    }
+    m.scheduled = false;
+  }
+}
+
+void ChurnDriver::ScheduleFailure(size_t index) {
+  Managed& m = managed_[index];
+  m.scheduled = true;
+  m.timer = queue_->After(SampleExp(config_.mean_session), [this, index] {
+    Managed& node = managed_[index];
+    node.timer = 0;
+    ++stats_.failures;
+    node.fail();
+    if (config_.recover) {
+      ScheduleRecovery(index);
+    } else {
+      node.scheduled = false;
+    }
+  });
+}
+
+void ChurnDriver::ScheduleRecovery(size_t index) {
+  Managed& m = managed_[index];
+  m.timer = queue_->After(SampleExp(config_.mean_downtime), [this, index] {
+    Managed& node = managed_[index];
+    node.timer = 0;
+    ++stats_.recoveries;
+    node.recover();
+    ScheduleFailure(index);
+  });
+}
+
+}  // namespace past

@@ -1,0 +1,71 @@
+// Churn driver: continuous, randomized node failure and recovery.
+//
+// PAST nodes "may join the system at any time and may silently leave the
+// system without warning". The driver models each managed node as an
+// alternating renewal process: exponentially distributed sessions (up-time)
+// and downtimes, after which the node recovers (rejoins). Experiments and
+// tests register fail/recover callbacks; the driver owns only timers.
+#ifndef SRC_SIM_CHURN_H_
+#define SRC_SIM_CHURN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+
+namespace past {
+
+struct ChurnConfig {
+  SimTime mean_session = 600 * kMicrosPerSecond;   // mean up-time
+  SimTime mean_downtime = 60 * kMicrosPerSecond;   // mean time to recovery
+  bool recover = true;  // false: failures are permanent departures
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(EventQueue* queue, const ChurnConfig& config, uint64_t seed);
+  ~ChurnDriver();
+
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+
+  // Registers a node. `fail` is invoked when its session expires; `recover`
+  // when its downtime ends (never, if config.recover is false). Both run on
+  // the event loop. Returns the managed index.
+  size_t Manage(std::function<void()> fail, std::function<void()> recover);
+
+  // Schedules the first failure for every managed node. Idempotent per node.
+  void Start();
+  // Cancels all pending churn events.
+  void Stop();
+
+  struct Stats {
+    uint64_t failures = 0;
+    uint64_t recoveries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Managed {
+    std::function<void()> fail;
+    std::function<void()> recover;
+    EventQueue::EventId timer = 0;
+    bool scheduled = false;
+  };
+
+  SimTime SampleExp(SimTime mean);
+  void ScheduleFailure(size_t index);
+  void ScheduleRecovery(size_t index);
+
+  EventQueue* queue_;
+  ChurnConfig config_;
+  Rng rng_;
+  std::vector<Managed> managed_;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace past
+
+#endif  // SRC_SIM_CHURN_H_

@@ -1,0 +1,79 @@
+#include "src/sim/event_queue.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+EventQueue::EventId EventQueue::At(SimTime when, std::function<void()> fn) {
+  PAST_CHECK_MSG(when >= now_, "cannot schedule events in the past");
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+EventQueue::EventId EventQueue::After(SimTime delay, std::function<void()> fn) {
+  PAST_CHECK(delay >= 0);
+  return At(now_ + delay, std::move(fn));
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  // Mark cancelled; the entry is discarded when it reaches the heap top.
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted && live_count_ > 0) {
+    --live_count_;
+  }
+}
+
+bool EventQueue::PopAndRunOne() {
+  while (!heap_.empty()) {
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    auto it = cancelled_.find(top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = top.when;
+    --live_count_;
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::RunUntil(SimTime deadline) {
+  size_t executed = 0;
+  while (!heap_.empty()) {
+    // Skip cancelled entries at the top without advancing time.
+    if (cancelled_.count(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().when > deadline) {
+      break;
+    }
+    if (PopAndRunOne()) {
+      ++executed;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && PopAndRunOne()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace past

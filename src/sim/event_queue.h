@@ -1,0 +1,79 @@
+// Discrete-event scheduler with a virtual clock.
+//
+// All protocol timing (message latency, keep-alive periods, failure timeouts)
+// runs on this queue. Events at equal timestamps fire in scheduling order
+// (sequence-number tie-break), which makes every simulation deterministic.
+// Time is in integer microseconds.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace past {
+
+using SimTime = int64_t;  // microseconds
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr SimTime kMicrosPerSecond = 1000 * 1000;
+
+class EventQueue {
+ public:
+  using EventId = uint64_t;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (must be >= Now()).
+  EventId At(SimTime when, std::function<void()> fn);
+  // Schedules `fn` after `delay` microseconds.
+  EventId After(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event. Idempotent; cancelling an already-fired event is
+  // a no-op.
+  void Cancel(EventId id);
+
+  // Runs events until the queue is empty or the clock passes `deadline`.
+  // Returns the number of events executed.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs every pending event (including ones scheduled while running), up to
+  // `max_events` as a runaway guard. Returns events executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t PendingCount() const { return live_count_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  bool PopAndRunOne();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace past
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

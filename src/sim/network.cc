@@ -1,0 +1,73 @@
+#include "src/sim/network.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace past {
+
+Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& config,
+                 uint64_t seed)
+    : queue_(queue), topology_(topology), config_(config), rng_(seed) {
+  PAST_CHECK(queue != nullptr && topology != nullptr);
+}
+
+NodeAddr Network::Register(NetReceiver* receiver) {
+  PAST_CHECK(receiver != nullptr);
+  Endpoint ep;
+  ep.receiver = receiver;
+  ep.topo_index = topology_->AddHost();
+  endpoints_.push_back(ep);
+  return static_cast<NodeAddr>(endpoints_.size() - 1);
+}
+
+void Network::SetUp(NodeAddr addr, bool up) {
+  PAST_CHECK(addr < endpoints_.size());
+  endpoints_[addr].up = up;
+}
+
+bool Network::IsUp(NodeAddr addr) const {
+  PAST_CHECK(addr < endpoints_.size());
+  return endpoints_[addr].up;
+}
+
+SimTime Network::SampleLatency(NodeAddr from, NodeAddr to) {
+  double dist_term = Proximity(from, to) * config_.latency_per_unit;
+  if (config_.jitter_frac > 0.0) {
+    double jitter = (rng_.UniformDouble() * 2.0 - 1.0) * config_.jitter_frac;
+    dist_term *= (1.0 + jitter);
+  }
+  SimTime latency = config_.base_latency + static_cast<SimTime>(dist_term);
+  return latency < 1 ? 1 : latency;
+}
+
+void Network::Send(NodeAddr from, NodeAddr to, Bytes wire) {
+  PAST_CHECK(from < endpoints_.size() && to < endpoints_.size());
+  ++stats_.sent;
+  stats_.bytes_sent += wire.size();
+  if (config_.loss_rate > 0.0 && rng_.Bernoulli(config_.loss_rate)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  SimTime latency = SampleLatency(from, to);
+  // The payload is owned by the closure; shared_ptr keeps the closure
+  // copyable for std::function.
+  auto payload = std::make_shared<Bytes>(std::move(wire));
+  queue_->After(latency, [this, from, to, payload] {
+    Endpoint& dest = endpoints_[to];
+    if (!dest.up) {
+      ++stats_.dropped_down;
+      return;
+    }
+    ++stats_.delivered;
+    dest.receiver->OnMessage(from, ByteSpan(payload->data(), payload->size()));
+  });
+}
+
+double Network::Proximity(NodeAddr a, NodeAddr b) const {
+  PAST_CHECK(a < endpoints_.size() && b < endpoints_.size());
+  return topology_->Distance(endpoints_[a].topo_index, endpoints_[b].topo_index);
+}
+
+}  // namespace past

@@ -1,0 +1,95 @@
+// Simulated message network.
+//
+// Endpoints register to get an address and a position in the proximity
+// space. Send() delivers a byte string to the destination after a latency
+// proportional to the proximity distance (plus jitter), unless the message is
+// lost or the destination is down. There is no delivery notification and no
+// failure notification — exactly the asymmetric-knowledge environment PAST
+// assumes (nodes "may silently leave the system without warning").
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/topology.h"
+
+namespace past {
+
+using NodeAddr = uint32_t;
+constexpr NodeAddr kInvalidAddr = 0xffffffff;
+
+class NetReceiver {
+ public:
+  virtual ~NetReceiver() = default;
+  virtual void OnMessage(NodeAddr from, ByteSpan wire) = 0;
+};
+
+// Defaults give Internet-like one-way latencies of roughly 1-200 ms with the
+// default topology scale of 1000 proximity units (max distance ~3141 units on
+// the sphere).
+struct NetworkConfig {
+  SimTime base_latency = 1000;         // fixed per-message latency (us)
+  double latency_per_unit = 60.0;      // us per proximity unit
+  double jitter_frac = 0.05;           // +/- fraction of the distance term
+  double loss_rate = 0.0;              // iid message loss probability
+};
+
+class Network {
+ public:
+  Network(EventQueue* queue, Topology* topology, const NetworkConfig& config,
+          uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a receiver; assigns it an address and a topology position.
+  NodeAddr Register(NetReceiver* receiver);
+
+  // Node liveness. A down node neither receives nor (by protocol convention)
+  // sends; in-flight messages to it are dropped at delivery time.
+  void SetUp(NodeAddr addr, bool up);
+  bool IsUp(NodeAddr addr) const;
+
+  // Queues `wire` for delivery. Copies the bytes.
+  void Send(NodeAddr from, NodeAddr to, Bytes wire);
+
+  // The scalar proximity metric between two registered endpoints.
+  double Proximity(NodeAddr a, NodeAddr b) const;
+
+  EventQueue* queue() { return queue_; }
+  Topology* topology() { return topology_; }
+  size_t endpoint_count() const { return endpoints_.size(); }
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped_loss = 0;
+    uint64_t dropped_down = 0;
+    uint64_t bytes_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  struct Endpoint {
+    NetReceiver* receiver = nullptr;
+    int topo_index = -1;
+    bool up = true;
+  };
+
+  SimTime SampleLatency(NodeAddr from, NodeAddr to);
+
+  EventQueue* queue_;
+  Topology* topology_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  Stats stats_;
+};
+
+}  // namespace past
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,17 @@
+#include "src/storage/file_id.h"
+
+#include "src/common/serializer.h"
+#include "src/crypto/sha1.h"
+
+namespace past {
+
+FileId MakeFileId(std::string_view name, const RsaPublicKey& owner, uint64_t salt) {
+  Writer w;
+  w.Str(name);
+  w.Blob(owner.Encode());
+  w.U64(salt);
+  const Bytes& buf = w.bytes();
+  return Sha1::HashToU160(ByteSpan(buf.data(), buf.size()));
+}
+
+}  // namespace past

@@ -1,0 +1,25 @@
+// PAST file identifiers.
+//
+// A fileId is the 160-bit SHA-1 hash of the file's textual name, the owner's
+// public key and a random salt (Section 2). Files are immutable: the same
+// (name, owner, salt) triple always maps to the same id, and re-inserting
+// under a fresh salt yields a new, unrelated id — which is exactly the "file
+// diversion" retry mechanism the storage-management scheme uses.
+#ifndef SRC_STORAGE_FILE_ID_H_
+#define SRC_STORAGE_FILE_ID_H_
+
+#include <string_view>
+
+#include "src/common/u160.h"
+#include "src/crypto/rsa.h"
+
+namespace past {
+
+using FileId = U160;
+
+// fileId = SHA-1(name || owner public key || salt).
+FileId MakeFileId(std::string_view name, const RsaPublicKey& owner, uint64_t salt);
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_FILE_ID_H_

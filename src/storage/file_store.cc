@@ -1,0 +1,63 @@
+#include "src/storage/file_store.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+FileStore::FileStore(uint64_t capacity) : capacity_(capacity) {}
+
+StatusCode FileStore::Put(StoredFile file) {
+  const FileId id = file.cert.file_id;
+  if (files_.count(id) > 0) {
+    return StatusCode::kAlreadyExists;
+  }
+  const uint64_t size = file.cert.file_size;
+  if (size > free_space()) {
+    return StatusCode::kInsufficientStorage;
+  }
+  used_ += size;
+  files_.emplace(id, std::move(file));
+  return StatusCode::kOk;
+}
+
+const StoredFile* FileStore::Get(const FileId& id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::optional<uint64_t> FileStore::Remove(const FileId& id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return std::nullopt;
+  }
+  uint64_t size = it->second.cert.file_size;
+  PAST_CHECK(size <= used_);
+  used_ -= size;
+  files_.erase(it);
+  return size;
+}
+
+void FileStore::PutPointer(const FileId& id, const NodeDescriptor& holder) {
+  pointers_[id] = holder;
+}
+
+std::optional<NodeDescriptor> FileStore::GetPointer(const FileId& id) const {
+  auto it = pointers_.find(id);
+  if (it == pointers_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool FileStore::RemovePointer(const FileId& id) { return pointers_.erase(id) > 0; }
+
+std::vector<FileId> FileStore::FileIds() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (const auto& [id, file] : files_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,83 @@
+// FileStore — the primary replica store of a PAST node.
+//
+// Tracks the node's advertised capacity, the replicas it holds (primary and
+// diverted), and pointers to replicas it diverted elsewhere (the indirection
+// of the SOSP storage-management scheme). Content bytes may be empty for
+// synthetic workloads; accounting always uses the certified file size.
+#ifndef SRC_STORAGE_FILE_STORE_H_
+#define SRC_STORAGE_FILE_STORE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pastry/node_id.h"
+#include "src/storage/certificates.h"
+
+namespace past {
+
+struct StoredFile {
+  FileCertificate cert;
+  Bytes content;        // may be empty in synthetic-content mode
+  bool diverted = false;  // stored here on behalf of another node
+  NodeDescriptor diverted_from;  // the node holding the pointer (if diverted)
+};
+
+class FileStore {
+ public:
+  explicit FileStore(uint64_t capacity);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t free_space() const { return capacity_ - used_; }
+  double utilization() const {
+    return capacity_ == 0 ? 0.0 : static_cast<double>(used_) / capacity_;
+  }
+
+  // Stores a replica. Fails with kInsufficientStorage if it does not fit and
+  // kAlreadyExists on duplicate fileId.
+  StatusCode Put(StoredFile file);
+  bool Has(const FileId& id) const { return files_.count(id) > 0; }
+  const StoredFile* Get(const FileId& id) const;
+  // Removes the replica and releases its space. Returns the freed size, or
+  // nullopt if absent.
+  std::optional<uint64_t> Remove(const FileId& id);
+
+  // Diverted-replica pointers: fileId -> node actually holding the replica.
+  void PutPointer(const FileId& id, const NodeDescriptor& holder);
+  std::optional<NodeDescriptor> GetPointer(const FileId& id) const;
+  bool RemovePointer(const FileId& id);
+
+  std::vector<FileId> FileIds() const;
+  size_t file_count() const { return files_.size(); }
+  size_t pointer_count() const { return pointers_.size(); }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::unordered_map<U160, StoredFile, U160Hash> files_;
+  std::unordered_map<U160, NodeDescriptor, U160Hash> pointers_;
+};
+
+// Admission policy from the SOSP storage-management scheme: a node accepts a
+// replica only if the file is small relative to its remaining free space,
+// with a stricter threshold for diverted replicas (which have already been
+// pushed off their primary node).
+struct StoragePolicy {
+  double t_pri = 0.1;   // max size/free ratio for a primary replica
+  double t_div = 0.05;  // max size/free ratio for a diverted replica
+
+  bool AcceptPrimary(uint64_t size, uint64_t free_space) const {
+    return size <= free_space &&
+           static_cast<double>(size) <= t_pri * static_cast<double>(free_space);
+  }
+  bool AcceptDiverted(uint64_t size, uint64_t free_space) const {
+    return size <= free_space &&
+           static_cast<double>(size) <= t_div * static_cast<double>(free_space);
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_FILE_STORE_H_

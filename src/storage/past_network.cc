@@ -1,0 +1,167 @@
+#include "src/storage/past_network.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+PastNetwork::PastNetwork(const PastNetworkOptions& options)
+    : options_(options),
+      broker_(options.overlay.seed ^ 0x9e3779b97f4a7c15ULL, options.broker),
+      overlay_(options.overlay) {}
+
+PastNode* PastNetwork::AddNode(uint64_t capacity, uint64_t quota) {
+  Result<std::unique_ptr<Smartcard>> card = broker_.IssueCard(quota, capacity);
+  if (!card.ok()) {
+    return nullptr;
+  }
+  NodeId id = card.value()->DerivedNodeId();
+  PastryNode* overlay_node = overlay_.AddNodeWithId(id);
+  auto node = std::make_unique<PastNode>(overlay_node, std::move(card).value(),
+                                         options_.past, overlay_.rng().NextU64());
+  PastNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+PastNode* PastNetwork::AddReadOnlyClient() {
+  // A read-only user holds no card; its access point joins the overlay under
+  // an ephemeral id (hash of a throwaway key).
+  Bytes ephemeral_key = overlay_.rng().RandomBytes(64);
+  PastryNode* overlay_node = overlay_.AddNodeWithId(NodeIdFromPublicKey(ephemeral_key));
+  auto node = std::make_unique<PastNode>(overlay_node, broker_.public_key(),
+                                         options_.past, overlay_.rng().NextU64());
+  PastNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+void PastNetwork::Build(int n) {
+  for (int i = 0; i < n; ++i) {
+    PastNode* node = AddNode();
+    PAST_CHECK_MSG(node != nullptr, "broker refused a default card");
+  }
+}
+
+PastNode* PastNetwork::NodeByAddr(NodeAddr addr) {
+  for (auto& node : nodes_) {
+    if (node->overlay()->addr() == addr) {
+      return node.get();
+    }
+  }
+  return nullptr;
+}
+
+PastNode* PastNetwork::RandomLiveNode() {
+  std::vector<PastNode*> live;
+  for (auto& node : nodes_) {
+    if (node->overlay()->active()) {
+      live.push_back(node.get());
+    }
+  }
+  if (live.empty()) {
+    return nullptr;
+  }
+  return live[overlay_.rng().PickIndex(live.size())];
+}
+
+void PastNetwork::DriveUntil(const bool& done, SimTime budget) {
+  EventQueue& q = overlay_.queue();
+  const SimTime deadline = q.Now() + budget;
+  const SimTime chunk = 100 * kMicrosPerMilli;
+  while (!done && q.Now() < deadline) {
+    q.RunUntil(std::min(q.Now() + chunk, deadline));
+  }
+}
+
+Result<FileId> PastNetwork::InsertSync(PastNode* client, std::string name,
+                                       Bytes content, uint32_t k) {
+  bool done = false;
+  Result<FileId> result = StatusCode::kTimeout;
+  client->Insert(std::move(name), std::move(content), k, [&](Result<FileId> r) {
+    result = std::move(r);
+    done = true;
+  });
+  DriveUntil(done, options_.past.request_timeout *
+                       (options_.past.file_diversion_retries + 2));
+  return result;
+}
+
+Result<FileId> PastNetwork::InsertSyntheticSync(PastNode* client, std::string name,
+                                                uint64_t size, uint32_t k) {
+  bool done = false;
+  Result<FileId> result = StatusCode::kTimeout;
+  client->InsertSynthetic(std::move(name), size, k, [&](Result<FileId> r) {
+    result = std::move(r);
+    done = true;
+  });
+  DriveUntil(done, options_.past.request_timeout *
+                       (options_.past.file_diversion_retries + 2));
+  return result;
+}
+
+Result<PastNode::LookupOutcome> PastNetwork::LookupSync(PastNode* client,
+                                                        const FileId& id) {
+  bool done = false;
+  Result<PastNode::LookupOutcome> result = StatusCode::kTimeout;
+  client->Lookup(id, [&](Result<PastNode::LookupOutcome> r) {
+    result = std::move(r);
+    done = true;
+  });
+  DriveUntil(done, options_.past.request_timeout * 2);
+  return result;
+}
+
+StatusCode PastNetwork::ReclaimSync(PastNode* client, const FileId& id) {
+  bool done = false;
+  StatusCode status = StatusCode::kTimeout;
+  client->Reclaim(id, [&](StatusCode s) {
+    status = s;
+    done = true;
+  });
+  DriveUntil(done, options_.past.request_timeout * 2);
+  return status;
+}
+
+bool PastNetwork::AuditSync(PastNode* auditor, NodeAddr target, const FileId& id,
+                            const FileCertificate& cert) {
+  bool done = false;
+  bool passed = false;
+  auditor->Audit(target, id, cert, [&](bool p) {
+    passed = p;
+    done = true;
+  });
+  DriveUntil(done, options_.past.request_timeout * 2);
+  return passed;
+}
+
+void PastNetwork::CrashNode(size_t i) {
+  PAST_CHECK(i < nodes_.size());
+  nodes_[i]->overlay()->Fail();
+}
+
+int PastNetwork::CountReplicas(const FileId& id) const {
+  int count = 0;
+  for (const auto& node : nodes_) {
+    if (node->overlay()->active() && node->store().Has(id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+PastNetwork::StorageSummary PastNetwork::Summary() const {
+  StorageSummary summary;
+  for (const auto& node : nodes_) {
+    if (!node->overlay()->active()) {
+      continue;
+    }
+    summary.capacity += node->store().capacity();
+    summary.primary_used += node->store().used();
+    summary.cache_used += node->file_cache().used();
+    summary.files += node->store().file_count();
+    summary.pointers += node->store().pointer_count();
+  }
+  return summary;
+}
+
+}  // namespace past

@@ -1,0 +1,107 @@
+#include "src/workload/replay.h"
+
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace past {
+namespace {
+
+// A node that survives as a usable client (live card-holder).
+PastNode* ResolveClient(PastNetwork* net, int index) {
+  const size_t n = net->size();
+  PAST_CHECK(n > 0);
+  for (size_t probe = 0; probe < n; ++probe) {
+    PastNode* node = net->node((static_cast<size_t>(index) + probe) % n);
+    if (node->overlay()->active() && node->has_card()) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ReplayResult ReplayTrace(const Trace& trace, PastNetwork* net, SimTime churn_settle) {
+  ReplayResult result;
+  // insert index -> (fileId, owning node) for successful inserts.
+  std::unordered_map<int, std::pair<FileId, PastNode*>> files;
+  std::unordered_map<int, bool> reclaimed;
+  int insert_index = 0;
+  for (const TraceOp& op : trace.ops()) {
+    switch (op.type) {
+      case TraceOpType::kInsert: {
+        int this_insert = insert_index++;
+        PastNode* client = ResolveClient(net, op.client);
+        if (client == nullptr) {
+          ++result.inserts_failed;
+          break;
+        }
+        auto r = net->InsertSyntheticSync(client, op.name, op.size, op.k);
+        if (r.ok()) {
+          ++result.inserts_ok;
+          files[this_insert] = {r.value(), client};
+        } else {
+          ++result.inserts_failed;
+        }
+        break;
+      }
+      case TraceOpType::kLookup: {
+        auto it = files.find(op.file_ref);
+        if (it == files.end() || reclaimed[op.file_ref]) {
+          ++result.lookups_skipped;
+          break;
+        }
+        PastNode* client = ResolveClient(net, op.client);
+        if (client == nullptr) {
+          ++result.lookups_failed;
+          break;
+        }
+        auto r = net->LookupSync(client, it->second.first);
+        if (r.ok()) {
+          ++result.lookups_ok;
+        } else {
+          ++result.lookups_failed;
+        }
+        break;
+      }
+      case TraceOpType::kReclaim: {
+        auto it = files.find(op.file_ref);
+        if (it == files.end() || reclaimed[op.file_ref]) {
+          break;
+        }
+        PastNode* owner = it->second.second;
+        if (!owner->overlay()->active()) {
+          break;  // the owner crashed; its files stay until it recovers
+        }
+        if (net->ReclaimSync(owner, it->second.first) == StatusCode::kOk) {
+          ++result.reclaims_ok;
+          reclaimed[op.file_ref] = true;
+        } else {
+          ++result.reclaims_failed;
+        }
+        break;
+      }
+      case TraceOpType::kCrash: {
+        const size_t n = net->size();
+        size_t victim = static_cast<size_t>(op.client) % n;
+        if (net->node(victim)->overlay()->active()) {
+          net->CrashNode(victim);
+          ++result.crashes;
+          net->Run(churn_settle);
+        }
+        break;
+      }
+      case TraceOpType::kJoin: {
+        if (net->AddNode() != nullptr) {
+          ++result.joins;
+          net->Run(churn_settle);
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace past

@@ -1,0 +1,36 @@
+// Trace replay engine: drives a PastNetwork through a recorded trace.
+//
+// Client/node indices in the trace are taken modulo the current network size;
+// lookups and reclaims resolve their insert references through the fileIds
+// produced during this replay. Crash victims are skipped if already down;
+// join ops add a node with the network's default capacity/quota.
+#ifndef SRC_WORKLOAD_REPLAY_H_
+#define SRC_WORKLOAD_REPLAY_H_
+
+#include "src/storage/past_network.h"
+#include "src/workload/trace.h"
+
+namespace past {
+
+struct ReplayResult {
+  int inserts_ok = 0;
+  int inserts_failed = 0;
+  int lookups_ok = 0;
+  int lookups_failed = 0;
+  // Lookups of files whose insert failed or that were already reclaimed are
+  // counted separately: their failure is expected.
+  int lookups_skipped = 0;
+  int reclaims_ok = 0;
+  int reclaims_failed = 0;
+  int crashes = 0;
+  int joins = 0;
+};
+
+// Replays `trace` against `net`, settling the given duration after each
+// churn event.
+ReplayResult ReplayTrace(const Trace& trace, PastNetwork* net,
+                         SimTime churn_settle = 15 * kMicrosPerSecond);
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_REPLAY_H_

@@ -1,0 +1,135 @@
+#include "src/workload/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace past {
+
+size_t Trace::InsertCount() const {
+  size_t count = 0;
+  for (const TraceOp& op : ops_) {
+    count += op.type == TraceOpType::kInsert ? 1 : 0;
+  }
+  return count;
+}
+
+std::string Trace::Serialize() const {
+  std::string out = "# PAST operation trace v1\n";
+  char line[512];
+  for (const TraceOp& op : ops_) {
+    switch (op.type) {
+      case TraceOpType::kInsert:
+        std::snprintf(line, sizeof(line), "insert %d %s %" PRIu64 " %u\n", op.client,
+                      op.name.c_str(), op.size, op.k);
+        break;
+      case TraceOpType::kLookup:
+        std::snprintf(line, sizeof(line), "lookup %d %d\n", op.client, op.file_ref);
+        break;
+      case TraceOpType::kReclaim:
+        std::snprintf(line, sizeof(line), "reclaim %d %d\n", op.client, op.file_ref);
+        break;
+      case TraceOpType::kCrash:
+        std::snprintf(line, sizeof(line), "crash %d\n", op.client);
+        break;
+      case TraceOpType::kJoin:
+        std::snprintf(line, sizeof(line), "join\n");
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+Result<Trace> Trace::Parse(std::string_view text) {
+  Trace trace;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  size_t inserts_seen = 0;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string verb;
+    fields >> verb;
+    TraceOp op;
+    if (verb == "insert") {
+      op.type = TraceOpType::kInsert;
+      if (!(fields >> op.client >> op.name >> op.size >> op.k) || op.size == 0 ||
+          op.k == 0 || op.client < 0) {
+        return StatusCode::kDecodeError;
+      }
+      ++inserts_seen;
+    } else if (verb == "lookup" || verb == "reclaim") {
+      op.type = verb == "lookup" ? TraceOpType::kLookup : TraceOpType::kReclaim;
+      if (!(fields >> op.client >> op.file_ref) || op.client < 0 || op.file_ref < 0 ||
+          static_cast<size_t>(op.file_ref) >= inserts_seen) {
+        return StatusCode::kDecodeError;
+      }
+    } else if (verb == "crash") {
+      op.type = TraceOpType::kCrash;
+      if (!(fields >> op.client) || op.client < 0) {
+        return StatusCode::kDecodeError;
+      }
+    } else if (verb == "join") {
+      op.type = TraceOpType::kJoin;
+    } else {
+      return StatusCode::kDecodeError;
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      return StatusCode::kDecodeError;
+    }
+    trace.Add(std::move(op));
+  }
+  return trace;
+}
+
+Trace GenerateTrace(const TraceWorkloadOptions& options, Rng* rng) {
+  PAST_CHECK(options.clients > 0);
+  Trace trace;
+  int inserts = 0;
+  std::vector<int> live_files;    // insert indices not yet reclaimed
+  std::vector<int> inserter_of;   // insert index -> issuing client
+  const double total_weight = options.insert_weight + options.lookup_weight +
+                              options.reclaim_weight + options.churn_weight;
+  for (size_t i = 0; i < options.operations; ++i) {
+    double dice = rng->UniformDouble() * total_weight;
+    TraceOp op;
+    op.client = static_cast<int>(rng->UniformU64(static_cast<uint64_t>(options.clients)));
+    if (dice < options.insert_weight || live_files.empty()) {
+      op.type = TraceOpType::kInsert;
+      op.name = "t" + std::to_string(inserts);
+      op.size = options.sizes.Sample(rng);
+      op.k = options.replication;
+      live_files.push_back(inserts);
+      inserter_of.push_back(op.client);
+      ++inserts;
+    } else if (dice < options.insert_weight + options.lookup_weight) {
+      op.type = TraceOpType::kLookup;
+      // Zipf over the files inserted so far (rank 0 = oldest).
+      ZipfDistribution zipf(live_files.size(), options.zipf_s);
+      op.file_ref = live_files[zipf.Sample(rng)];
+    } else if (dice <
+               options.insert_weight + options.lookup_weight + options.reclaim_weight) {
+      op.type = TraceOpType::kReclaim;
+      size_t pick = rng->PickIndex(live_files.size());
+      op.file_ref = live_files[pick];
+      // Only the owner's card can authorize a reclaim.
+      op.client = inserter_of[static_cast<size_t>(op.file_ref)];
+      live_files.erase(live_files.begin() + static_cast<long>(pick));
+    } else if (rng->Bernoulli(0.5)) {
+      op.type = TraceOpType::kCrash;
+    } else {
+      op.type = TraceOpType::kJoin;
+      op.client = 0;  // not serialized for joins
+    }
+    trace.Add(std::move(op));
+  }
+  return trace;
+}
+
+}  // namespace past

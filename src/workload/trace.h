@@ -1,0 +1,80 @@
+// Operation traces: a serializable list of client operations.
+//
+// Traces make workloads portable and reproducible: an experiment can be
+// generated once, saved as text, inspected, edited, and replayed against any
+// PastNetwork configuration (see src/workload/replay.h). The format is
+// line-based:
+//
+//   # comment
+//   insert <client> <name> <size> <k>
+//   lookup <client> <insert-index>
+//   reclaim <client> <insert-index>
+//   crash <node>
+//   join
+//
+// where <insert-index> refers to the i-th insert line (0-based) and <client>
+// / <node> are node indices modulo the network size at replay time.
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workload/workload.h"
+
+namespace past {
+
+enum class TraceOpType { kInsert, kLookup, kReclaim, kCrash, kJoin };
+
+struct TraceOp {
+  TraceOpType type = TraceOpType::kInsert;
+  int client = 0;       // issuing node (insert/lookup/reclaim) or victim (crash)
+  std::string name;     // insert only
+  uint64_t size = 0;    // insert only
+  uint32_t k = 0;       // insert only
+  int file_ref = -1;    // lookup/reclaim: index of the referenced insert op
+
+  bool operator==(const TraceOp& other) const = default;
+};
+
+class Trace {
+ public:
+  void Add(TraceOp op) { ops_.push_back(std::move(op)); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  // Number of insert operations (the valid range for file_ref).
+  size_t InsertCount() const;
+
+  // Line-based text serialization (stable, diff-friendly).
+  std::string Serialize() const;
+  static Result<Trace> Parse(std::string_view text);
+
+  bool operator==(const Trace& other) const { return ops_ == other.ops_; }
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+// Parameters for synthetic trace generation.
+struct TraceWorkloadOptions {
+  size_t operations = 500;
+  int clients = 16;             // client indices drawn from [0, clients)
+  double insert_weight = 0.3;   // remaining ops: lookups, reclaims, churn
+  double lookup_weight = 0.55;
+  double reclaim_weight = 0.1;
+  double churn_weight = 0.05;   // split between crash and join
+  double zipf_s = 1.0;          // lookup popularity over inserted files
+  uint32_t replication = 3;
+  FileSizeModel sizes;
+};
+
+// Generates a mixed trace; lookups follow a Zipf popularity over the files
+// inserted so far.
+Trace GenerateTrace(const TraceWorkloadOptions& options, Rng* rng);
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_TRACE_H_

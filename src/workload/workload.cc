@@ -1,0 +1,39 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace past {
+
+uint64_t FileSizeModel::Sample(Rng* rng) const {
+  double raw;
+  if (rng->Bernoulli(pareto_tail_prob)) {
+    raw = rng->Pareto(pareto_xm, pareto_alpha);
+  } else {
+    raw = rng->Lognormal(lognormal_mu, lognormal_sigma);
+  }
+  uint64_t size = static_cast<uint64_t>(raw);
+  return std::clamp(size, min_size, max_size);
+}
+
+uint64_t CapacityModel::Sample(Rng* rng) const {
+  PAST_CHECK(min_multiple >= 1 && max_multiple >= min_multiple);
+  int64_t multiple = rng->UniformInt(min_multiple, max_multiple);
+  return base * static_cast<uint64_t>(multiple);
+}
+
+std::vector<WorkloadFile> GenerateFiles(size_t count, const FileSizeModel& model,
+                                        Rng* rng) {
+  std::vector<WorkloadFile> files;
+  files.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    WorkloadFile f;
+    f.name = "file-" + std::to_string(i);
+    f.size = model.Sample(rng);
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+}  // namespace past

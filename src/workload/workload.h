@@ -1,0 +1,67 @@
+// Workload models for the PAST experiments.
+//
+// The storage-management evaluation (ref [12]) used file-system and web-proxy
+// traces; we substitute parametric models matching their shape: heavy-tailed
+// file sizes (lognormal body, Pareto tail), Zipf popularity for lookups, and
+// skewed node capacities (the paper's storage nodes differ by orders of
+// magnitude). DESIGN.md records the substitution rationale.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace past {
+
+// File sizes in bytes: lognormal body with a Pareto tail, clamped to
+// [min_size, max_size]. Defaults give a median of ~4 KiB with occasional
+// multi-MiB outliers, echoing file-system trace statistics.
+struct FileSizeModel {
+  double lognormal_mu = 8.3;      // exp(8.3) ~ 4 KiB median
+  double lognormal_sigma = 1.7;
+  double pareto_tail_prob = 0.02;  // fraction of files drawn from the tail
+  double pareto_xm = 65536.0;
+  double pareto_alpha = 1.1;
+  uint64_t min_size = 64;
+  uint64_t max_size = 512ULL << 20;
+
+  uint64_t Sample(Rng* rng) const;
+};
+
+// Node storage capacities: uniform in multiples of a base size across a
+// configurable spread (the SOSP evaluation draws capacities across a wide
+// range and excludes extreme outliers).
+struct CapacityModel {
+  uint64_t base = 2ULL << 20;  // 2 MiB granularity
+  int min_multiple = 2;
+  int max_multiple = 100;
+
+  uint64_t Sample(Rng* rng) const;
+};
+
+// A synthetic insertion workload: file names and sizes.
+struct WorkloadFile {
+  std::string name;
+  uint64_t size = 0;
+};
+
+std::vector<WorkloadFile> GenerateFiles(size_t count, const FileSizeModel& model,
+                                        Rng* rng);
+
+// A lookup trace over `file_count` files with Zipf(s) popularity.
+class LookupTrace {
+ public:
+  LookupTrace(size_t file_count, double zipf_s) : zipf_(file_count, zipf_s) {}
+
+  // Returns the index of the next file to look up.
+  size_t Next(Rng* rng) const { return zipf_.Sample(rng); }
+
+ private:
+  ZipfDistribution zipf_;
+};
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

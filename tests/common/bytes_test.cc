@@ -1,0 +1,67 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(BytesTest, HexEncodeEmpty) { EXPECT_EQ(HexEncode({}), ""); }
+
+TEST(BytesTest, HexEncodeKnown) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+}
+
+TEST(BytesTest, HexDecodeRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) {
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  Bytes decoded;
+  ASSERT_TRUE(HexDecode(HexEncode(data), &decoded));
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(BytesTest, HexDecodeUppercase) {
+  Bytes decoded;
+  ASSERT_TRUE(HexDecode("ABCDEF", &decoded));
+  EXPECT_EQ(decoded, (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  Bytes decoded;
+  EXPECT_FALSE(HexDecode("abc", &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  Bytes decoded;
+  EXPECT_FALSE(HexDecode("zz", &decoded));
+  EXPECT_FALSE(HexDecode("0g", &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BytesTest, HexDecodeClearsOutput) {
+  Bytes decoded = {1, 2, 3};
+  ASSERT_TRUE(HexDecode("", &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BytesTest, ToBytes) {
+  Bytes b = ToBytes("hi");
+  EXPECT_EQ(b, (Bytes{'h', 'i'}));
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+}  // namespace
+}  // namespace past

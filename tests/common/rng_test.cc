@@ -1,0 +1,187 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.UniformU64(8)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // expected 1000 each
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(10.0, 1.5), 10.0);
+  }
+}
+
+TEST(RngTest, LognormalPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.Lognormal(2.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, RandomBytesLengthAndVariety) {
+  Rng rng(19);
+  Bytes b = rng.RandomBytes(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  std::vector<int> counts(256, 0);
+  for (uint8_t x : b) {
+    counts[x]++;
+  }
+  int nonzero = 0;
+  for (int c : counts) {
+    nonzero += (c > 0);
+  }
+  EXPECT_GT(nonzero, 200);
+}
+
+TEST(RngTest, RandomBytesOddLength) {
+  Rng rng(21);
+  EXPECT_EQ(rng.RandomBytes(0).size(), 0u);
+  EXPECT_EQ(rng.RandomBytes(3).size(), 3u);
+  EXPECT_EQ(rng.RandomBytes(9).size(), 9u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(25);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(ZipfTest, Rank0MostPopular) {
+  Rng rng(27);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    counts[zipf.Sample(&rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfTest, MatchesTheoreticalHead) {
+  Rng rng(29);
+  const size_t n = 1000;
+  ZipfDistribution zipf(n, 1.0);
+  double harmonic = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    harmonic += 1.0 / static_cast<double>(i);
+  }
+  const int samples = 200000;
+  int head = 0;
+  for (int i = 0; i < samples; ++i) {
+    head += (zipf.Sample(&rng) == 0);
+  }
+  double expect = 1.0 / harmonic;
+  EXPECT_NEAR(static_cast<double>(head) / samples, expect, expect * 0.1);
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  Rng rng(31);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(&rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+}  // namespace
+}  // namespace past

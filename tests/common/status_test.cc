@@ -1,0 +1,75 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(StatusTest, NamesAreUnique) {
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,
+      StatusCode::kUnavailable,
+      StatusCode::kTimeout,
+      StatusCode::kInternal,
+      StatusCode::kInsufficientStorage,
+      StatusCode::kQuotaExceeded,
+      StatusCode::kInsertRejected,
+      StatusCode::kVerificationFailed,
+      StatusCode::kNotAuthorized,
+      StatusCode::kCertificateExpired,
+      StatusCode::kDecodeError,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : all) {
+    names.insert(StatusCodeName(code));
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status(), StatusCode::kOk);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(StatusCode::kNotFound);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(7);
+  Result<int> err(StatusCode::kTimeout);
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.value().push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(StatusCode::kInternal);
+  EXPECT_DEATH((void)r.value(), "value\\(\\) on failed Result");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(Result<int>{StatusCode::kOk}, "ok result must carry a value");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,118 @@
+// Property tests over the U128 ring/digit algebra, parameterized by seed.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/u128.h"
+
+namespace past {
+namespace {
+
+class U128Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(U128Property, RingDistanceIsAMetric) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    U128 a = rng.NextU128();
+    U128 b = rng.NextU128();
+    U128 c = rng.NextU128();
+    // Identity and symmetry.
+    EXPECT_EQ(a.RingDistance(a), U128::Zero());
+    EXPECT_EQ(a.RingDistance(b), b.RingDistance(a));
+    if (a != b) {
+      EXPECT_NE(a.RingDistance(b), U128::Zero());
+    }
+    // Triangle inequality on the ring.
+    U128 ac = a.RingDistance(c);
+    U128 ab = a.RingDistance(b);
+    U128 bc = b.RingDistance(c);
+    // ab + bc cannot wrap below ac: both are <= 2^127 so the sum fits with at
+    // most one carry into bit 128; compare via subtraction guard.
+    U128 sum = ab.Add(bc);
+    bool overflowed = sum < ab;  // wrapped past 2^128
+    EXPECT_TRUE(overflowed || ac <= sum)
+        << a.ToHex() << " " << b.ToHex() << " " << c.ToHex();
+  }
+}
+
+TEST_P(U128Property, DigitDecompositionReconstructs) {
+  Rng rng(GetParam() ^ 0xabc);
+  for (int b : {1, 2, 4, 8}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      U128 v = rng.NextU128();
+      U128 rebuilt = U128::Zero();
+      for (int i = 0; i < 128 / b; ++i) {
+        rebuilt = rebuilt.WithDigit(i, b, v.Digit(i, b));
+      }
+      EXPECT_EQ(rebuilt, v);
+    }
+  }
+}
+
+TEST_P(U128Property, DigitsAgreeWithBits) {
+  Rng rng(GetParam() ^ 0xdef);
+  for (int trial = 0; trial < 100; ++trial) {
+    U128 v = rng.NextU128();
+    for (int i = 0; i < 32; ++i) {
+      int digit = v.Digit(i, 4);
+      for (int bit = 0; bit < 4; ++bit) {
+        EXPECT_EQ((digit >> (3 - bit)) & 1, v.Bit(i * 4 + bit));
+      }
+    }
+  }
+}
+
+TEST_P(U128Property, SharedPrefixConsistentAcrossBases) {
+  Rng rng(GetParam() ^ 0x123);
+  for (int trial = 0; trial < 200; ++trial) {
+    U128 a = rng.NextU128();
+    // Give b a shared prefix of `shared` whole bytes, then randomize.
+    U128 b = rng.NextU128();
+    int shared = static_cast<int>(rng.UniformU64(17));
+    for (int i = 0; i < shared; ++i) {
+      b = b.WithDigit(i, 8, a.Digit(i, 8));
+    }
+    int p1 = a.SharedPrefixLength(b, 1);
+    int p4 = a.SharedPrefixLength(b, 4);
+    int p8 = a.SharedPrefixLength(b, 8);
+    // A prefix of p4 hex digits is 4*p4 bits, and the next digit differs
+    // within its 4 bits: 4*p4 <= p1 < 4*p4 + 4 (unless identical).
+    EXPECT_GE(p1, p4 * 4);
+    if (p1 < 128) {
+      EXPECT_LT(p1, p4 * 4 + 4);
+    }
+    EXPECT_GE(p8, shared);
+    EXPECT_GE(p4, p8 * 2);
+  }
+}
+
+TEST_P(U128Property, InArcMatchesOffsetDefinition) {
+  Rng rng(GetParam() ^ 0x777);
+  for (int trial = 0; trial < 300; ++trial) {
+    U128 low = rng.NextU128();
+    U128 high = rng.NextU128();
+    U128 x = rng.NextU128();
+    if (low == high) {
+      continue;
+    }
+    // x in (low, high] iff walking up from low reaches x before/at high.
+    bool expected = x.Sub(low) != U128::Zero() && x.Sub(low) <= high.Sub(low);
+    EXPECT_EQ(x.InArc(low, high), expected);
+  }
+}
+
+TEST_P(U128Property, AddSubFormAGroup) {
+  Rng rng(GetParam() ^ 0x999);
+  for (int trial = 0; trial < 200; ++trial) {
+    U128 a = rng.NextU128();
+    U128 b = rng.NextU128();
+    U128 c = rng.NextU128();
+    EXPECT_EQ(a.Add(b).Add(c), a.Add(b.Add(c)));  // associativity
+    EXPECT_EQ(a.Add(U128::Zero()), a);            // identity
+    EXPECT_EQ(a.Sub(a), U128::Zero());            // inverse
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U128Property, ::testing::Values(1u, 42u, 1234u, 777777u));
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,185 @@
+#include "src/common/u128.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+TEST(U128Test, DefaultIsZero) {
+  U128 v;
+  EXPECT_EQ(v, U128::Zero());
+  EXPECT_EQ(v.hi(), 0u);
+  EXPECT_EQ(v.lo(), 0u);
+}
+
+TEST(U128Test, Ordering) {
+  EXPECT_LT(U128(0, 5), U128(0, 6));
+  EXPECT_LT(U128(0, ~0ULL), U128(1, 0));
+  EXPECT_GT(U128(2, 0), U128(1, ~0ULL));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128Test, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    U128 v = rng.NextU128();
+    auto bytes = v.ToBytes();
+    EXPECT_EQ(U128::FromBytes(ByteSpan(bytes.data(), bytes.size())), v);
+  }
+}
+
+TEST(U128Test, BytesAreBigEndian) {
+  U128 v(0x0102030405060708ULL, 0x090a0b0c0d0e0f10ULL);
+  auto bytes = v.ToBytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[15], 0x10);
+}
+
+TEST(U128Test, HexRoundTrip) {
+  U128 v(0xdeadbeef12345678ULL, 0x0123456789abcdefULL);
+  EXPECT_EQ(v.ToHex(), "deadbeef123456780123456789abcdef");
+  U128 parsed;
+  ASSERT_TRUE(U128::FromHex(v.ToHex(), &parsed));
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(U128Test, FromHexRejectsBadInput) {
+  U128 v;
+  EXPECT_FALSE(U128::FromHex("xyz", &v));
+  EXPECT_FALSE(U128::FromHex("abcd", &v));  // too short
+}
+
+TEST(U128Test, AddWraps) {
+  EXPECT_EQ(U128::Max().Add(U128(0, 1)), U128::Zero());
+  EXPECT_EQ(U128(0, ~0ULL).Add(U128(0, 1)), U128(1, 0));
+}
+
+TEST(U128Test, SubWraps) {
+  EXPECT_EQ(U128::Zero().Sub(U128(0, 1)), U128::Max());
+  EXPECT_EQ(U128(1, 0).Sub(U128(0, 1)), U128(0, ~0ULL));
+}
+
+TEST(U128Test, AddSubInverse) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    U128 a = rng.NextU128();
+    U128 b = rng.NextU128();
+    EXPECT_EQ(a.Add(b).Sub(b), a);
+  }
+}
+
+TEST(U128Test, AbsDiff) {
+  EXPECT_EQ(U128(0, 10).AbsDiff(U128(0, 3)), U128(0, 7));
+  EXPECT_EQ(U128(0, 3).AbsDiff(U128(0, 10)), U128(0, 7));
+  EXPECT_EQ(U128(5, 5).AbsDiff(U128(5, 5)), U128::Zero());
+}
+
+TEST(U128Test, RingDistanceSymmetric) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    U128 a = rng.NextU128();
+    U128 b = rng.NextU128();
+    EXPECT_EQ(a.RingDistance(b), b.RingDistance(a));
+  }
+}
+
+TEST(U128Test, RingDistanceWrapsAroundZero) {
+  U128 a(0, 1);
+  U128 b = U128::Max();  // distance should be 2 around the ring
+  EXPECT_EQ(a.RingDistance(b), U128(0, 2));
+}
+
+TEST(U128Test, RingDistanceBoundedByHalfRing) {
+  Rng rng(11);
+  const U128 half(1ULL << 63, 0);
+  for (int i = 0; i < 200; ++i) {
+    U128 a = rng.NextU128();
+    U128 b = rng.NextU128();
+    EXPECT_LE(a.RingDistance(b), half);
+  }
+}
+
+TEST(U128Test, InArcSimple) {
+  U128 low(0, 10), high(0, 20);
+  EXPECT_TRUE(U128(0, 15).InArc(low, high));
+  EXPECT_TRUE(U128(0, 20).InArc(low, high));   // inclusive upper end
+  EXPECT_FALSE(U128(0, 10).InArc(low, high));  // exclusive lower end
+  EXPECT_FALSE(U128(0, 25).InArc(low, high));
+}
+
+TEST(U128Test, InArcWrapping) {
+  U128 low = U128::Max().Sub(U128(0, 5));
+  U128 high(0, 5);
+  EXPECT_TRUE(U128(0, 1).InArc(low, high));
+  EXPECT_TRUE(U128::Max().InArc(low, high));
+  EXPECT_FALSE(U128(0, 100).InArc(low, high));
+}
+
+TEST(U128Test, DigitsBase16) {
+  U128 v;
+  ASSERT_TRUE(U128::FromHex("0123456789abcdef0123456789abcdef", &v));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(v.Digit(i, 4), i % 16) << "digit " << i;
+  }
+}
+
+TEST(U128Test, DigitsOtherBases) {
+  U128 v(0x8000000000000000ULL, 0);
+  EXPECT_EQ(v.Digit(0, 1), 1);
+  EXPECT_EQ(v.Digit(0, 2), 2);
+  EXPECT_EQ(v.Digit(0, 8), 0x80);
+  EXPECT_EQ(v.Digit(1, 8), 0);
+}
+
+TEST(U128Test, WithDigitRoundTrip) {
+  Rng rng(13);
+  for (int b : {1, 2, 4, 8}) {
+    U128 v = rng.NextU128();
+    int digits = 128 / b;
+    for (int trial = 0; trial < 20; ++trial) {
+      int idx = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(digits)));
+      int val = static_cast<int>(rng.UniformU64(1ULL << b));
+      U128 w = v.WithDigit(idx, b, val);
+      EXPECT_EQ(w.Digit(idx, b), val);
+      // Other digits untouched.
+      for (int j = 0; j < digits; ++j) {
+        if (j != idx) {
+          EXPECT_EQ(w.Digit(j, b), v.Digit(j, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(U128Test, SharedPrefixLength) {
+  U128 a, b;
+  ASSERT_TRUE(U128::FromHex("abcdef00000000000000000000000000", &a));
+  ASSERT_TRUE(U128::FromHex("abcd0f00000000000000000000000000", &b));
+  EXPECT_EQ(a.SharedPrefixLength(b, 4), 4);
+  EXPECT_EQ(a.SharedPrefixLength(a, 4), 32);
+  EXPECT_EQ(a.SharedPrefixLength(b, 8), 2);
+}
+
+TEST(U128Test, BitAccess) {
+  U128 v(1ULL << 62, 1);
+  EXPECT_EQ(v.Bit(0), 0);
+  EXPECT_EQ(v.Bit(1), 1);
+  EXPECT_EQ(v.Bit(127), 1);
+  EXPECT_EQ(v.Bit(126), 0);
+}
+
+TEST(U128Test, HashDistributes) {
+  Rng rng(17);
+  std::unordered_map<size_t, int> buckets;
+  for (int i = 0; i < 1000; ++i) {
+    buckets[rng.NextU128().HashValue() % 16]++;
+  }
+  for (auto& [bucket, count] : buckets) {
+    EXPECT_GT(count, 20) << "bucket " << bucket;
+  }
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,69 @@
+#include "src/common/u160.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+TEST(U160Test, DefaultIsZero) {
+  U160 v;
+  for (uint8_t b : v.bytes()) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(U160Test, BytesRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    U160 v = rng.NextU160();
+    EXPECT_EQ(U160::FromBytes(ByteSpan(v.bytes().data(), U160::kBytes)), v);
+  }
+}
+
+TEST(U160Test, HexRoundTrip) {
+  Rng rng(5);
+  U160 v = rng.NextU160();
+  U160 parsed;
+  ASSERT_TRUE(U160::FromHex(v.ToHex(), &parsed));
+  EXPECT_EQ(parsed, v);
+  EXPECT_EQ(v.ToHex().size(), 40u);
+}
+
+TEST(U160Test, FromHexRejectsWrongLength) {
+  U160 v;
+  EXPECT_FALSE(U160::FromHex("abcd", &v));
+  EXPECT_FALSE(U160::FromHex(std::string(42, 'a'), &v));
+}
+
+TEST(U160Test, OrderingIsLexicographic) {
+  Bytes small(20, 0x00), big(20, 0x00);
+  big[0] = 1;
+  EXPECT_LT(U160::FromBytes(small), U160::FromBytes(big));
+  small[19] = 0xff;
+  EXPECT_LT(U160::FromBytes(small), U160::FromBytes(big));
+}
+
+TEST(U160Test, Top128TakesMostSignificantBits) {
+  Bytes raw(20, 0);
+  for (int i = 0; i < 20; ++i) {
+    raw[static_cast<size_t>(i)] = static_cast<uint8_t>(i + 1);
+  }
+  U160 v = U160::FromBytes(raw);
+  U128 top = v.Top128();
+  auto top_bytes = top.ToBytes();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(top_bytes[static_cast<size_t>(i)], raw[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(U160Test, HashDiffersForDifferentValues) {
+  Rng rng(7);
+  U160 a = rng.NextU160();
+  U160 b = rng.NextU160();
+  EXPECT_NE(a.HashValue(), b.HashValue());
+}
+
+}  // namespace
+}  // namespace past

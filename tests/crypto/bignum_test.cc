@@ -1,0 +1,251 @@
+#include "src/crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+TEST(BigNumTest, ZeroProperties) {
+  BigNum z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsOdd());
+  EXPECT_EQ(z.BitLength(), 0);
+  EXPECT_EQ(z, BigNum::FromU64(0));
+}
+
+TEST(BigNumTest, FromU64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 255ULL, 65536ULL, ~0ULL, 0x123456789abcdefULL}) {
+    EXPECT_EQ(BigNum::FromU64(v).ToU64(), v);
+  }
+}
+
+TEST(BigNumTest, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Bytes raw = rng.RandomBytes(1 + rng.UniformU64(40));
+    raw[0] |= 1;  // avoid a leading zero changing the minimal width
+    BigNum v = BigNum::FromBytes(raw);
+    EXPECT_EQ(v.ToBytes(), raw);
+  }
+}
+
+TEST(BigNumTest, ToBytesFixedWidthPads) {
+  BigNum v = BigNum::FromU64(0xabcd);
+  Bytes b = v.ToBytes(8);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[6], 0xab);
+  EXPECT_EQ(b[7], 0xcd);
+  EXPECT_EQ(b[0], 0x00);
+}
+
+TEST(BigNumTest, Comparison) {
+  EXPECT_LT(BigNum::FromU64(3), BigNum::FromU64(5));
+  EXPECT_GT(BigNum::FromU64(1).ShiftLeft(100), BigNum::FromU64(~0ULL));
+}
+
+TEST(BigNumTest, AddCommutesAndCarries) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BigNum a = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(200)), &rng);
+    BigNum b = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(200)), &rng);
+    EXPECT_EQ(a.Add(b), b.Add(a));
+    EXPECT_EQ(a.Add(b).Sub(b), a);
+  }
+}
+
+TEST(BigNumTest, Add64BitCheck) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU64() >> 1;
+    uint64_t b = rng.NextU64() >> 1;
+    EXPECT_EQ(BigNum::FromU64(a).Add(BigNum::FromU64(b)).ToU64(), a + b);
+  }
+}
+
+TEST(BigNumTest, MulMatches64Bit) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU64() >> 33;
+    uint64_t b = rng.NextU64() >> 33;
+    EXPECT_EQ(BigNum::FromU64(a).Mul(BigNum::FromU64(b)).ToU64(), a * b);
+  }
+}
+
+TEST(BigNumTest, MulByZero) {
+  Rng rng(9);
+  BigNum big = BigNum::RandomWithBits(300, &rng);
+  EXPECT_TRUE(big.Mul(BigNum()).IsZero());
+  EXPECT_TRUE(BigNum().Mul(big).IsZero());
+}
+
+TEST(BigNumTest, ShiftRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BigNum v = BigNum::RandomWithBits(150, &rng);
+    int shift = static_cast<int>(rng.UniformU64(200));
+    EXPECT_EQ(v.ShiftLeft(shift).ShiftRight(shift), v);
+  }
+}
+
+TEST(BigNumTest, ShiftLeftIsMulByPowerOfTwo) {
+  BigNum v = BigNum::FromU64(13);
+  EXPECT_EQ(v.ShiftLeft(5), BigNum::FromU64(13 << 5));
+  EXPECT_EQ(v.ShiftLeft(64), v.Mul(BigNum::FromU64(1).ShiftLeft(64)));
+}
+
+// Property sweep: fast DivMod must agree with the bitwise reference across a
+// range of operand sizes, including the qhat-correction edge cases that only
+// appear with particular limb patterns.
+class BigNumDivModProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigNumDivModProperty, MatchesReferenceAndReconstructs) {
+  Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    int abits = 1 + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(GetParam())));
+    int bbits = 1 + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(GetParam())));
+    BigNum a = BigNum::RandomWithBits(abits, &rng);
+    BigNum b = BigNum::RandomWithBits(bbits, &rng);
+    BigNum q1, r1, q2, r2;
+    a.DivMod(b, &q1, &r1);
+    a.DivModBitwise(b, &q2, &r2);
+    ASSERT_EQ(q1, q2);
+    ASSERT_EQ(r1, r2);
+    ASSERT_EQ(q1.Mul(b).Add(r1), a);
+    ASSERT_LT(r1, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BigNumDivModProperty,
+                         ::testing::Values(32, 64, 128, 256, 512, 1024));
+
+TEST(BigNumTest, DivModEdgeCases) {
+  BigNum a = BigNum::FromU64(100);
+  BigNum q, r;
+  // Dividend smaller than divisor.
+  a.DivMod(BigNum::FromU64(1000), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r, a);
+  // Exact division.
+  a.DivMod(BigNum::FromU64(25), &q, &r);
+  EXPECT_EQ(q, BigNum::FromU64(4));
+  EXPECT_TRUE(r.IsZero());
+  // Divide by one.
+  a.DivMod(BigNum::FromU64(1), &q, &r);
+  EXPECT_EQ(q, a);
+  EXPECT_TRUE(r.IsZero());
+  // Self-division.
+  a.DivMod(a, &q, &r);
+  EXPECT_EQ(q, BigNum::FromU64(1));
+  EXPECT_TRUE(r.IsZero());
+}
+
+TEST(BigNumTest, ModExpSmallCases) {
+  // 3^5 mod 7 = 243 mod 7 = 5.
+  EXPECT_EQ(BigNum::ModExp(BigNum::FromU64(3), BigNum::FromU64(5), BigNum::FromU64(7)),
+            BigNum::FromU64(5));
+  // x^0 = 1.
+  EXPECT_EQ(
+      BigNum::ModExp(BigNum::FromU64(10), BigNum(), BigNum::FromU64(13)),
+      BigNum::FromU64(1));
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(BigNum::ModExp(BigNum::FromU64(2), BigNum::FromU64(1'000'002),
+                           BigNum::FromU64(1'000'003)),
+            BigNum::FromU64(1));
+}
+
+TEST(BigNumTest, ModExpMatchesNaive) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t base = rng.UniformU64(1000);
+    uint64_t exp = rng.UniformU64(20);
+    uint64_t mod = 2 + rng.UniformU64(10000);
+    uint64_t expect = 1 % mod;
+    for (uint64_t i = 0; i < exp; ++i) {
+      expect = (expect * base) % mod;
+    }
+    EXPECT_EQ(BigNum::ModExp(BigNum::FromU64(base), BigNum::FromU64(exp),
+                             BigNum::FromU64(mod)),
+              BigNum::FromU64(expect));
+  }
+}
+
+TEST(BigNumTest, GcdBasics) {
+  EXPECT_EQ(BigNum::Gcd(BigNum::FromU64(12), BigNum::FromU64(18)), BigNum::FromU64(6));
+  EXPECT_EQ(BigNum::Gcd(BigNum::FromU64(17), BigNum::FromU64(13)), BigNum::FromU64(1));
+  EXPECT_EQ(BigNum::Gcd(BigNum::FromU64(0), BigNum::FromU64(5)), BigNum::FromU64(5));
+}
+
+TEST(BigNumTest, ModInverseProperty) {
+  Rng rng(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigNum m = BigNum::RandomWithBits(64, &rng);
+    BigNum a = BigNum::RandomBelow(m, &rng);
+    if (a.IsZero()) {
+      continue;
+    }
+    BigNum inv;
+    if (BigNum::ModInverse(a, m, &inv)) {
+      EXPECT_EQ(a.Mul(inv).Mod(m), BigNum::FromU64(1).Mod(m));
+    } else {
+      EXPECT_NE(BigNum::Gcd(a, m), BigNum::FromU64(1));
+    }
+  }
+}
+
+TEST(BigNumTest, ModInverseOfEvenModEven) {
+  BigNum inv;
+  EXPECT_FALSE(BigNum::ModInverse(BigNum::FromU64(4), BigNum::FromU64(8), &inv));
+}
+
+TEST(BigNumTest, RandomWithBitsHasExactBitLength) {
+  Rng rng(17);
+  for (int bits : {1, 7, 32, 33, 100, 256}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(BigNum::RandomWithBits(bits, &rng).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigNumTest, RandomBelowInRange) {
+  Rng rng(19);
+  BigNum bound = BigNum::FromU64(1000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigNum::RandomBelow(bound, &rng), bound);
+  }
+}
+
+TEST(BigNumTest, MillerRabinKnownPrimes) {
+  Rng rng(21);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 65537ULL, 1000003ULL, 2147483647ULL}) {
+    EXPECT_TRUE(BigNum::IsProbablePrime(BigNum::FromU64(p), 20, &rng)) << p;
+  }
+}
+
+TEST(BigNumTest, MillerRabinKnownComposites) {
+  Rng rng(23);
+  // Includes Carmichael numbers (561, 1105, 1729), which fool Fermat tests.
+  for (uint64_t c : {1ULL, 4ULL, 100ULL, 561ULL, 1105ULL, 1729ULL, 65536ULL,
+                     1000001ULL}) {
+    EXPECT_FALSE(BigNum::IsProbablePrime(BigNum::FromU64(c), 20, &rng)) << c;
+  }
+}
+
+TEST(BigNumTest, GeneratePrimeIsPrimeAndSized) {
+  Rng rng(25);
+  for (int bits : {16, 32, 64, 128}) {
+    BigNum p = BigNum::GeneratePrime(bits, &rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(BigNum::IsProbablePrime(p, 30, &rng));
+  }
+}
+
+TEST(BigNumTest, ToHex) {
+  EXPECT_EQ(BigNum().ToHex(), "0");
+  EXPECT_EQ(BigNum::FromU64(255).ToHex(), "ff");
+  EXPECT_EQ(BigNum::FromU64(0x1234).ToHex(), "1234");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,86 @@
+// Property tests over the crypto substrate: BigNum algebraic identities and
+// RSA correctness across key sizes, parameterized by seed/size.
+#include <gtest/gtest.h>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/rsa.h"
+
+namespace past {
+namespace {
+
+class BigNumAlgebra : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigNumAlgebra, DistributivityAndAssociativity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    BigNum a = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(200)), &rng);
+    BigNum b = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(200)), &rng);
+    BigNum c = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(200)), &rng);
+    EXPECT_EQ(a.Mul(b.Add(c)), a.Mul(b).Add(a.Mul(c)));
+    EXPECT_EQ(a.Mul(b).Mul(c), a.Mul(b.Mul(c)));
+    EXPECT_EQ(a.Mul(b), b.Mul(a));
+  }
+}
+
+TEST_P(BigNumAlgebra, ModularIdentities) {
+  Rng rng(GetParam() ^ 0x55);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigNum a = BigNum::RandomWithBits(128, &rng);
+    BigNum b = BigNum::RandomWithBits(96, &rng);
+    BigNum m = BigNum::RandomWithBits(1 + static_cast<int>(rng.UniformU64(100)), &rng);
+    // (a mod m + b mod m) mod m == (a + b) mod m
+    EXPECT_EQ(a.Mod(m).Add(b.Mod(m)).Mod(m), a.Add(b).Mod(m));
+    // (a mod m * b mod m) mod m == (a * b) mod m
+    EXPECT_EQ(a.Mod(m).Mul(b.Mod(m)).Mod(m), a.Mul(b).Mod(m));
+  }
+}
+
+TEST_P(BigNumAlgebra, ModExpHomomorphism) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int trial = 0; trial < 30; ++trial) {
+    BigNum base = BigNum::RandomWithBits(64, &rng);
+    BigNum e1 = BigNum::RandomWithBits(16, &rng);
+    BigNum e2 = BigNum::RandomWithBits(16, &rng);
+    BigNum m = BigNum::RandomWithBits(80, &rng);
+    // base^(e1+e2) == base^e1 * base^e2 (mod m)
+    EXPECT_EQ(BigNum::ModExp(base, e1.Add(e2), m),
+              BigNum::ModExp(base, e1, m).Mul(BigNum::ModExp(base, e2, m)).Mod(m));
+  }
+}
+
+TEST_P(BigNumAlgebra, FermatLittleTheoremOnGeneratedPrimes) {
+  Rng rng(GetParam() ^ 0x99);
+  BigNum p = BigNum::GeneratePrime(96, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigNum a = BigNum::RandomBelow(p, &rng);
+    if (a.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(BigNum::ModExp(a, p.Sub(BigNum::FromU64(1)), p), BigNum::FromU64(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigNumAlgebra, ::testing::Values(11u, 2222u, 31415u));
+
+class RsaKeySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsaKeySizes, SignVerifyAndRejectionAcrossSizes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  RsaKeyPair kp = RsaKeyPair::Generate(GetParam(), &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Bytes msg = rng.RandomBytes(1 + rng.UniformU64(300));
+    Bytes sig = RsaSignMessage(kp, msg);
+    EXPECT_TRUE(RsaVerifyMessage(kp.pub, msg, sig));
+    Bytes tampered = msg;
+    tampered.push_back(0x01);
+    EXPECT_FALSE(RsaVerifyMessage(kp.pub, tampered, sig));
+  }
+  // Deterministic signatures (textbook RSA over a digest).
+  Bytes msg = ToBytes("stable");
+  EXPECT_EQ(RsaSignMessage(kp, msg), RsaSignMessage(kp, msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaKeySizes, ::testing::Values(256, 384, 512, 768));
+
+}  // namespace
+}  // namespace past

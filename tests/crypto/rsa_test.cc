@@ -1,0 +1,104 @@
+#include "src/crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha1.h"
+
+namespace past {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  Rng rng_{4242};
+};
+
+TEST_F(RsaTest, KeyGenerationProducesValidKey) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  EXPECT_GE(kp.pub.n.BitLength(), 255);
+  EXPECT_EQ(kp.pub.e, BigNum::FromU64(65537));
+  EXPECT_FALSE(kp.d.IsZero());
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("persistent peer-to-peer storage utility");
+  Bytes sig = RsaSignMessage(kp, msg);
+  EXPECT_TRUE(RsaVerifyMessage(kp.pub, msg, sig));
+}
+
+TEST_F(RsaTest, TamperedMessageRejected) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("original");
+  Bytes sig = RsaSignMessage(kp, msg);
+  EXPECT_FALSE(RsaVerifyMessage(kp.pub, ToBytes("originaL"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureRejected) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("payload");
+  Bytes sig = RsaSignMessage(kp, msg);
+  for (size_t i = 0; i < sig.size(); i += 7) {
+    Bytes bad = sig;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(RsaVerifyMessage(kp.pub, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST_F(RsaTest, WrongKeyRejected) {
+  RsaKeyPair kp1 = RsaKeyPair::Generate(256, &rng_);
+  RsaKeyPair kp2 = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("payload");
+  Bytes sig = RsaSignMessage(kp1, msg);
+  EXPECT_FALSE(RsaVerifyMessage(kp2.pub, msg, sig));
+}
+
+TEST_F(RsaTest, WrongLengthSignatureRejected) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("payload");
+  Bytes sig = RsaSignMessage(kp, msg);
+  Bytes truncated(sig.begin(), sig.end() - 1);
+  EXPECT_FALSE(RsaVerifyMessage(kp.pub, msg, truncated));
+  Bytes extended = sig;
+  extended.push_back(0);
+  EXPECT_FALSE(RsaVerifyMessage(kp.pub, msg, extended));
+}
+
+TEST_F(RsaTest, SignatureIsModulusWidth) {
+  for (int bits : {256, 384, 512}) {
+    RsaKeyPair kp = RsaKeyPair::Generate(bits, &rng_);
+    Bytes sig = RsaSignMessage(kp, ToBytes("x"));
+    EXPECT_EQ(sig.size(), kp.pub.n.ToBytes().size());
+  }
+}
+
+TEST_F(RsaTest, DigestSigningDirect) {
+  RsaKeyPair kp = RsaKeyPair::Generate(384, &rng_);
+  auto digest = Sha1::Hash(ToBytes("abc"));
+  Bytes sig = RsaSignDigest(kp, ByteSpan(digest.data(), digest.size()));
+  EXPECT_TRUE(RsaVerifyDigest(kp.pub, ByteSpan(digest.data(), digest.size()), sig));
+  auto other = Sha1::Hash(ToBytes("abd"));
+  EXPECT_FALSE(RsaVerifyDigest(kp.pub, ByteSpan(other.data(), other.size()), sig));
+}
+
+TEST_F(RsaTest, PublicKeyEncodingRoundTrip) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes encoded = kp.pub.Encode();
+  RsaPublicKey decoded;
+  ASSERT_TRUE(RsaPublicKey::Decode(encoded, &decoded));
+  EXPECT_EQ(decoded, kp.pub);
+}
+
+TEST_F(RsaTest, PublicKeyDecodeRejectsGarbage) {
+  RsaPublicKey decoded;
+  EXPECT_FALSE(RsaPublicKey::Decode(ToBytes("nonsense"), &decoded));
+  EXPECT_FALSE(RsaPublicKey::Decode({}, &decoded));
+}
+
+TEST_F(RsaTest, DistinctKeysPerGeneration) {
+  RsaKeyPair a = RsaKeyPair::Generate(256, &rng_);
+  RsaKeyPair b = RsaKeyPair::Generate(256, &rng_);
+  EXPECT_FALSE(a.pub == b.pub);
+}
+
+}  // namespace
+}  // namespace past

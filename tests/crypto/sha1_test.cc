@@ -1,0 +1,87 @@
+#include "src/crypto/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+std::string HashHex(std::string_view msg) {
+  auto digest = Sha1::Hash(ToBytes(msg));
+  return HexEncode(ByteSpan(digest.data(), digest.size()));
+}
+
+// FIPS 180-1 / well-known test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ByteSpan(chunk.data(), chunk.size()));
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(HexEncode(ByteSpan(digest.data(), digest.size())),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  // 64-byte message exercises the padding block path.
+  std::string msg(64, 'x');
+  std::string msg63(63, 'x');
+  std::string msg65(65, 'x');
+  EXPECT_NE(HashHex(msg), HashHex(msg63));
+  EXPECT_NE(HashHex(msg), HashHex(msg65));
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data = rng.RandomBytes(1 + rng.UniformU64(500));
+    auto oneshot = Sha1::Hash(ByteSpan(data.data(), data.size()));
+    Sha1 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t n = 1 + rng.UniformU64(data.size() - pos);
+      h.Update(ByteSpan(data.data() + pos, n));
+      pos += n;
+    }
+    EXPECT_EQ(h.Finish(), oneshot);
+  }
+}
+
+TEST(Sha1Test, HashToU160MatchesDigest) {
+  Bytes msg = ToBytes("past");
+  auto digest = Sha1::Hash(ByteSpan(msg.data(), msg.size()));
+  U160 id = Sha1::HashToU160(ByteSpan(msg.data(), msg.size()));
+  EXPECT_EQ(id, U160::FromBytes(ByteSpan(digest.data(), digest.size())));
+}
+
+TEST(Sha1Test, AvalancheEffect) {
+  Bytes a = ToBytes("message A");
+  Bytes b = ToBytes("message B");
+  auto da = Sha1::Hash(ByteSpan(a.data(), a.size()));
+  auto db = Sha1::Hash(ByteSpan(b.data(), b.size()));
+  int differing_bits = 0;
+  for (size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(da[i] ^ db[i]);
+  }
+  // ~half of 160 bits should differ.
+  EXPECT_GT(differing_bits, 40);
+  EXPECT_LT(differing_bits, 120);
+}
+
+}  // namespace
+}  // namespace past

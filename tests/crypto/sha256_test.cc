@@ -1,0 +1,100 @@
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+std::string HashHex(std::string_view msg) {
+  auto digest = Sha256::Hash(ToBytes(msg));
+  return HexEncode(ByteSpan(digest.data(), digest.size()));
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ByteSpan(chunk.data(), chunk.size()));
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(HexEncode(ByteSpan(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data = rng.RandomBytes(1 + rng.UniformU64(500));
+    auto oneshot = Sha256::Hash(ByteSpan(data.data(), data.size()));
+    Sha256 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t n = 1 + rng.UniformU64(data.size() - pos);
+      h.Update(ByteSpan(data.data() + pos, n));
+      pos += n;
+    }
+    EXPECT_EQ(h.Finish(), oneshot);
+  }
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = ToBytes("Hi There");
+  auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  Bytes msg = ToBytes("what do ya want for nothing?");
+  auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  Bytes msg = ToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  auto mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, KeySensitivity) {
+  Bytes msg = ToBytes("payload");
+  auto mac1 = HmacSha256(ToBytes("key1"), msg);
+  auto mac2 = HmacSha256(ToBytes("key2"), msg);
+  EXPECT_NE(Bytes(mac1.begin(), mac1.end()), Bytes(mac2.begin(), mac2.end()));
+}
+
+}  // namespace
+}  // namespace past

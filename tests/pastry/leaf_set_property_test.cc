@@ -1,0 +1,141 @@
+// Property tests of LeafSet against a brute-force reference model, across
+// seeds, capacities and churn patterns.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/pastry/leaf_set.h"
+
+namespace past {
+namespace {
+
+struct LeafSetCase {
+  uint64_t seed;
+  int leaf_size;
+  int population;
+};
+
+class LeafSetProperty : public ::testing::TestWithParam<LeafSetCase> {};
+
+// Reference: sorted ids by up-offset from self.
+std::vector<U128> SortedByUpOffset(const U128& self, const std::vector<U128>& ids) {
+  std::vector<U128> sorted = ids;
+  std::sort(sorted.begin(), sorted.end(), [&](const U128& a, const U128& b) {
+    return a.Sub(self) < b.Sub(self);
+  });
+  return sorted;
+}
+
+TEST_P(LeafSetProperty, MatchesBruteForceUnderInsertAndRemove) {
+  const LeafSetCase& c = GetParam();
+  Rng rng(c.seed);
+  U128 self = rng.NextU128();
+  LeafSet leaf(self, c.leaf_size);
+  std::vector<U128> alive;
+
+  for (int op = 0; op < c.population * 3; ++op) {
+    if (alive.empty() || rng.Bernoulli(0.7)) {
+      U128 id = rng.NextU128();
+      if (id == self) {
+        continue;
+      }
+      alive.push_back(id);
+      leaf.MaybeAdd(NodeDescriptor{id, static_cast<NodeAddr>(op + 1)});
+    } else {
+      size_t victim = rng.PickIndex(alive.size());
+      leaf.Remove(alive[victim]);
+      alive.erase(alive.begin() + static_cast<long>(victim));
+      // Removal is allowed to leave the side short (repair refills it in the
+      // protocol); re-add everything so the invariant below is about
+      // membership selection, not repair.
+      for (size_t i = 0; i < alive.size(); ++i) {
+        leaf.MaybeAdd(NodeDescriptor{alive[i], static_cast<NodeAddr>(1000 + i)});
+      }
+    }
+
+    // Invariant: larger side == first min(l/2, n) ids by up-offset,
+    // smaller side == last ones (reversed).
+    std::vector<U128> sorted = SortedByUpOffset(self, alive);
+    size_t half = static_cast<size_t>(c.leaf_size / 2);
+    size_t expect_larger = std::min(half, sorted.size());
+    ASSERT_EQ(leaf.Larger().size(), expect_larger);
+    for (size_t i = 0; i < expect_larger; ++i) {
+      ASSERT_EQ(leaf.Larger()[i].id, sorted[i]) << "op " << op;
+    }
+    size_t expect_smaller = std::min(half, sorted.size());
+    ASSERT_EQ(leaf.Smaller().size(), expect_smaller);
+    for (size_t i = 0; i < expect_smaller; ++i) {
+      ASSERT_EQ(leaf.Smaller()[i].id, sorted[sorted.size() - 1 - i]) << "op " << op;
+    }
+  }
+}
+
+TEST_P(LeafSetProperty, ClosestMembersMatchBruteForce) {
+  const LeafSetCase& c = GetParam();
+  Rng rng(c.seed ^ 0xfeed);
+  U128 self = rng.NextU128();
+  NodeDescriptor self_desc{self, 0};
+  LeafSet leaf(self, c.leaf_size);
+  std::vector<NodeDescriptor> members;
+  for (int i = 0; i < c.population; ++i) {
+    NodeDescriptor d{rng.NextU128(), static_cast<NodeAddr>(i + 1)};
+    if (leaf.MaybeAdd(d) && leaf.Contains(d.id)) {
+      // Track actual membership (insertions can be rejected at capacity).
+    }
+  }
+  members = leaf.Members();
+  members.push_back(self_desc);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    U128 key = rng.NextU128();
+    int k = 1 + static_cast<int>(rng.UniformU64(6));
+    auto got = leaf.ClosestMembers(key, self_desc, k);
+    // Reference: sort all members+self by ring distance.
+    std::vector<NodeDescriptor> ref = members;
+    std::sort(ref.begin(), ref.end(), [&](const NodeDescriptor& a, const NodeDescriptor& b) {
+      U128 da = a.id.RingDistance(key);
+      U128 db = b.id.RingDistance(key);
+      if (da != db) {
+        return da < db;
+      }
+      return a.id < b.id;
+    });
+    ASSERT_EQ(got.size(), std::min(static_cast<size_t>(k), ref.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, ref[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(LeafSetProperty, CoversKeyConsistentWithDeliveryCorrectness) {
+  // If a complete leaf set covers a key, the ClosestTo answer must equal the
+  // brute-force closest over members+self.
+  const LeafSetCase& c = GetParam();
+  Rng rng(c.seed ^ 0xcafe);
+  U128 self = rng.NextU128();
+  NodeDescriptor self_desc{self, 0};
+  LeafSet leaf(self, c.leaf_size);
+  for (int i = 0; i < c.population; ++i) {
+    leaf.MaybeAdd(NodeDescriptor{rng.NextU128(), static_cast<NodeAddr>(i + 1)});
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    U128 key = rng.NextU128();
+    if (!leaf.CoversKey(key)) {
+      continue;
+    }
+    NodeDescriptor got = leaf.ClosestTo(key, self_desc, true);
+    auto ref = leaf.ClosestMembers(key, self_desc, 1);
+    ASSERT_EQ(ref.size(), 1u);
+    EXPECT_EQ(got.id, ref[0].id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LeafSetProperty,
+    ::testing::Values(LeafSetCase{1, 8, 30}, LeafSetCase{2, 16, 100},
+                      LeafSetCase{3, 32, 200}, LeafSetCase{4, 32, 10},
+                      LeafSetCase{5, 2, 50}));
+
+}  // namespace
+}  // namespace past

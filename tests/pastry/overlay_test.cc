@@ -1,0 +1,118 @@
+// Overlay builder tests: determinism, helper queries, growth.
+#include <gtest/gtest.h>
+
+#include "src/pastry/overlay.h"
+
+namespace past {
+namespace {
+
+OverlayOptions QuietOptions(uint64_t seed) {
+  OverlayOptions opts;
+  opts.seed = seed;
+  opts.pastry.keep_alive_period = 0;
+  return opts;
+}
+
+TEST(OverlayTest, DeterministicFromSeed) {
+  Overlay a(QuietOptions(1234));
+  Overlay b(QuietOptions(1234));
+  a.Build(40);
+  b.Build(40);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i)->id(), b.node(i)->id());
+    EXPECT_EQ(a.node(i)->routing_table().EntryCount(),
+              b.node(i)->routing_table().EntryCount());
+  }
+  EXPECT_EQ(a.network().stats().sent, b.network().stats().sent);
+}
+
+TEST(OverlayTest, DifferentSeedsDifferentIds) {
+  Overlay a(QuietOptions(1));
+  Overlay b(QuietOptions(2));
+  a.Build(5);
+  b.Build(5);
+  EXPECT_NE(a.node(0)->id(), b.node(0)->id());
+}
+
+TEST(OverlayTest, AllNodesActiveAfterBuild) {
+  Overlay overlay(QuietOptions(3));
+  overlay.Build(60);
+  for (size_t i = 0; i < overlay.size(); ++i) {
+    EXPECT_TRUE(overlay.node(i)->active());
+  }
+}
+
+TEST(OverlayTest, GloballyClosestLiveNodeMatchesBruteForce) {
+  Overlay overlay(QuietOptions(5));
+  overlay.Build(50);
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    U128 key = rng.NextU128();
+    PastryNode* got = overlay.GloballyClosestLiveNode(key);
+    U128 best = U128::Max();
+    for (size_t i = 0; i < overlay.size(); ++i) {
+      best = std::min(best, overlay.node(i)->id().RingDistance(key));
+    }
+    EXPECT_EQ(got->id().RingDistance(key), best);
+  }
+}
+
+TEST(OverlayTest, GloballyClosestSkipsDeadNodes) {
+  Overlay overlay(QuietOptions(7));
+  overlay.Build(20);
+  PastryNode* victim = overlay.node(10);
+  U128 key = victim->id();  // exact hit
+  EXPECT_EQ(overlay.GloballyClosestLiveNode(key), victim);
+  victim->Fail();
+  EXPECT_NE(overlay.GloballyClosestLiveNode(key), victim);
+}
+
+TEST(OverlayTest, NearestLiveNodeIsProximallyNearest) {
+  Overlay overlay(QuietOptions(9));
+  overlay.Build(30);
+  NodeAddr probe = overlay.node(7)->addr();
+  PastryNode* nearest = overlay.NearestLiveNode(probe);
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_NE(nearest->addr(), probe);
+  double nearest_dist = overlay.network().Proximity(probe, nearest->addr());
+  for (size_t i = 0; i < overlay.size(); ++i) {
+    if (overlay.node(i)->addr() != probe) {
+      EXPECT_LE(nearest_dist,
+                overlay.network().Proximity(probe, overlay.node(i)->addr()) + 1e-9);
+    }
+  }
+}
+
+TEST(OverlayTest, RandomLiveNodeOnlyReturnsLive) {
+  Overlay overlay(QuietOptions(11));
+  overlay.Build(10);
+  for (size_t i = 0; i < 5; ++i) {
+    overlay.node(i)->Fail();
+  }
+  for (int t = 0; t < 50; ++t) {
+    PastryNode* node = overlay.RandomLiveNode();
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(node->active());
+  }
+}
+
+TEST(OverlayTest, GrowsIncrementallyAfterBuild) {
+  Overlay overlay(QuietOptions(13));
+  overlay.Build(10);
+  PastryNode* extra = overlay.AddNode();
+  EXPECT_TRUE(extra->active());
+  EXPECT_EQ(overlay.size(), 11u);
+}
+
+TEST(OverlayTest, ExplicitIdIsUsed) {
+  Overlay overlay(QuietOptions(15));
+  overlay.Build(5);
+  U128 id(0x1234567890abcdefULL, 0xfedcba0987654321ULL);
+  PastryNode* node = overlay.AddNodeWithId(id);
+  EXPECT_EQ(node->id(), id);
+  EXPECT_TRUE(node->active());
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,222 @@
+// Focused PastryNode behavior tests: replica-aware routing, per-hop ack
+// re-routing, death quarantine, and statistics.
+#include <gtest/gtest.h>
+
+#include "src/pastry/overlay.h"
+
+namespace past {
+namespace {
+
+struct RecApp : public PastryApp {
+  std::vector<DeliverContext> delivered;
+  void Deliver(const DeliverContext& ctx, ByteSpan) override {
+    delivered.push_back(ctx);
+  }
+};
+
+struct Net {
+  explicit Net(int n, uint64_t seed, SimTime keep_alive = 0) {
+    OverlayOptions opts;
+    opts.seed = seed;
+    opts.pastry.keep_alive_period = keep_alive;
+    opts.pastry.failure_timeout = 3 * kMicrosPerSecond;
+    opts.pastry.death_quarantine = 6 * kMicrosPerSecond;
+    overlay = std::make_unique<Overlay>(opts);
+    overlay->Build(n);
+    apps.resize(overlay->size());
+    for (size_t i = 0; i < overlay->size(); ++i) {
+      overlay->node(i)->SetApp(&apps[i]);
+    }
+  }
+
+  // Returns the single node that delivered, or nullptr.
+  PastryNode* WhoDelivered() {
+    PastryNode* result = nullptr;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      if (!apps[i].delivered.empty()) {
+        EXPECT_EQ(result, nullptr) << "duplicate delivery";
+        result = overlay->node(i);
+        apps[i].delivered.clear();
+      }
+    }
+    return result;
+  }
+
+  std::unique_ptr<Overlay> overlay;
+  std::vector<RecApp> apps;
+};
+
+TEST(ReplicaRoutingTest, DeliversAtOneOfKClosest) {
+  Net net(200, 71);
+  for (int trial = 0; trial < 100; ++trial) {
+    U128 key = net.overlay->RandomKey();
+    // Global truth: the 5 ring-closest nodes.
+    std::vector<std::pair<U128, PastryNode*>> ranked;
+    for (size_t i = 0; i < net.overlay->size(); ++i) {
+      ranked.emplace_back(net.overlay->node(i)->id().RingDistance(key),
+                          net.overlay->node(i));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    net.overlay->RandomLiveNode()->Route(key, 1, {}, /*replica_k=*/5);
+    net.overlay->RunAll();
+    PastryNode* deliverer = net.WhoDelivered();
+    ASSERT_NE(deliverer, nullptr);
+    bool in_top5 = false;
+    for (int i = 0; i < 5; ++i) {
+      in_top5 |= ranked[static_cast<size_t>(i)].second == deliverer;
+    }
+    EXPECT_TRUE(in_top5) << "delivered outside the replica set, key "
+                         << key.ToHex();
+  }
+}
+
+TEST(ReplicaRoutingTest, ReplicaKOneMatchesExactRouting) {
+  Net net(150, 73);
+  for (int trial = 0; trial < 50; ++trial) {
+    U128 key = net.overlay->RandomKey();
+    PastryNode* expected = net.overlay->GloballyClosestLiveNode(key);
+    net.overlay->RandomLiveNode()->Route(key, 1, {}, /*replica_k=*/1);
+    net.overlay->RunAll();
+    EXPECT_EQ(net.WhoDelivered(), expected);
+  }
+}
+
+TEST(ReplicaRoutingTest, PrefersProximallyCloseReplica) {
+  Net net(400, 79);
+  // Statistically, replica-aware delivery should land on the client-nearest
+  // replica much more often than 1/5 of the time.
+  int nearest_hits = 0, classified = 0;
+  Rng rng(5);
+  for (int trial = 0; trial < 150; ++trial) {
+    U128 key = net.overlay->RandomKey();
+    PastryNode* client = net.overlay->node(rng.PickIndex(net.overlay->size()));
+    std::vector<std::pair<U128, PastryNode*>> ranked;
+    for (size_t i = 0; i < net.overlay->size(); ++i) {
+      ranked.emplace_back(net.overlay->node(i)->id().RingDistance(key),
+                          net.overlay->node(i));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<PastryNode*> replicas;
+    for (int i = 0; i < 5; ++i) {
+      replicas.push_back(ranked[static_cast<size_t>(i)].second);
+    }
+    client->Route(key, 1, {}, 5);
+    net.overlay->RunAll();
+    PastryNode* deliverer = net.WhoDelivered();
+    if (deliverer == nullptr) {
+      continue;
+    }
+    PastryNode* proximally_nearest = nullptr;
+    double best = 0;
+    for (PastryNode* r : replicas) {
+      double d = net.overlay->network().Proximity(client->addr(), r->addr());
+      if (proximally_nearest == nullptr || d < best) {
+        proximally_nearest = r;
+        best = d;
+      }
+    }
+    ++classified;
+    nearest_hits += deliverer == proximally_nearest ? 1 : 0;
+  }
+  ASSERT_GT(classified, 100);
+  EXPECT_GT(static_cast<double>(nearest_hits) / classified, 0.45);
+}
+
+TEST(PerHopAckTest, ReroutesAroundSilentlyDeadHop) {
+  Net net(150, 83);
+  // Fail a set of nodes with NO repair time and NO heartbeats: only the
+  // per-hop ack timeout can save messages that would transit them.
+  for (int i = 0; i < 20; ++i) {
+    net.overlay->node(static_cast<size_t>(3 + i * 7))->Fail();
+  }
+  int delivered = 0;
+  uint64_t reroutes_before = 0;
+  for (size_t i = 0; i < net.overlay->size(); ++i) {
+    reroutes_before += net.overlay->node(i)->stats().reroutes;
+  }
+  const int kQueries = 50;
+  for (int q = 0; q < kQueries; ++q) {
+    U128 key = net.overlay->RandomKey();
+    PastryNode* expected = net.overlay->GloballyClosestLiveNode(key);
+    net.overlay->RandomLiveNode()->Route(key, 1, {});
+    net.overlay->Run(20 * kMicrosPerSecond);
+    for (size_t i = 0; i < net.apps.size(); ++i) {
+      for (auto& ctx : net.apps[i].delivered) {
+        if (ctx.key == key && net.overlay->node(i) == expected) {
+          ++delivered;
+        }
+      }
+      net.apps[i].delivered.clear();
+    }
+  }
+  EXPECT_GE(delivered, kQueries - 2);
+  uint64_t reroutes_after = 0;
+  for (size_t i = 0; i < net.overlay->size(); ++i) {
+    reroutes_after += net.overlay->node(i)->stats().reroutes;
+  }
+  EXPECT_GT(reroutes_after, reroutes_before) << "some hops must have re-routed";
+}
+
+TEST(DeathQuarantineTest, StaleGossipCannotResurrectFailedNode) {
+  Net net(60, 89, /*keep_alive=*/1 * kMicrosPerSecond);
+  PastryNode* victim = net.overlay->node(30);
+  NodeId victim_id = victim->id();
+  victim->Fail();
+  net.overlay->Run(30 * kMicrosPerSecond);
+  // Converged: nobody holds the victim.
+  for (size_t i = 0; i < net.overlay->size(); ++i) {
+    PastryNode* node = net.overlay->node(i);
+    if (node->active()) {
+      ASSERT_FALSE(node->leaf_set().Contains(victim_id));
+    }
+  }
+  // A genuine rejoin (which announces itself) IS accepted again.
+  victim->Recover(net.overlay->node(0)->addr());
+  net.overlay->Run(30 * kMicrosPerSecond);
+  ASSERT_TRUE(victim->active());
+  int holders = 0;
+  for (size_t i = 0; i < net.overlay->size(); ++i) {
+    PastryNode* node = net.overlay->node(i);
+    if (node != victim && node->active() && node->leaf_set().Contains(victim_id)) {
+      ++holders;
+    }
+  }
+  EXPECT_GT(holders, 10);
+}
+
+TEST(StatsTest, CountersTrackActivity) {
+  Net net(50, 97);
+  PastryNode* src = net.overlay->node(5);
+  uint64_t sent_before = src->stats().msgs_sent;
+  for (int i = 0; i < 10; ++i) {
+    src->Route(net.overlay->RandomKey(), 1, {});
+    net.overlay->RunAll();
+  }
+  EXPECT_GT(src->stats().msgs_sent, sent_before);
+  EXPECT_GT(src->stats().routed_seen, 0u);
+  uint64_t total_delivered = 0;
+  for (size_t i = 0; i < net.overlay->size(); ++i) {
+    total_delivered += net.overlay->node(i)->stats().delivered;
+  }
+  EXPECT_EQ(total_delivered, 10u);
+  src->ResetStats();
+  EXPECT_EQ(src->stats().msgs_sent, 0u);
+}
+
+TEST(MaxHopGuardTest, HopCountsStayWellBelowCap) {
+  Net net(300, 101);
+  for (int i = 0; i < 100; ++i) {
+    net.overlay->RandomLiveNode()->Route(net.overlay->RandomKey(), 1, {});
+    net.overlay->RunAll();
+  }
+  for (auto& app : net.apps) {
+    for (auto& ctx : app.delivered) {
+      EXPECT_LT(ctx.hops, 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace past

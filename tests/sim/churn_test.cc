@@ -1,0 +1,95 @@
+#include "src/sim/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(ChurnTest, AlternatesFailureAndRecovery) {
+  EventQueue queue;
+  ChurnConfig config;
+  config.mean_session = 10 * kMicrosPerSecond;
+  config.mean_downtime = 5 * kMicrosPerSecond;
+  ChurnDriver churn(&queue, config, 1);
+  int fails = 0, recovers = 0;
+  bool up = true;
+  churn.Manage(
+      [&] {
+        EXPECT_TRUE(up) << "fail while down";
+        up = false;
+        ++fails;
+      },
+      [&] {
+        EXPECT_FALSE(up) << "recover while up";
+        up = true;
+        ++recovers;
+      });
+  churn.Start();
+  queue.RunUntil(600 * kMicrosPerSecond);
+  EXPECT_GT(fails, 10);
+  EXPECT_GE(fails, recovers);
+  EXPECT_LE(fails - recovers, 1);
+  EXPECT_EQ(churn.stats().failures, static_cast<uint64_t>(fails));
+  EXPECT_EQ(churn.stats().recoveries, static_cast<uint64_t>(recovers));
+}
+
+TEST(ChurnTest, NoRecoveryMeansPermanentDeparture) {
+  EventQueue queue;
+  ChurnConfig config;
+  config.mean_session = 5 * kMicrosPerSecond;
+  config.recover = false;
+  ChurnDriver churn(&queue, config, 2);
+  int fails = 0, recovers = 0;
+  churn.Manage([&] { ++fails; }, [&] { ++recovers; });
+  churn.Start();
+  queue.RunUntil(300 * kMicrosPerSecond);
+  EXPECT_EQ(fails, 1);
+  EXPECT_EQ(recovers, 0);
+}
+
+TEST(ChurnTest, MeanSessionRoughlyRespected) {
+  EventQueue queue;
+  ChurnConfig config;
+  config.mean_session = 20 * kMicrosPerSecond;
+  config.mean_downtime = 1 * kMicrosPerSecond;
+  ChurnDriver churn(&queue, config, 3);
+  int fails = 0;
+  for (int i = 0; i < 50; ++i) {
+    churn.Manage([&] { ++fails; }, [] {});
+  }
+  churn.Start();
+  const SimTime horizon = 400 * kMicrosPerSecond;
+  queue.RunUntil(horizon);
+  // Each node cycles in ~21s, so ~19 failures per node over 400s.
+  double per_node = static_cast<double>(fails) / 50.0;
+  EXPECT_GT(per_node, 12.0);
+  EXPECT_LT(per_node, 28.0);
+}
+
+TEST(ChurnTest, StopCancelsPendingEvents) {
+  EventQueue queue;
+  ChurnConfig config;
+  config.mean_session = 10 * kMicrosPerSecond;
+  ChurnDriver churn(&queue, config, 4);
+  int fails = 0;
+  churn.Manage([&] { ++fails; }, [] {});
+  churn.Start();
+  churn.Stop();
+  queue.RunUntil(1000 * kMicrosPerSecond);
+  EXPECT_EQ(fails, 0);
+}
+
+TEST(ChurnTest, ManageAfterStartSchedulesImmediately) {
+  EventQueue queue;
+  ChurnConfig config;
+  config.mean_session = 10 * kMicrosPerSecond;
+  ChurnDriver churn(&queue, config, 5);
+  churn.Start();
+  int fails = 0;
+  churn.Manage([&] { ++fails; }, [] {});
+  queue.RunUntil(200 * kMicrosPerSecond);
+  EXPECT_GT(fails, 0);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,128 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.Now(), 0);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(30, [&] { order.push_back(3); });
+  q.At(10, [&] { order.push_back(1); });
+  q.At(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(5, [&] { order.push_back(1); });
+  q.At(5, [&] { order.push_back(2); });
+  q.At(5, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, AfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.At(100, [&] { q.After(50, [&] { fired_at = q.Now(); }); });
+  q.RunAll();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.At(10, [&] { ++fired; });
+  q.At(20, [&] { ++fired; });
+  q.At(30, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 20);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.Now(), 500);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.At(10, [&] { ++fired; });
+  q.At(20, [&] { ++fired; });
+  q.Cancel(id);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  auto id = q.At(10, [] {});
+  q.Cancel(id);
+  q.Cancel(id);
+  q.Cancel(9999);  // never existed
+  EXPECT_EQ(q.RunAll(), 0u);
+}
+
+TEST(EventQueueTest, CancelledEventDoesNotAdvanceClock) {
+  EventQueue q;
+  auto id = q.At(1000, [] {});
+  q.At(10, [] {});
+  q.Cancel(id);
+  q.RunAll();
+  EXPECT_EQ(q.Now(), 10);
+}
+
+TEST(EventQueueTest, PendingCountTracksCancellation) {
+  EventQueue q;
+  auto a = q.At(1, [] {});
+  q.At(2, [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      q.After(1, recurse);
+    }
+  };
+  q.After(1, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.Now(), 5);
+}
+
+TEST(EventQueueTest, RunAllRespectsEventCap) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.After(1, forever); };
+  q.After(1, forever);
+  EXPECT_EQ(q.RunAll(100), 100u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInPastAborts) {
+  EventQueue q;
+  q.At(100, [] {});
+  q.RunAll();
+  EXPECT_DEATH(q.At(50, [] {}), "cannot schedule events in the past");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,159 @@
+#include "src/sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+class Recorder : public NetReceiver {
+ public:
+  struct Received {
+    NodeAddr from;
+    Bytes data;
+  };
+  void OnMessage(NodeAddr from, ByteSpan wire) override {
+    received.push_back({from, Bytes(wire.begin(), wire.end())});
+  }
+  std::vector<Received> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : rng_(1), topo_(TopologyKind::kPlane, 100.0, &rng_) {}
+
+  Network MakeNetwork(const NetworkConfig& config) {
+    return Network(&queue_, &topo_, config, 7);
+  }
+
+  Rng rng_;
+  EventQueue queue_;
+  Topology topo_;
+};
+
+TEST_F(NetworkTest, DeliversPayloadAndSender) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Send(addr_a, addr_b, Bytes{1, 2, 3});
+  queue_.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].from, addr_a);
+  EXPECT_EQ(b.received[0].data, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST_F(NetworkTest, LatencyIsPositiveAndDistanceDependent) {
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.latency_per_unit = 1000.0;
+  config.jitter_frac = 0.0;
+  Network net = MakeNetwork(config);
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Send(addr_a, addr_b, Bytes{1});
+  queue_.RunAll();
+  SimTime expected = 100 + static_cast<SimTime>(net.Proximity(addr_a, addr_b) * 1000.0);
+  EXPECT_EQ(queue_.Now(), expected);
+}
+
+TEST_F(NetworkTest, MessagesToDownNodesAreDropped) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.SetUp(addr_b, false);
+  net.Send(addr_a, addr_b, Bytes{1});
+  queue_.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().dropped_down, 1u);
+}
+
+TEST_F(NetworkTest, InFlightMessagesDropWhenDestinationDies) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Send(addr_a, addr_b, Bytes{1});
+  net.SetUp(addr_b, false);  // dies while the message is in flight
+  queue_.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().dropped_down, 1u);
+}
+
+TEST_F(NetworkTest, NodeCanComeBackUp) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.SetUp(addr_b, false);
+  net.SetUp(addr_b, true);
+  net.Send(addr_a, addr_b, Bytes{1});
+  queue_.RunAll();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossRateDropsRoughlyThatFraction) {
+  NetworkConfig config;
+  config.loss_rate = 0.3;
+  Network net = MakeNetwork(config);
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    net.Send(addr_a, addr_b, Bytes{1});
+  }
+  queue_.RunAll();
+  double delivered = static_cast<double>(b.received.size()) / n;
+  EXPECT_NEAR(delivered, 0.7, 0.05);
+  EXPECT_EQ(net.stats().dropped_loss + net.stats().delivered, static_cast<uint64_t>(n));
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Send(addr_a, addr_b, Bytes(100, 0));
+  net.Send(addr_a, addr_b, Bytes(50, 0));
+  EXPECT_EQ(net.stats().sent, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 150u);
+  net.ResetStats();
+  EXPECT_EQ(net.stats().sent, 0u);
+}
+
+TEST_F(NetworkTest, ProximityIsSymmetricAndZeroToSelf) {
+  Network net = MakeNetwork({});
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  EXPECT_DOUBLE_EQ(net.Proximity(addr_a, addr_b), net.Proximity(addr_b, addr_a));
+  EXPECT_DOUBLE_EQ(net.Proximity(addr_a, addr_a), 0.0);
+}
+
+TEST_F(NetworkTest, SelfSendDelivers) {
+  Network net = MakeNetwork({});
+  Recorder a;
+  NodeAddr addr_a = net.Register(&a);
+  net.Send(addr_a, addr_a, Bytes{9});
+  queue_.RunAll();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].from, addr_a);
+}
+
+TEST_F(NetworkTest, ManyEndpointsDistinctAddresses) {
+  Network net = MakeNetwork({});
+  std::vector<std::unique_ptr<Recorder>> receivers;
+  std::set<NodeAddr> addrs;
+  for (int i = 0; i < 100; ++i) {
+    receivers.push_back(std::make_unique<Recorder>());
+    addrs.insert(net.Register(receivers.back().get()));
+  }
+  EXPECT_EQ(addrs.size(), 100u);
+  EXPECT_EQ(net.endpoint_count(), 100u);
+}
+
+}  // namespace
+}  // namespace past

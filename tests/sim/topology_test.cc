@@ -1,0 +1,96 @@
+#include "src/sim/topology.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+class TopologyParamTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyParamTest, MetricProperties) {
+  Rng rng(11);
+  Topology topo(GetParam(), 100.0, &rng);
+  for (int i = 0; i < 50; ++i) {
+    topo.AddHost();
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(topo.Distance(i, i), 0.0);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    int a = static_cast<int>(rng.UniformU64(50));
+    int b = static_cast<int>(rng.UniformU64(50));
+    double d = topo.Distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, topo.MaxDistance() * 1.0001);
+    EXPECT_DOUBLE_EQ(d, topo.Distance(b, a));  // symmetry
+  }
+}
+
+TEST_P(TopologyParamTest, TriangleInequality) {
+  Rng rng(13);
+  Topology topo(GetParam(), 100.0, &rng);
+  for (int i = 0; i < 30; ++i) {
+    topo.AddHost();
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    int a = static_cast<int>(rng.UniformU64(30));
+    int b = static_cast<int>(rng.UniformU64(30));
+    int c = static_cast<int>(rng.UniformU64(30));
+    EXPECT_LE(topo.Distance(a, c), topo.Distance(a, b) + topo.Distance(b, c) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyParamTest,
+                         ::testing::Values(TopologyKind::kPlane, TopologyKind::kSphere,
+                                           TopologyKind::kClustered));
+
+TEST(TopologyTest, HostCountTracksAdds) {
+  Rng rng(1);
+  Topology topo(TopologyKind::kPlane, 10.0, &rng);
+  EXPECT_EQ(topo.host_count(), 0);
+  EXPECT_EQ(topo.AddHost(), 0);
+  EXPECT_EQ(topo.AddHost(), 1);
+  EXPECT_EQ(topo.host_count(), 2);
+}
+
+TEST(TopologyTest, SphereDistancesBoundedByPiR) {
+  Rng rng(3);
+  Topology topo(TopologyKind::kSphere, 1.0, &rng);
+  for (int i = 0; i < 100; ++i) {
+    topo.AddHost();
+  }
+  double max_seen = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = i + 1; j < 100; ++j) {
+      max_seen = std::max(max_seen, topo.Distance(i, j));
+    }
+  }
+  EXPECT_LE(max_seen, M_PI + 1e-9);
+  EXPECT_GT(max_seen, 2.0);  // nearly antipodal pairs exist among 100 points
+}
+
+TEST(TopologyTest, ClusteredHasShortIntraClusterDistances) {
+  Rng rng(5);
+  Topology topo(TopologyKind::kClustered, 1000.0, &rng);
+  for (int i = 0; i < 200; ++i) {
+    topo.AddHost();
+  }
+  // Count pairs closer than 5% of scale: clustering should make these common
+  // compared to a uniform plane.
+  int close_pairs = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (int j = i + 1; j < 200; ++j) {
+      ++total;
+      if (topo.Distance(i, j) < 50.0) {
+        ++close_pairs;
+      }
+    }
+  }
+  // With 20 clusters, ~1/20 of pairs are intra-cluster (and thus very close).
+  EXPECT_GT(static_cast<double>(close_pairs) / total, 0.02);
+}
+
+}  // namespace
+}  // namespace past

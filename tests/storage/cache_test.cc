@@ -1,0 +1,154 @@
+#include "src/storage/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+FileCertificate Cert(uint64_t size, uint64_t tag) {
+  FileCertificate cert;
+  Bytes raw(20, 0);
+  for (int i = 0; i < 8; ++i) {
+    raw[static_cast<size_t>(i)] = static_cast<uint8_t>(tag >> (8 * i));
+  }
+  cert.file_id = U160::FromBytes(raw);
+  cert.file_size = size;
+  return cert;
+}
+
+TEST(CacheTest, NonePolicyRefusesEverything) {
+  Cache cache(CachePolicy::kNone);
+  EXPECT_FALSE(cache.Insert(Cert(10, 1), {}, 1000));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+TEST(CacheTest, InsertAndGet) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_TRUE(cache.Insert(Cert(10, 1), ToBytes("x"), 1000));
+  EXPECT_EQ(cache.used(), 10u);
+  EXPECT_TRUE(cache.Contains(Cert(10, 1).file_id));
+  const CachedFile* f = cache.Get(Cert(10, 1).file_id);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->content, ToBytes("x"));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheTest, MissCounts) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_EQ(cache.Get(Cert(1, 9).file_id), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, DuplicateInsertRefused) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_TRUE(cache.Insert(Cert(10, 1), {}, 1000));
+  EXPECT_FALSE(cache.Insert(Cert(10, 1), {}, 1000));
+  EXPECT_EQ(cache.used(), 10u);
+}
+
+TEST(CacheTest, TooLargeRefused) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_FALSE(cache.Insert(Cert(2000, 1), {}, 1000));
+}
+
+TEST(CacheTest, EvictsToMakeRoom) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_TRUE(cache.Insert(Cert(600, 1), {}, 1000));
+  EXPECT_TRUE(cache.Insert(Cert(600, 2), {}, 1000));  // evicts the first
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.used(), 1000u);
+}
+
+TEST(CacheTest, GreedyDualSizePrefersSmallFiles) {
+  // With equal access counts, GD-S evicts the *largest* file first (priority
+  // = 1/size above the inflation floor).
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_TRUE(cache.Insert(Cert(500, 1), {}, 1000));  // large
+  EXPECT_TRUE(cache.Insert(Cert(100, 2), {}, 1000));  // small
+  EXPECT_TRUE(cache.Insert(Cert(450, 3), {}, 1000));  // forces one eviction
+  EXPECT_FALSE(cache.Contains(Cert(500, 1).file_id));  // large one went
+  EXPECT_TRUE(cache.Contains(Cert(100, 2).file_id));
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache cache(CachePolicy::kLru);
+  EXPECT_TRUE(cache.Insert(Cert(400, 1), {}, 1000));
+  EXPECT_TRUE(cache.Insert(Cert(400, 2), {}, 1000));
+  // Touch 1 so that 2 is the LRU victim.
+  EXPECT_NE(cache.Get(Cert(400, 1).file_id), nullptr);
+  EXPECT_TRUE(cache.Insert(Cert(400, 3), {}, 1000));
+  EXPECT_TRUE(cache.Contains(Cert(400, 1).file_id));
+  EXPECT_FALSE(cache.Contains(Cert(400, 2).file_id));
+}
+
+TEST(CacheTest, GdsPopularSmallFileSurvivesChurn) {
+  // A frequently-hit small file keeps a high H (= L + 1/size) and outlives a
+  // stream of larger one-shot files.
+  Cache cache(CachePolicy::kGreedyDualSize);
+  EXPECT_TRUE(cache.Insert(Cert(100, 1), {}, 1000));
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_NE(cache.Get(Cert(100, 1).file_id), nullptr);
+    cache.Insert(Cert(400, static_cast<uint64_t>(100 + round)), {}, 1000);
+  }
+  EXPECT_TRUE(cache.Contains(Cert(100, 1).file_id));
+}
+
+TEST(CacheTest, RemoveFreesSpace) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  cache.Insert(Cert(100, 1), {}, 1000);
+  EXPECT_TRUE(cache.Remove(Cert(100, 1).file_id));
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_FALSE(cache.Remove(Cert(100, 1).file_id));
+}
+
+TEST(CacheTest, ShrinkToEvictsDownToBudget) {
+  Cache cache(CachePolicy::kGreedyDualSize);
+  for (uint64_t i = 0; i < 10; ++i) {
+    cache.Insert(Cert(100, i), {}, 10000);
+  }
+  ASSERT_EQ(cache.used(), 1000u);
+  uint64_t evicted = cache.ShrinkTo(250);
+  EXPECT_GE(evicted, 750u);
+  EXPECT_LE(cache.used(), 250u);
+}
+
+TEST(CacheTest, ShrinkToZeroEmptiesCache) {
+  Cache cache(CachePolicy::kLru);
+  cache.Insert(Cert(100, 1), {}, 1000);
+  cache.Insert(Cert(100, 2), {}, 1000);
+  cache.ShrinkTo(0);
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(CacheTest, AvailableShrinkageEvictsOnInsert) {
+  // The available budget can shrink between inserts (primary store grew);
+  // inserting then must evict enough to fit the new budget.
+  Cache cache(CachePolicy::kGreedyDualSize);
+  cache.Insert(Cert(400, 1), {}, 1000);
+  cache.Insert(Cert(400, 2), {}, 1000);
+  EXPECT_TRUE(cache.Insert(Cert(100, 3), {}, 500));  // budget now 500
+  EXPECT_LE(cache.used(), 500u);
+}
+
+TEST(CacheTest, StressRandomOperationsKeepInvariants) {
+  Rng rng(1234);
+  Cache cache(CachePolicy::kGreedyDualSize);
+  const uint64_t budget = 5000;
+  for (int op = 0; op < 2000; ++op) {
+    uint64_t tag = rng.UniformU64(200);
+    if (rng.Bernoulli(0.5)) {
+      cache.Insert(Cert(1 + rng.UniformU64(800), tag), {}, budget);
+    } else {
+      cache.Get(Cert(1, tag).file_id);
+    }
+    ASSERT_LE(cache.used(), budget);
+  }
+  EXPECT_GT(cache.stats().insertions, 100u);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,151 @@
+#include "src/storage/file_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+FileCertificate CertOfSize(uint64_t size, uint64_t tag) {
+  FileCertificate cert;
+  Bytes raw(20, 0);
+  for (int i = 0; i < 8; ++i) {
+    raw[static_cast<size_t>(i)] = static_cast<uint8_t>(tag >> (8 * i));
+  }
+  cert.file_id = U160::FromBytes(raw);
+  cert.file_size = size;
+  cert.replication_factor = 3;
+  return cert;
+}
+
+StoredFile FileOfSize(uint64_t size, uint64_t tag) {
+  StoredFile f;
+  f.cert = CertOfSize(size, tag);
+  return f;
+}
+
+TEST(FileStoreTest, AccountingBasics) {
+  FileStore store(1000);
+  EXPECT_EQ(store.capacity(), 1000u);
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_EQ(store.free_space(), 1000u);
+  EXPECT_DOUBLE_EQ(store.utilization(), 0.0);
+
+  EXPECT_EQ(store.Put(FileOfSize(400, 1)), StatusCode::kOk);
+  EXPECT_EQ(store.used(), 400u);
+  EXPECT_DOUBLE_EQ(store.utilization(), 0.4);
+}
+
+TEST(FileStoreTest, RejectsOverCapacity) {
+  FileStore store(1000);
+  EXPECT_EQ(store.Put(FileOfSize(600, 1)), StatusCode::kOk);
+  EXPECT_EQ(store.Put(FileOfSize(600, 2)), StatusCode::kInsufficientStorage);
+  EXPECT_EQ(store.used(), 600u);
+  EXPECT_EQ(store.Put(FileOfSize(400, 3)), StatusCode::kOk);  // exact fit
+  EXPECT_EQ(store.free_space(), 0u);
+}
+
+TEST(FileStoreTest, RejectsDuplicates) {
+  FileStore store(1000);
+  EXPECT_EQ(store.Put(FileOfSize(100, 1)), StatusCode::kOk);
+  EXPECT_EQ(store.Put(FileOfSize(100, 1)), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.used(), 100u);
+}
+
+TEST(FileStoreTest, GetAndHas) {
+  FileStore store(1000);
+  StoredFile f = FileOfSize(100, 7);
+  f.content = ToBytes("data");
+  FileId id = f.cert.file_id;
+  store.Put(std::move(f));
+  EXPECT_TRUE(store.Has(id));
+  const StoredFile* got = store.Get(id);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->content, ToBytes("data"));
+  EXPECT_EQ(store.Get(CertOfSize(1, 999).file_id), nullptr);
+}
+
+TEST(FileStoreTest, RemoveReleasesSpace) {
+  FileStore store(1000);
+  StoredFile f = FileOfSize(100, 1);
+  FileId id = f.cert.file_id;
+  store.Put(std::move(f));
+  auto freed = store.Remove(id);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(*freed, 100u);
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_FALSE(store.Remove(id).has_value());
+}
+
+TEST(FileStoreTest, DivertedFlagPreserved) {
+  FileStore store(1000);
+  StoredFile f = FileOfSize(50, 3);
+  f.diverted = true;
+  f.diverted_from = NodeDescriptor{U128(1, 2), 9};
+  FileId id = f.cert.file_id;
+  store.Put(std::move(f));
+  const StoredFile* got = store.Get(id);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->diverted);
+  EXPECT_EQ(got->diverted_from.addr, 9u);
+}
+
+TEST(FileStoreTest, Pointers) {
+  FileStore store(1000);
+  FileId id = CertOfSize(1, 5).file_id;
+  EXPECT_FALSE(store.GetPointer(id).has_value());
+  store.PutPointer(id, NodeDescriptor{U128(3, 4), 17});
+  auto ptr = store.GetPointer(id);
+  ASSERT_TRUE(ptr.has_value());
+  EXPECT_EQ(ptr->addr, 17u);
+  EXPECT_EQ(store.pointer_count(), 1u);
+  EXPECT_TRUE(store.RemovePointer(id));
+  EXPECT_FALSE(store.RemovePointer(id));
+}
+
+TEST(FileStoreTest, PointersDoNotUseSpace) {
+  FileStore store(1000);
+  store.PutPointer(CertOfSize(1, 5).file_id, NodeDescriptor{U128(3, 4), 17});
+  EXPECT_EQ(store.used(), 0u);
+}
+
+TEST(FileStoreTest, FileIdsEnumeration) {
+  FileStore store(10000);
+  for (uint64_t i = 0; i < 10; ++i) {
+    store.Put(FileOfSize(10, i));
+  }
+  EXPECT_EQ(store.FileIds().size(), 10u);
+  EXPECT_EQ(store.file_count(), 10u);
+}
+
+TEST(FileStoreTest, ZeroCapacityStoresNothing) {
+  FileStore store(0);
+  EXPECT_EQ(store.Put(FileOfSize(1, 1)), StatusCode::kInsufficientStorage);
+}
+
+TEST(StoragePolicyTest, PrimaryThreshold) {
+  StoragePolicy policy;  // t_pri = 0.1
+  EXPECT_TRUE(policy.AcceptPrimary(10, 1000));   // 1% of free
+  EXPECT_TRUE(policy.AcceptPrimary(100, 1000));  // exactly 10%
+  EXPECT_FALSE(policy.AcceptPrimary(101, 1000));
+  EXPECT_FALSE(policy.AcceptPrimary(2000, 1000));  // larger than free
+}
+
+TEST(StoragePolicyTest, DivertedThresholdIsStricter) {
+  StoragePolicy policy;  // t_div = 0.05
+  EXPECT_TRUE(policy.AcceptDiverted(50, 1000));
+  EXPECT_FALSE(policy.AcceptDiverted(51, 1000));
+  // A file the primary threshold accepts can still be refused as diverted.
+  EXPECT_TRUE(policy.AcceptPrimary(80, 1000));
+  EXPECT_FALSE(policy.AcceptDiverted(80, 1000));
+}
+
+TEST(StoragePolicyTest, ZeroFreeRejectsEverything) {
+  StoragePolicy policy;
+  EXPECT_FALSE(policy.AcceptPrimary(1, 0));
+  EXPECT_FALSE(policy.AcceptDiverted(1, 0));
+}
+
+}  // namespace
+}  // namespace past

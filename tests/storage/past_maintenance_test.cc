@@ -1,0 +1,218 @@
+// Persistence and availability: replica restoration after node failures,
+// availability while >= 1 replica lives, caching behavior.
+#include <gtest/gtest.h>
+
+#include "tests/storage/past_test_util.h"
+
+namespace past {
+namespace {
+
+TEST(PastMaintenanceTest, ReplicasRestoredAfterSingleFailure) {
+  PastNetwork net(SmallNetOptions(301));
+  net.Build(40);
+  PastNode* client = net.node(1);
+  auto inserted = net.InsertSync(client, "file", ToBytes("persist me"), 4);
+  ASSERT_TRUE(inserted.ok());
+  FileId id = inserted.value();
+
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i)->store().Has(id)) {
+      net.CrashNode(i);
+      break;
+    }
+  }
+  net.Run(40 * kMicrosPerSecond);
+  EXPECT_EQ(net.CountReplicas(id), 4) << "k must be restored after recovery";
+}
+
+TEST(PastMaintenanceTest, FileAvailableWhileOneReplicaAlive) {
+  PastNetwork net(SmallNetOptions(303));
+  net.Build(40);
+  PastNode* client = net.node(1);
+  Bytes content = ToBytes("survivor");
+  auto inserted = net.InsertSync(client, "s", content, 3);
+  ASSERT_TRUE(inserted.ok());
+  FileId id = inserted.value();
+
+  // Kill replica holders two at a time *quickly* (before repair), leaving one.
+  std::vector<size_t> holders;
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i)->store().Has(id)) {
+      holders.push_back(i);
+    }
+  }
+  ASSERT_EQ(holders.size(), 3u);
+  net.CrashNode(holders[0]);
+  net.CrashNode(holders[1]);
+
+  // Lookup right away (clients may need the root's replica-probing path).
+  PastNode* reader = net.node(holders[2] == 5 ? 6 : 5);
+  auto looked = net.LookupSync(reader, id);
+  ASSERT_TRUE(looked.ok()) << StatusCodeName(looked.status());
+  EXPECT_EQ(looked.value().content, content);
+
+  // And after the repair window, k is back to 3.
+  net.Run(60 * kMicrosPerSecond);
+  EXPECT_EQ(net.CountReplicas(id), 3);
+}
+
+TEST(PastMaintenanceTest, NewCloserNodeTakesOverReplica) {
+  PastNetwork net(SmallNetOptions(305));
+  net.Build(30);
+  PastNode* client = net.node(2);
+  auto inserted = net.InsertSync(client, "handover", ToBytes("x"), 3);
+  ASSERT_TRUE(inserted.ok());
+  FileId id = inserted.value();
+
+  // Add many nodes; statistically some land closer to the fileId than the
+  // current holders, and maintenance should hand the file to them.
+  for (int i = 0; i < 30; ++i) {
+    net.AddNode();
+  }
+  net.Run(40 * kMicrosPerSecond);
+
+  // Verify the holders now are the 3 globally closest live nodes.
+  std::vector<std::pair<U128, bool>> ranked;
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i)->overlay()->active()) {
+      ranked.emplace_back(net.node(i)->overlay()->id().RingDistance(id.Top128()),
+                          net.node(i)->store().Has(id));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end());
+  int held_in_top3 = 0;
+  for (int i = 0; i < 3; ++i) {
+    held_in_top3 += ranked[static_cast<size_t>(i)].second ? 1 : 0;
+  }
+  EXPECT_GE(held_in_top3, 2) << "replicas should migrate toward closest nodes";
+  EXPECT_GE(net.CountReplicas(id), 3);
+}
+
+TEST(PastMaintenanceTest, MassFailureWithRecoveryKeepsAllFiles) {
+  PastNetwork net(SmallNetOptions(307));
+  net.Build(50);
+  PastNode* client = net.node(0);
+  std::vector<FileId> files;
+  std::vector<Bytes> contents;
+  for (int i = 0; i < 20; ++i) {
+    Bytes content = ToBytes("content-" + std::to_string(i));
+    auto r = net.InsertSync(client, "mass-" + std::to_string(i), content, 4);
+    ASSERT_TRUE(r.ok());
+    files.push_back(r.value());
+    contents.push_back(content);
+  }
+  // Kill 10 random non-client nodes (20%), in two waves with a repair gap.
+  Rng rng(17);
+  int killed = 0;
+  for (int wave = 0; wave < 2; ++wave) {
+    while (killed < 5 * (wave + 1)) {
+      size_t victim = 1 + rng.UniformU64(net.size() - 1);
+      if (net.node(victim)->overlay()->active()) {
+        net.CrashNode(victim);
+        ++killed;
+      }
+    }
+    net.Run(40 * kMicrosPerSecond);
+  }
+  // Every file must still be readable with correct content.
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto looked = net.LookupSync(client, files[i]);
+    ASSERT_TRUE(looked.ok()) << "file " << i;
+    EXPECT_EQ(looked.value().content, contents[i]);
+  }
+}
+
+TEST(PastMaintenanceTest, CachePushPopulatesPathNode) {
+  PastNetworkOptions options = SmallNetOptions(309);
+  options.past.cache_push_on_lookup = true;
+  options.past.cache_policy = CachePolicy::kGreedyDualSize;
+  PastNetwork net(options);
+  net.Build(60);
+  PastNode* client = net.node(3);
+  Bytes content = ToBytes("popular content");
+  auto inserted = net.InsertSync(client, "pop", content, 3);
+  ASSERT_TRUE(inserted.ok());
+
+  // Repeated lookups from many clients should create cached copies.
+  for (size_t i = 0; i < net.size(); i += 4) {
+    (void)net.LookupSync(net.node(i), inserted.value());
+  }
+  net.Run(5 * kMicrosPerSecond);
+  size_t cached_copies = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i)->file_cache().Contains(inserted.value())) {
+      ++cached_copies;
+    }
+  }
+  EXPECT_GT(cached_copies, 0u);
+}
+
+TEST(PastMaintenanceTest, CachedCopyServesLookupAndIsMarked) {
+  PastNetworkOptions options = SmallNetOptions(311);
+  PastNetwork net(options);
+  net.Build(40);
+  PastNode* client = net.node(2);
+  Bytes content = ToBytes("cache me");
+  auto inserted = net.InsertSync(client, "c", content, 2);
+  ASSERT_TRUE(inserted.ok());
+
+  // Drive lookups until one is answered from a cache.
+  bool saw_cache_hit = false;
+  for (int round = 0; round < 10 && !saw_cache_hit; ++round) {
+    for (size_t i = 0; i < net.size() && !saw_cache_hit; i += 3) {
+      auto looked = net.LookupSync(net.node(i), inserted.value());
+      ASSERT_TRUE(looked.ok());
+      EXPECT_EQ(looked.value().content, content);
+      saw_cache_hit = looked.value().from_cache;
+    }
+  }
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+TEST(PastMaintenanceTest, CacheDisabledMeansNoCachedCopies) {
+  PastNetworkOptions options = SmallNetOptions(313);
+  options.past.cache_policy = CachePolicy::kNone;
+  options.past.cache_on_insert_path = false;
+  options.past.cache_push_on_lookup = false;
+  PastNetwork net(options);
+  net.Build(30);
+  PastNode* client = net.node(1);
+  auto inserted = net.InsertSync(client, "nc", ToBytes("data"), 2);
+  ASSERT_TRUE(inserted.ok());
+  for (size_t i = 0; i < net.size(); i += 2) {
+    (void)net.LookupSync(net.node(i), inserted.value());
+  }
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i)->file_cache().entry_count(), 0u);
+  }
+}
+
+TEST(PastMaintenanceTest, CacheYieldsSpaceToPrimaries) {
+  PastNetworkOptions options = SmallNetOptions(315);
+  options.default_node_capacity = 3000;
+  options.past.policy.t_pri = 1.0;
+  options.past.default_replication = 2;
+  PastNetwork net(options);
+  net.Build(15);
+  PastNode* client = net.node(0);
+  // Seed caches via inserts (insert-path caching is on by default).
+  for (int i = 0; i < 10; ++i) {
+    (void)net.InsertSyntheticSync(client, "warm-" + std::to_string(i), 200, 2);
+  }
+  // Now fill primaries to capacity; cache must shrink, never block storage.
+  int stored = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto r = net.InsertSyntheticSync(client, "press-" + std::to_string(i), 800, 2);
+    stored += r.ok() ? 1 : 0;
+  }
+  EXPECT_GT(stored, 5);
+  for (size_t i = 0; i < net.size(); ++i) {
+    const PastNode* node = net.node(i);
+    EXPECT_LE(node->store().used() + node->file_cache().used(),
+              node->store().capacity())
+        << "node " << i << " overcommitted its disk";
+  }
+}
+
+}  // namespace
+}  // namespace past

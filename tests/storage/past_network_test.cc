@@ -1,0 +1,107 @@
+// PastNetwork builder tests: accounting, helpers, determinism.
+#include <gtest/gtest.h>
+
+#include "tests/storage/past_test_util.h"
+
+namespace past {
+namespace {
+
+TEST(PastNetworkTest, BuildWiresCardsToOverlayIds) {
+  PastNetwork net(SmallNetOptions(701));
+  net.Build(15);
+  EXPECT_EQ(net.size(), 15u);
+  EXPECT_EQ(net.broker().cards_issued(), 15u);
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i)->overlay()->id(), net.node(i)->card().DerivedNodeId());
+    EXPECT_TRUE(net.node(i)->overlay()->active());
+  }
+}
+
+TEST(PastNetworkTest, NodeByAddrFindsEveryNode) {
+  PastNetwork net(SmallNetOptions(703));
+  net.Build(10);
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.NodeByAddr(net.node(i)->overlay()->addr()), net.node(i));
+  }
+  EXPECT_EQ(net.NodeByAddr(9999), nullptr);
+}
+
+TEST(PastNetworkTest, SummaryStartsEmptyAndTracksInserts) {
+  PastNetwork net(SmallNetOptions(705));
+  net.Build(12);
+  auto empty = net.Summary();
+  EXPECT_EQ(empty.primary_used, 0u);
+  EXPECT_EQ(empty.files, 0u);
+  EXPECT_GT(empty.capacity, 0u);
+
+  auto r = net.InsertSyntheticSync(net.node(0), "s", 1000, 3);
+  ASSERT_TRUE(r.ok());
+  auto after = net.Summary();
+  EXPECT_EQ(after.primary_used, 3000u);
+  EXPECT_EQ(after.files, 3u);
+}
+
+TEST(PastNetworkTest, SummaryExcludesCrashedNodes) {
+  PastNetwork net(SmallNetOptions(707));
+  net.Build(10);
+  uint64_t full_capacity = net.Summary().capacity;
+  net.CrashNode(4);
+  EXPECT_LT(net.Summary().capacity, full_capacity);
+}
+
+TEST(PastNetworkTest, CountReplicasSeesOnlyLiveHolders) {
+  PastNetwork net(SmallNetOptions(709));
+  net.Build(20);
+  auto r = net.InsertSyntheticSync(net.node(0), "c", 100, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(net.CountReplicas(r.value()), 3);
+  for (size_t i = 0; i < net.size(); ++i) {
+    if (net.node(i)->store().Has(r.value())) {
+      net.CrashNode(i);
+      break;
+    }
+  }
+  EXPECT_EQ(net.CountReplicas(r.value()), 2);  // before any repair
+}
+
+TEST(PastNetworkTest, CustomCapacityAndQuotaRespected) {
+  PastNetwork net(SmallNetOptions(711));
+  PastNode* node = net.AddNode(/*capacity=*/12345, /*quota=*/999);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->store().capacity(), 12345u);
+  EXPECT_EQ(node->card().usage_quota(), 999u);
+  EXPECT_EQ(node->card().contributed_storage(), 12345u);
+}
+
+TEST(PastNetworkTest, BrokerBalanceRefusalPropagates) {
+  PastNetworkOptions options = SmallNetOptions(713);
+  options.broker.enforce_balance = true;
+  options.broker.max_demand_supply_ratio = 1.0;
+  PastNetwork net(options);
+  EXPECT_NE(net.AddNode(/*capacity=*/1000, /*quota=*/500), nullptr);
+  EXPECT_EQ(net.AddNode(/*capacity=*/0, /*quota=*/10000), nullptr);
+}
+
+TEST(PastNetworkTest, ReadOnlyClientCountsInSizeButNotCapacity) {
+  PastNetwork net(SmallNetOptions(715));
+  net.Build(8);
+  uint64_t capacity_before = net.Summary().capacity;
+  PastNode* reader = net.AddReadOnlyClient();
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(net.size(), 9u);
+  EXPECT_EQ(net.Summary().capacity, capacity_before);
+  EXPECT_EQ(net.broker().cards_issued(), 8u);  // no card for the reader
+}
+
+TEST(PastNetworkTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [] {
+    PastNetwork net(SmallNetOptions(717));
+    net.Build(10);
+    auto r = net.InsertSyntheticSync(net.node(2), "det", 512, 3);
+    return r.ok() ? r.value() : FileId{};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace past

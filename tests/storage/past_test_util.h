@@ -1,0 +1,23 @@
+// Shared fixture helpers for PAST storage-layer tests.
+#ifndef TESTS_STORAGE_PAST_TEST_UTIL_H_
+#define TESTS_STORAGE_PAST_TEST_UTIL_H_
+
+#include "src/storage/past_network.h"
+
+namespace past {
+
+inline PastNetworkOptions SmallNetOptions(uint64_t seed) {
+  PastNetworkOptions options;
+  options.overlay.seed = seed;
+  options.broker.modulus_pool = 4;  // cheap mass card issuance in tests
+  // Tight failure-detection timings keep failure tests fast.
+  options.overlay.pastry.keep_alive_period = 1 * kMicrosPerSecond;
+  options.overlay.pastry.failure_timeout = 3 * kMicrosPerSecond;
+  options.overlay.pastry.death_quarantine = 6 * kMicrosPerSecond;
+  options.past.request_timeout = 20 * kMicrosPerSecond;
+  return options;
+}
+
+}  // namespace past
+
+#endif  // TESTS_STORAGE_PAST_TEST_UTIL_H_

@@ -1,0 +1,171 @@
+#include "src/storage/smartcard.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.h"
+
+namespace past {
+namespace {
+
+Bytes ContentHash(std::string_view content) {
+  Bytes raw = ToBytes(content);
+  auto digest = Sha256::Hash(ByteSpan(raw.data(), raw.size()));
+  return Bytes(digest.begin(), digest.end());
+}
+
+class SmartcardTest : public ::testing::Test {
+ protected:
+  SmartcardTest() : broker_(7, BrokerOptions{}) {
+    card_ = std::move(broker_.IssueCard(1000, 500)).value();
+  }
+
+  Result<FileCertificate> Issue(uint64_t size, uint32_t k, uint64_t salt = 1) {
+    Bytes hash = ContentHash("x");
+    return card_->IssueFileCertificate("f", size, hash, k, salt, 10);
+  }
+
+  Broker broker_;
+  std::unique_ptr<Smartcard> card_;
+};
+
+TEST_F(SmartcardTest, QuotaDebitOnIssue) {
+  EXPECT_EQ(card_->quota_remaining(), 1000u);
+  auto cert = Issue(100, 3);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(card_->quota_used(), 300u);
+  EXPECT_EQ(card_->quota_remaining(), 700u);
+}
+
+TEST_F(SmartcardTest, QuotaExceededRejected) {
+  auto cert = Issue(400, 3);  // 1200 > 1000
+  EXPECT_FALSE(cert.ok());
+  EXPECT_EQ(cert.status(), StatusCode::kQuotaExceeded);
+  EXPECT_EQ(card_->quota_used(), 0u);
+}
+
+TEST_F(SmartcardTest, QuotaExactFitAccepted) {
+  auto cert = Issue(500, 2);  // exactly 1000
+  EXPECT_TRUE(cert.ok());
+  EXPECT_EQ(card_->quota_remaining(), 0u);
+  EXPECT_FALSE(Issue(1, 1, 2).ok());
+}
+
+TEST_F(SmartcardTest, InvalidParamsRejected) {
+  EXPECT_EQ(Issue(0, 3).status(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Issue(100, 0).status(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SmartcardTest, OverflowingChargeRejected) {
+  auto cert = card_->IssueFileCertificate("f", ~0ULL / 2, ContentHash("x"), 3, 1, 0);
+  EXPECT_EQ(cert.status(), StatusCode::kQuotaExceeded);
+}
+
+TEST_F(SmartcardTest, ExpiredCardRejectsIssuance) {
+  auto expiring = std::move(broker_.IssueCard(1000, 0, /*expiry=*/100)).value();
+  auto ok = expiring->IssueFileCertificate("f", 10, ContentHash("x"), 1, 1, /*date=*/50);
+  EXPECT_TRUE(ok.ok());
+  auto expired =
+      expiring->IssueFileCertificate("f", 10, ContentHash("x"), 1, 2, /*date=*/200);
+  EXPECT_EQ(expired.status(), StatusCode::kCertificateExpired);
+}
+
+TEST_F(SmartcardTest, RefundRestoresQuotaOnce) {
+  auto cert = Issue(100, 3);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(card_->RefundFileCertificate(cert.value()), StatusCode::kOk);
+  EXPECT_EQ(card_->quota_used(), 0u);
+  // Double refund refused.
+  EXPECT_EQ(card_->RefundFileCertificate(cert.value()), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SmartcardTest, RefundOfForeignCertRejected) {
+  auto other = std::move(broker_.IssueCard(1000, 0)).value();
+  auto cert = Issue(100, 3);
+  EXPECT_EQ(other->RefundFileCertificate(cert.value()), StatusCode::kNotAuthorized);
+}
+
+TEST_F(SmartcardTest, CreditReclaimRoundTrip) {
+  auto cert = Issue(100, 3);
+  ASSERT_TRUE(cert.ok());
+  auto node_card = std::move(broker_.IssueCard(0, 1 << 20)).value();
+  ReclaimReceipt receipt =
+      node_card->IssueReclaimReceipt(cert.value().file_id, 100, 50);
+  EXPECT_EQ(card_->CreditReclaim(receipt, cert.value()), StatusCode::kOk);
+  EXPECT_EQ(card_->quota_used(), 0u);
+  // Further receipts for the same file do not double-credit.
+  ReclaimReceipt receipt2 =
+      node_card->IssueReclaimReceipt(cert.value().file_id, 100, 51);
+  EXPECT_EQ(card_->CreditReclaim(receipt2, cert.value()), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SmartcardTest, CreditReclaimRejectsForgedReceipt) {
+  auto cert = Issue(100, 3);
+  auto node_card = std::move(broker_.IssueCard(0, 1 << 20)).value();
+  ReclaimReceipt receipt =
+      node_card->IssueReclaimReceipt(cert.value().file_id, 100, 50);
+  receipt.bytes_reclaimed = 999999;  // tampered
+  EXPECT_EQ(card_->CreditReclaim(receipt, cert.value()),
+            StatusCode::kVerificationFailed);
+  EXPECT_EQ(card_->quota_used(), 300u);
+}
+
+TEST_F(SmartcardTest, CreditReclaimRejectsMismatchedFile) {
+  auto cert = Issue(100, 3, 1);
+  auto cert2 = Issue(50, 2, 2);
+  auto node_card = std::move(broker_.IssueCard(0, 1 << 20)).value();
+  ReclaimReceipt receipt =
+      node_card->IssueReclaimReceipt(cert.value().file_id, 100, 50);
+  EXPECT_EQ(card_->CreditReclaim(receipt, cert2.value()),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SmartcardTest, NodeIdDerivation) {
+  NodeId id = card_->DerivedNodeId();
+  EXPECT_EQ(id, NodeIdFromPublicKey(card_->identity().public_key.Encode()));
+  EXPECT_NE(id, U128::Zero());
+}
+
+TEST(BrokerTest, TracksSupplyAndDemand) {
+  Broker broker(11, BrokerOptions{});
+  (void)broker.IssueCard(100, 50);
+  (void)broker.IssueCard(200, 0);
+  EXPECT_EQ(broker.total_demand(), 300u);
+  EXPECT_EQ(broker.total_supply(), 50u);
+  EXPECT_EQ(broker.cards_issued(), 2u);
+}
+
+TEST(BrokerTest, BalanceEnforcementRefusesExcessDemand) {
+  BrokerOptions options;
+  options.enforce_balance = true;
+  options.max_demand_supply_ratio = 1.0;
+  Broker broker(13, options);
+  // A card that both contributes and uses balances out.
+  EXPECT_TRUE(broker.IssueCard(100, 100).ok());
+  // Pure demand beyond supply is refused.
+  auto refused = broker.IssueCard(500, 0);
+  EXPECT_EQ(refused.status(), StatusCode::kQuotaExceeded);
+  // More supply unlocks more demand.
+  EXPECT_TRUE(broker.IssueCard(0, 500).ok());
+  EXPECT_TRUE(broker.IssueCard(400, 0).ok());
+}
+
+TEST(BrokerTest, PooledModulusCardsHaveDistinctIdentities) {
+  BrokerOptions options;
+  options.modulus_pool = 2;
+  Broker broker(17, options);
+  auto a = std::move(broker.IssueCard(10, 10)).value();
+  auto b = std::move(broker.IssueCard(10, 10)).value();
+  auto c = std::move(broker.IssueCard(10, 10)).value();
+  EXPECT_NE(a->DerivedNodeId(), b->DerivedNodeId());
+  EXPECT_NE(a->DerivedNodeId(), c->DerivedNodeId());
+  // Pooled cards still produce verifiable signatures.
+  StoreReceipt receipt = a->IssueStoreReceipt(FileId{}, false, 1);
+  EXPECT_TRUE(receipt.Verify(broker.public_key()));
+  // And cross-card forgery fails: b cannot sign as a.
+  StoreReceipt forged = b->IssueStoreReceipt(FileId{}, false, 1);
+  forged.node_card = a->identity();
+  EXPECT_FALSE(forged.Verify(broker.public_key()));
+}
+
+}  // namespace
+}  // namespace past

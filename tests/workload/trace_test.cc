@@ -1,0 +1,131 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/replay.h"
+#include "tests/storage/past_test_util.h"
+
+namespace past {
+namespace {
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.Add({TraceOpType::kInsert, 3, "doc-a", 1024, 3, -1});
+  trace.Add({TraceOpType::kLookup, 7, "", 0, 0, 0});
+  trace.Add({TraceOpType::kInsert, 1, "doc-b", 99, 2, -1});
+  trace.Add({TraceOpType::kReclaim, 3, "", 0, 0, 0});
+  trace.Add({TraceOpType::kCrash, 5, "", 0, 0, -1});
+  trace.Add({TraceOpType::kJoin, 0, "", 0, 0, -1});
+  auto parsed = Trace::Parse(trace.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), trace);
+}
+
+TEST(TraceTest, ParseSkipsCommentsAndBlankLines) {
+  auto parsed = Trace::Parse("# header\n\ninsert 0 f 100 3\n# trailing\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().ops()[0].name, "f");
+}
+
+TEST(TraceTest, ParseRejectsUnknownVerb) {
+  EXPECT_FALSE(Trace::Parse("destroy 1 2\n").ok());
+}
+
+TEST(TraceTest, ParseRejectsMalformedFields) {
+  EXPECT_FALSE(Trace::Parse("insert 0 f\n").ok());            // missing fields
+  EXPECT_FALSE(Trace::Parse("insert 0 f 0 3\n").ok());        // zero size
+  EXPECT_FALSE(Trace::Parse("insert 0 f 10 0\n").ok());       // zero k
+  EXPECT_FALSE(Trace::Parse("insert -1 f 10 3\n").ok());      // negative client
+  EXPECT_FALSE(Trace::Parse("insert 0 f 10 3 junk\n").ok());  // trailing field
+}
+
+TEST(TraceTest, ParseRejectsDanglingFileRef) {
+  // A lookup cannot reference an insert that has not appeared yet.
+  EXPECT_FALSE(Trace::Parse("lookup 0 0\n").ok());
+  EXPECT_FALSE(Trace::Parse("insert 0 f 10 3\nlookup 0 1\n").ok());
+  EXPECT_TRUE(Trace::Parse("insert 0 f 10 3\nlookup 0 0\n").ok());
+}
+
+TEST(TraceTest, GenerateRespectsStructure) {
+  Rng rng(1);
+  TraceWorkloadOptions options;
+  options.operations = 400;
+  Trace trace = GenerateTrace(options, &rng);
+  EXPECT_EQ(trace.size(), 400u);
+  size_t inserts = trace.InsertCount();
+  EXPECT_GT(inserts, 80u);
+  // Every reference points at an earlier insert.
+  size_t seen = 0;
+  for (const TraceOp& op : trace.ops()) {
+    if (op.type == TraceOpType::kInsert) {
+      ++seen;
+    }
+    if (op.type == TraceOpType::kLookup || op.type == TraceOpType::kReclaim) {
+      EXPECT_GE(op.file_ref, 0);
+      EXPECT_LT(static_cast<size_t>(op.file_ref), seen);
+    }
+  }
+  // Generated traces round-trip through the text form.
+  auto parsed = Trace::Parse(trace.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), trace);
+}
+
+TEST(TraceTest, GenerateNeverReclaimsTwice) {
+  Rng rng(3);
+  TraceWorkloadOptions options;
+  options.operations = 600;
+  options.reclaim_weight = 0.3;
+  Trace trace = GenerateTrace(options, &rng);
+  std::set<int> reclaimed;
+  for (const TraceOp& op : trace.ops()) {
+    if (op.type == TraceOpType::kReclaim) {
+      EXPECT_TRUE(reclaimed.insert(op.file_ref).second)
+          << "file " << op.file_ref << " reclaimed twice";
+    }
+  }
+}
+
+TEST(ReplayTest, EndToEndAgainstNetwork) {
+  PastNetworkOptions net_options = SmallNetOptions(801);
+  PastNetwork net(net_options);
+  net.Build(25);
+
+  Rng rng(7);
+  TraceWorkloadOptions options;
+  options.operations = 120;
+  options.clients = 25;
+  options.churn_weight = 0.03;
+  options.sizes.max_size = 8 << 10;
+  Trace trace = GenerateTrace(options, &rng);
+
+  ReplayResult result = ReplayTrace(trace, &net);
+  EXPECT_GT(result.inserts_ok, 10);
+  EXPECT_EQ(result.lookups_failed, 0) << "live files must always resolve";
+  EXPECT_EQ(result.reclaims_failed, 0);
+  EXPECT_EQ(result.inserts_ok + result.inserts_failed,
+            static_cast<int>(trace.InsertCount()));
+}
+
+TEST(ReplayTest, DeterministicForSameSeedAndTrace) {
+  Rng rng(9);
+  TraceWorkloadOptions options;
+  options.operations = 60;
+  options.churn_weight = 0.0;
+  Trace trace = GenerateTrace(options, &rng);
+
+  auto run = [&trace] {
+    PastNetwork net(SmallNetOptions(803));
+    net.Build(15);
+    return ReplayTrace(trace, &net);
+  };
+  ReplayResult a = run();
+  ReplayResult b = run();
+  EXPECT_EQ(a.inserts_ok, b.inserts_ok);
+  EXPECT_EQ(a.lookups_ok, b.lookups_ok);
+  EXPECT_EQ(a.reclaims_ok, b.reclaims_ok);
+}
+
+}  // namespace
+}  // namespace past

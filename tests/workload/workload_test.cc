@@ -1,0 +1,96 @@
+#include "src/workload/workload.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace past {
+namespace {
+
+TEST(FileSizeModelTest, SamplesWithinClamp) {
+  Rng rng(1);
+  FileSizeModel model;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t size = model.Sample(&rng);
+    EXPECT_GE(size, model.min_size);
+    EXPECT_LE(size, model.max_size);
+  }
+}
+
+TEST(FileSizeModelTest, MedianNearLognormalMedian) {
+  Rng rng(3);
+  FileSizeModel model;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(model.Sample(&rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  double median = static_cast<double>(samples[samples.size() / 2]);
+  double expected = std::exp(model.lognormal_mu);  // ~4 KiB
+  EXPECT_GT(median, expected * 0.6);
+  EXPECT_LT(median, expected * 1.6);
+}
+
+TEST(FileSizeModelTest, HeavyTailPresent) {
+  Rng rng(5);
+  FileSizeModel model;
+  uint64_t max_seen = 0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t s = model.Sample(&rng);
+    max_seen = std::max(max_seen, s);
+    sum += static_cast<double>(s);
+  }
+  double mean = sum / n;
+  // Heavy tail: the max dwarfs the mean.
+  EXPECT_GT(static_cast<double>(max_seen), mean * 50);
+}
+
+TEST(CapacityModelTest, MultiplesOfBaseWithinSpread) {
+  Rng rng(7);
+  CapacityModel model;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t c = model.Sample(&rng);
+    EXPECT_EQ(c % model.base, 0u);
+    EXPECT_GE(c, model.base * static_cast<uint64_t>(model.min_multiple));
+    EXPECT_LE(c, model.base * static_cast<uint64_t>(model.max_multiple));
+  }
+}
+
+TEST(CapacityModelTest, SpreadCoversRange) {
+  Rng rng(9);
+  CapacityModel model;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    seen.insert(model.Sample(&rng) / model.base);
+  }
+  // Most multiples in [2,100] should occur.
+  EXPECT_GT(seen.size(), 80u);
+}
+
+TEST(GenerateFilesTest, NamesUniqueSizesSampled) {
+  Rng rng(11);
+  auto files = GenerateFiles(100, FileSizeModel{}, &rng);
+  ASSERT_EQ(files.size(), 100u);
+  std::set<std::string> names;
+  for (const auto& f : files) {
+    names.insert(f.name);
+    EXPECT_GT(f.size, 0u);
+  }
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(LookupTraceTest, PopularityIsZipfish) {
+  Rng rng(13);
+  LookupTrace trace(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    counts[trace.Next(&rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+}  // namespace
+}  // namespace past
