@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_availability.dir/exp_availability.cpp.o"
+  "CMakeFiles/exp_availability.dir/exp_availability.cpp.o.d"
+  "exp_availability"
+  "exp_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_caching.dir/exp_caching.cpp.o"
+  "CMakeFiles/exp_caching.dir/exp_caching.cpp.o.d"
+  "exp_caching"
+  "exp_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

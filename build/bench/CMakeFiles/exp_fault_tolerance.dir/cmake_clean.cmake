@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fault_tolerance.dir/exp_fault_tolerance.cpp.o"
+  "CMakeFiles/exp_fault_tolerance.dir/exp_fault_tolerance.cpp.o.d"
+  "exp_fault_tolerance"
+  "exp_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_join_cost.dir/exp_join_cost.cpp.o"
+  "CMakeFiles/exp_join_cost.dir/exp_join_cost.cpp.o.d"
+  "exp_join_cost"
+  "exp_join_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_join_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

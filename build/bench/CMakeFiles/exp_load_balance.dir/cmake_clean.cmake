@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_load_balance.dir/exp_load_balance.cpp.o"
+  "CMakeFiles/exp_load_balance.dir/exp_load_balance.cpp.o.d"
+  "exp_load_balance"
+  "exp_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_locality.dir/exp_locality.cpp.o"
+  "CMakeFiles/exp_locality.dir/exp_locality.cpp.o.d"
+  "exp_locality"
+  "exp_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

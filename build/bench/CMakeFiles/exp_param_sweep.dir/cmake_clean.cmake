@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_param_sweep.dir/exp_param_sweep.cpp.o"
+  "CMakeFiles/exp_param_sweep.dir/exp_param_sweep.cpp.o.d"
+  "exp_param_sweep"
+  "exp_param_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

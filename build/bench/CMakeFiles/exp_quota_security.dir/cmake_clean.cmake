@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_quota_security.dir/exp_quota_security.cpp.o"
+  "CMakeFiles/exp_quota_security.dir/exp_quota_security.cpp.o.d"
+  "exp_quota_security"
+  "exp_quota_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_quota_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

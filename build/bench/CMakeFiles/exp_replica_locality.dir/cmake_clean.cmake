@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_replica_locality.dir/exp_replica_locality.cpp.o"
+  "CMakeFiles/exp_replica_locality.dir/exp_replica_locality.cpp.o.d"
+  "exp_replica_locality"
+  "exp_replica_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_replica_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_replica_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_replica_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_routing_hops.dir/exp_routing_hops.cpp.o"
+  "CMakeFiles/exp_routing_hops.dir/exp_routing_hops.cpp.o.d"
+  "exp_routing_hops"
+  "exp_routing_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_routing_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

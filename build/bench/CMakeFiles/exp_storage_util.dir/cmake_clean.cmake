@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_storage_util.dir/exp_storage_util.cpp.o"
+  "CMakeFiles/exp_storage_util.dir/exp_storage_util.cpp.o.d"
+  "exp_storage_util"
+  "exp_storage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_storage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table_size.dir/exp_table_size.cpp.o"
+  "CMakeFiles/exp_table_size.dir/exp_table_size.cpp.o.d"
+  "exp_table_size"
+  "exp_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_backup.dir/archival_backup.cpp.o"
+  "CMakeFiles/archival_backup.dir/archival_backup.cpp.o.d"
+  "archival_backup"
+  "archival_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

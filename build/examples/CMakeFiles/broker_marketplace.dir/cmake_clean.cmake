@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_marketplace.dir/broker_marketplace.cpp.o"
+  "CMakeFiles/broker_marketplace.dir/broker_marketplace.cpp.o.d"
+  "broker_marketplace"
+  "broker_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_distribution.dir/content_distribution.cpp.o"
+  "CMakeFiles/content_distribution.dir/content_distribution.cpp.o.d"
+  "content_distribution"
+  "content_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

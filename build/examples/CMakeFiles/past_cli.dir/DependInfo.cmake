@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/past_cli.cpp" "examples/CMakeFiles/past_cli.dir/past_cli.cpp.o" "gcc" "examples/CMakeFiles/past_cli.dir/past_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/past_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/past_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/past_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/past_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/past_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/past_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

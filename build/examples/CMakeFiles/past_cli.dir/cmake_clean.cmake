@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_cli.dir/past_cli.cpp.o"
+  "CMakeFiles/past_cli.dir/past_cli.cpp.o.d"
+  "past_cli"
+  "past_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

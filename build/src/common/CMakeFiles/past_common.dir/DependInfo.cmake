@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/common/CMakeFiles/past_common.dir/bytes.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/bytes.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/past_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/past_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/serializer.cc" "src/common/CMakeFiles/past_common.dir/serializer.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/serializer.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/past_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/status.cc.o.d"
+  "/root/repo/src/common/u128.cc" "src/common/CMakeFiles/past_common.dir/u128.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/u128.cc.o.d"
+  "/root/repo/src/common/u160.cc" "src/common/CMakeFiles/past_common.dir/u160.cc.o" "gcc" "src/common/CMakeFiles/past_common.dir/u160.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_common.dir/bytes.cc.o"
+  "CMakeFiles/past_common.dir/bytes.cc.o.d"
+  "CMakeFiles/past_common.dir/logging.cc.o"
+  "CMakeFiles/past_common.dir/logging.cc.o.d"
+  "CMakeFiles/past_common.dir/rng.cc.o"
+  "CMakeFiles/past_common.dir/rng.cc.o.d"
+  "CMakeFiles/past_common.dir/serializer.cc.o"
+  "CMakeFiles/past_common.dir/serializer.cc.o.d"
+  "CMakeFiles/past_common.dir/status.cc.o"
+  "CMakeFiles/past_common.dir/status.cc.o.d"
+  "CMakeFiles/past_common.dir/u128.cc.o"
+  "CMakeFiles/past_common.dir/u128.cc.o.d"
+  "CMakeFiles/past_common.dir/u160.cc.o"
+  "CMakeFiles/past_common.dir/u160.cc.o.d"
+  "libpast_common.a"
+  "libpast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_crypto.dir/bignum.cc.o"
+  "CMakeFiles/past_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/past_crypto.dir/rsa.cc.o"
+  "CMakeFiles/past_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/past_crypto.dir/sha1.cc.o"
+  "CMakeFiles/past_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/past_crypto.dir/sha256.cc.o"
+  "CMakeFiles/past_crypto.dir/sha256.cc.o.d"
+  "libpast_crypto.a"
+  "libpast_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pastry/leaf_set.cc" "src/pastry/CMakeFiles/past_pastry.dir/leaf_set.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/leaf_set.cc.o.d"
+  "/root/repo/src/pastry/messages.cc" "src/pastry/CMakeFiles/past_pastry.dir/messages.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/messages.cc.o.d"
+  "/root/repo/src/pastry/neighborhood_set.cc" "src/pastry/CMakeFiles/past_pastry.dir/neighborhood_set.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/neighborhood_set.cc.o.d"
+  "/root/repo/src/pastry/node_id.cc" "src/pastry/CMakeFiles/past_pastry.dir/node_id.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/node_id.cc.o.d"
+  "/root/repo/src/pastry/overlay.cc" "src/pastry/CMakeFiles/past_pastry.dir/overlay.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/overlay.cc.o.d"
+  "/root/repo/src/pastry/pastry_node.cc" "src/pastry/CMakeFiles/past_pastry.dir/pastry_node.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/pastry_node.cc.o.d"
+  "/root/repo/src/pastry/routing_table.cc" "src/pastry/CMakeFiles/past_pastry.dir/routing_table.cc.o" "gcc" "src/pastry/CMakeFiles/past_pastry.dir/routing_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/past_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/past_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/past_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_pastry.dir/leaf_set.cc.o"
+  "CMakeFiles/past_pastry.dir/leaf_set.cc.o.d"
+  "CMakeFiles/past_pastry.dir/messages.cc.o"
+  "CMakeFiles/past_pastry.dir/messages.cc.o.d"
+  "CMakeFiles/past_pastry.dir/neighborhood_set.cc.o"
+  "CMakeFiles/past_pastry.dir/neighborhood_set.cc.o.d"
+  "CMakeFiles/past_pastry.dir/node_id.cc.o"
+  "CMakeFiles/past_pastry.dir/node_id.cc.o.d"
+  "CMakeFiles/past_pastry.dir/overlay.cc.o"
+  "CMakeFiles/past_pastry.dir/overlay.cc.o.d"
+  "CMakeFiles/past_pastry.dir/pastry_node.cc.o"
+  "CMakeFiles/past_pastry.dir/pastry_node.cc.o.d"
+  "CMakeFiles/past_pastry.dir/routing_table.cc.o"
+  "CMakeFiles/past_pastry.dir/routing_table.cc.o.d"
+  "libpast_pastry.a"
+  "libpast_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

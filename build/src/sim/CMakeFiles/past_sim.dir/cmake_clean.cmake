@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_sim.dir/churn.cc.o"
+  "CMakeFiles/past_sim.dir/churn.cc.o.d"
+  "CMakeFiles/past_sim.dir/event_queue.cc.o"
+  "CMakeFiles/past_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/past_sim.dir/network.cc.o"
+  "CMakeFiles/past_sim.dir/network.cc.o.d"
+  "CMakeFiles/past_sim.dir/topology.cc.o"
+  "CMakeFiles/past_sim.dir/topology.cc.o.d"
+  "libpast_sim.a"
+  "libpast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

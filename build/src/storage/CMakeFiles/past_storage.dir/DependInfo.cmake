@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache.cc" "src/storage/CMakeFiles/past_storage.dir/cache.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/cache.cc.o.d"
+  "/root/repo/src/storage/certificates.cc" "src/storage/CMakeFiles/past_storage.dir/certificates.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/certificates.cc.o.d"
+  "/root/repo/src/storage/file_id.cc" "src/storage/CMakeFiles/past_storage.dir/file_id.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/file_id.cc.o.d"
+  "/root/repo/src/storage/file_store.cc" "src/storage/CMakeFiles/past_storage.dir/file_store.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/file_store.cc.o.d"
+  "/root/repo/src/storage/messages.cc" "src/storage/CMakeFiles/past_storage.dir/messages.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/messages.cc.o.d"
+  "/root/repo/src/storage/past_network.cc" "src/storage/CMakeFiles/past_storage.dir/past_network.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/past_network.cc.o.d"
+  "/root/repo/src/storage/past_node.cc" "src/storage/CMakeFiles/past_storage.dir/past_node.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/past_node.cc.o.d"
+  "/root/repo/src/storage/smartcard.cc" "src/storage/CMakeFiles/past_storage.dir/smartcard.cc.o" "gcc" "src/storage/CMakeFiles/past_storage.dir/smartcard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/past_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/past_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/past_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/past_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_storage.dir/cache.cc.o"
+  "CMakeFiles/past_storage.dir/cache.cc.o.d"
+  "CMakeFiles/past_storage.dir/certificates.cc.o"
+  "CMakeFiles/past_storage.dir/certificates.cc.o.d"
+  "CMakeFiles/past_storage.dir/file_id.cc.o"
+  "CMakeFiles/past_storage.dir/file_id.cc.o.d"
+  "CMakeFiles/past_storage.dir/file_store.cc.o"
+  "CMakeFiles/past_storage.dir/file_store.cc.o.d"
+  "CMakeFiles/past_storage.dir/messages.cc.o"
+  "CMakeFiles/past_storage.dir/messages.cc.o.d"
+  "CMakeFiles/past_storage.dir/past_network.cc.o"
+  "CMakeFiles/past_storage.dir/past_network.cc.o.d"
+  "CMakeFiles/past_storage.dir/past_node.cc.o"
+  "CMakeFiles/past_storage.dir/past_node.cc.o.d"
+  "CMakeFiles/past_storage.dir/smartcard.cc.o"
+  "CMakeFiles/past_storage.dir/smartcard.cc.o.d"
+  "libpast_storage.a"
+  "libpast_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

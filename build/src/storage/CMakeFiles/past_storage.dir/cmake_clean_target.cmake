@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpast_storage.a"
+)

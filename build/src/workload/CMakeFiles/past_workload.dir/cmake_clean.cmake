@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_workload.dir/replay.cc.o"
+  "CMakeFiles/past_workload.dir/replay.cc.o.d"
+  "CMakeFiles/past_workload.dir/trace.cc.o"
+  "CMakeFiles/past_workload.dir/trace.cc.o.d"
+  "CMakeFiles/past_workload.dir/workload.cc.o"
+  "CMakeFiles/past_workload.dir/workload.cc.o.d"
+  "libpast_workload.a"
+  "libpast_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

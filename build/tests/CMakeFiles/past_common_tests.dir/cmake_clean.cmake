@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_common_tests.dir/common/bytes_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/bytes_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/serializer_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/serializer_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/u128_property_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/u128_property_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/u128_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/u128_test.cc.o.d"
+  "CMakeFiles/past_common_tests.dir/common/u160_test.cc.o"
+  "CMakeFiles/past_common_tests.dir/common/u160_test.cc.o.d"
+  "past_common_tests"
+  "past_common_tests.pdb"
+  "past_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

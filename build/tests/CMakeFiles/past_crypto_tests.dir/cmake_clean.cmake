@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_crypto_tests.dir/crypto/bignum_test.cc.o"
+  "CMakeFiles/past_crypto_tests.dir/crypto/bignum_test.cc.o.d"
+  "CMakeFiles/past_crypto_tests.dir/crypto/crypto_property_test.cc.o"
+  "CMakeFiles/past_crypto_tests.dir/crypto/crypto_property_test.cc.o.d"
+  "CMakeFiles/past_crypto_tests.dir/crypto/rsa_test.cc.o"
+  "CMakeFiles/past_crypto_tests.dir/crypto/rsa_test.cc.o.d"
+  "CMakeFiles/past_crypto_tests.dir/crypto/sha1_test.cc.o"
+  "CMakeFiles/past_crypto_tests.dir/crypto/sha1_test.cc.o.d"
+  "CMakeFiles/past_crypto_tests.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/past_crypto_tests.dir/crypto/sha256_test.cc.o.d"
+  "past_crypto_tests"
+  "past_crypto_tests.pdb"
+  "past_crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

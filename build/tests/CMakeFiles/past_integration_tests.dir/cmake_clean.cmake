@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/past_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/past_integration_tests.dir/workload/trace_test.cc.o"
+  "CMakeFiles/past_integration_tests.dir/workload/trace_test.cc.o.d"
+  "CMakeFiles/past_integration_tests.dir/workload/workload_test.cc.o"
+  "CMakeFiles/past_integration_tests.dir/workload/workload_test.cc.o.d"
+  "past_integration_tests"
+  "past_integration_tests.pdb"
+  "past_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pastry/config_variants_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/config_variants_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/config_variants_test.cc.o.d"
+  "/root/repo/tests/pastry/join_failure_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/join_failure_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/join_failure_test.cc.o.d"
+  "/root/repo/tests/pastry/leaf_set_property_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_property_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_property_test.cc.o.d"
+  "/root/repo/tests/pastry/leaf_set_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_test.cc.o.d"
+  "/root/repo/tests/pastry/messages_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/messages_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/messages_test.cc.o.d"
+  "/root/repo/tests/pastry/neighborhood_set_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/neighborhood_set_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/neighborhood_set_test.cc.o.d"
+  "/root/repo/tests/pastry/node_id_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/node_id_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/node_id_test.cc.o.d"
+  "/root/repo/tests/pastry/overlay_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/overlay_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/overlay_test.cc.o.d"
+  "/root/repo/tests/pastry/pastry_node_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/pastry_node_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/pastry_node_test.cc.o.d"
+  "/root/repo/tests/pastry/routing_table_property_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_table_property_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_table_property_test.cc.o.d"
+  "/root/repo/tests/pastry/routing_table_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_table_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_table_test.cc.o.d"
+  "/root/repo/tests/pastry/routing_test.cc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_test.cc.o" "gcc" "tests/CMakeFiles/past_pastry_tests.dir/pastry/routing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/past_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/past_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/past_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/past_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/past_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/past_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

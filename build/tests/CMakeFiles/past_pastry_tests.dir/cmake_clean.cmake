@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_pastry_tests.dir/pastry/config_variants_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/config_variants_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/join_failure_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/join_failure_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_property_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_property_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/leaf_set_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/messages_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/messages_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/neighborhood_set_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/neighborhood_set_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/node_id_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/node_id_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/overlay_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/overlay_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/pastry_node_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/pastry_node_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_table_property_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_table_property_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_table_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_table_test.cc.o.d"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_test.cc.o"
+  "CMakeFiles/past_pastry_tests.dir/pastry/routing_test.cc.o.d"
+  "past_pastry_tests"
+  "past_pastry_tests.pdb"
+  "past_pastry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_pastry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_sim_tests.dir/sim/churn_test.cc.o"
+  "CMakeFiles/past_sim_tests.dir/sim/churn_test.cc.o.d"
+  "CMakeFiles/past_sim_tests.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/past_sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/past_sim_tests.dir/sim/network_test.cc.o"
+  "CMakeFiles/past_sim_tests.dir/sim/network_test.cc.o.d"
+  "CMakeFiles/past_sim_tests.dir/sim/topology_test.cc.o"
+  "CMakeFiles/past_sim_tests.dir/sim/topology_test.cc.o.d"
+  "past_sim_tests"
+  "past_sim_tests.pdb"
+  "past_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/cache_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/cache_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/cache_test.cc.o.d"
+  "/root/repo/tests/storage/certificates_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/certificates_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/certificates_test.cc.o.d"
+  "/root/repo/tests/storage/file_store_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/file_store_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/file_store_test.cc.o.d"
+  "/root/repo/tests/storage/messages_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/messages_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/messages_test.cc.o.d"
+  "/root/repo/tests/storage/past_basic_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_basic_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_basic_test.cc.o.d"
+  "/root/repo/tests/storage/past_diversion_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_diversion_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_diversion_test.cc.o.d"
+  "/root/repo/tests/storage/past_maintenance_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_maintenance_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_maintenance_test.cc.o.d"
+  "/root/repo/tests/storage/past_network_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_network_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_network_test.cc.o.d"
+  "/root/repo/tests/storage/past_readonly_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_readonly_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_readonly_test.cc.o.d"
+  "/root/repo/tests/storage/past_security_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_security_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/past_security_test.cc.o.d"
+  "/root/repo/tests/storage/smartcard_test.cc" "tests/CMakeFiles/past_storage_tests.dir/storage/smartcard_test.cc.o" "gcc" "tests/CMakeFiles/past_storage_tests.dir/storage/smartcard_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/past_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/past_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/past_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/past_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/past_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/past_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_storage_tests.dir/storage/cache_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/cache_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/certificates_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/certificates_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/file_store_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/file_store_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/messages_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/messages_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_basic_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_basic_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_diversion_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_diversion_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_maintenance_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_maintenance_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_network_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_network_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_readonly_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_readonly_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/past_security_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/past_security_test.cc.o.d"
+  "CMakeFiles/past_storage_tests.dir/storage/smartcard_test.cc.o"
+  "CMakeFiles/past_storage_tests.dir/storage/smartcard_test.cc.o.d"
+  "past_storage_tests"
+  "past_storage_tests.pdb"
+  "past_storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/past_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/past_crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/past_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/past_pastry_tests[1]_include.cmake")
+include("/root/repo/build/tests/past_storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/past_integration_tests[1]_include.cmake")
