@@ -6,9 +6,14 @@
 // a failure recovery procedure".
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
-  PrintHeader("E10: file availability and k-restoration under churn (200 nodes)",
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "availability");
+  const int kNodes = args.smoke ? 80 : 200;
+  const int kFiles = args.smoke ? 15 : 40;
+  const int kToKill = args.smoke ? 12 : 30;  // 15% of the network
+  PrintHeader("E10: file availability and k-restoration under churn",
               "available while >=1 replica lives; recovery restores k copies");
 
   std::printf("%6s %14s %16s %18s %16s\n", "k", "nodes killed", "avail (fresh)",
@@ -27,10 +32,10 @@ int main() {
     options.default_user_quota = ~0ULL >> 2;
 
     PastNetwork net(options);
-    net.Build(200);
+    net.Build(kNodes);
     PastNode* client = net.node(0);
     std::vector<FileId> files;
-    for (int f = 0; f < 40; ++f) {
+    for (int f = 0; f < kFiles; ++f) {
       auto r = net.InsertSyntheticSync(client, "av-" + std::to_string(f), 4096, k);
       if (r.ok()) {
         files.push_back(r.value());
@@ -39,7 +44,7 @@ int main() {
 
     // Kill 15% of nodes at once (sparing the client).
     Rng rng(k * 31);
-    int to_kill = 30;
+    int to_kill = kToKill;
     int killed = 0;
     while (killed < to_kill) {
       size_t victim = 1 + rng.UniformU64(net.size() - 1);
@@ -66,8 +71,17 @@ int main() {
                 100.0 * fresh_ok / static_cast<double>(files.size()),
                 100.0 * healed_ok / static_cast<double>(files.size()),
                 replica_sum / static_cast<double>(files.size()));
+
+    JsonValue row = JsonValue::Object();
+    row.Set("k", static_cast<int>(k));
+    row.Set("nodes_killed", to_kill);
+    row.Set("avail_fresh", fresh_ok / static_cast<double>(files.size()));
+    row.Set("avail_healed", healed_ok / static_cast<double>(files.size()));
+    row.Set("avg_replicas_healed", replica_sum / static_cast<double>(files.size()));
+    json.AddRow("availability_vs_k", std::move(row));
+    json.SetMetrics(net.overlay().network().metrics());
   }
   std::printf("\nExpected shape: higher k -> fresh availability closer to 100%%;\n");
   std::printf("after the repair window every file is back to k replicas.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

@@ -18,7 +18,8 @@ struct CacheRunResult {
   double top_holder_load = 0;     // share of lookups served by busiest node
 };
 
-CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed) {
+CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke,
+                              ExpJson* json) {
   PastNetworkOptions options;
   options.overlay.seed = seed;
   options.overlay.pastry.keep_alive_period = 0;
@@ -34,9 +35,9 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed) {
   options.default_node_capacity = 96 << 10;
   options.default_user_quota = ~0ULL >> 2;
 
-  const int kNodes = 400;
-  const int kFiles = 150;
-  const int kLookups = 3000;
+  const int kNodes = smoke ? 100 : 400;
+  const int kFiles = smoke ? 40 : 150;
+  const int kLookups = smoke ? 300 : 3000;
 
   PastNetwork net(options);
   net.Build(kNodes);
@@ -96,13 +97,16 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed) {
     top = std::max(top, count);
   }
   result.top_holder_load = 100.0 * top / kLookups;
+  json->SetMetrics(net.overlay().network().metrics());
   return result;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("E8: caching policies under Zipf(1.0) lookups (400 nodes)",
+int main(int argc, char** argv) {
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "caching");
+  PrintHeader("E8: caching policies under Zipf(1.0) lookups",
               "caching balances query load and cuts fetch distance");
 
   std::printf("%10s %14s %18s %20s\n", "policy", "cache hits", "avg fetch dist",
@@ -114,12 +118,19 @@ int main() {
   for (const Row& row : {Row{"none", CachePolicy::kNone},
                          Row{"LRU", CachePolicy::kLru},
                          Row{"GD-S", CachePolicy::kGreedyDualSize}}) {
-    CacheRunResult r = RunCachePolicy(row.policy, 8001);
+    CacheRunResult r = RunCachePolicy(row.policy, 8001, args.smoke, &json);
     std::printf("%10s %13.1f%% %18.1f %19.1f%%\n", row.name, r.cache_hit_rate,
                 r.avg_fetch_distance, r.top_holder_load);
+
+    JsonValue jrow = JsonValue::Object();
+    jrow.Set("policy", row.name);
+    jrow.Set("cache_hit_rate", r.cache_hit_rate / 100.0);
+    jrow.Set("avg_fetch_distance", r.avg_fetch_distance);
+    jrow.Set("top_holder_load", r.top_holder_load / 100.0);
+    json.AddRow("cache_policies", std::move(jrow));
   }
   std::printf("\nExpected shape: with caching on, a large share of lookups hit\n");
   std::printf("cached copies, the average client->replier proximity drops, and\n");
   std::printf("the load share of the busiest replica holder falls.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

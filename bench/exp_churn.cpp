@@ -8,9 +8,11 @@
 #include "bench/exp_util.h"
 #include "src/sim/churn.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
-  PrintHeader("E13: continuous churn (150 nodes, k=4, mean session 300s / down 60s)",
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "churn");
+  PrintHeader("E13: continuous churn (k=4, mean session 300s / down 60s)",
               "files stay available through ongoing silent failures and rejoins");
 
   PastNetworkOptions options;
@@ -25,14 +27,15 @@ int main() {
   options.default_node_capacity = 16 << 20;
   options.default_user_quota = ~0ULL >> 2;
   PastNetwork net(options);
-  const int kNodes = 150;
+  const int kNodes = args.smoke ? 60 : 150;
   net.Build(kNodes);
 
   // The client node (index 0) is exempt from churn so reads always originate
   // somewhere live.
   PastNode* client = net.node(0);
   std::vector<FileId> files;
-  for (int i = 0; i < 30; ++i) {
+  const int kChurnFiles = args.smoke ? 10 : 30;
+  for (int i = 0; i < kChurnFiles; ++i) {
     auto r = net.InsertSyntheticSync(client, "churn-" + std::to_string(i), 8192, 4);
     if (r.ok()) {
       files.push_back(r.value());
@@ -58,7 +61,8 @@ int main() {
 
   std::printf("%10s %8s %14s %14s %14s\n", "time", "live", "availability",
               "avg replicas", "churn events");
-  for (int epoch = 1; epoch <= 6; ++epoch) {
+  const int kEpochs = args.smoke ? 2 : 6;
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
     net.Run(120 * kMicrosPerSecond);
     int live = 0;
     for (size_t i = 0; i < net.size(); ++i) {
@@ -75,11 +79,20 @@ int main() {
                 replicas / static_cast<double>(files.size()),
                 static_cast<unsigned long long>(churn.stats().failures +
                                                 churn.stats().recoveries));
+
+    JsonValue row = JsonValue::Object();
+    row.Set("time_s", epoch * 120);
+    row.Set("live_nodes", live);
+    row.Set("availability", ok / static_cast<double>(files.size()));
+    row.Set("avg_replicas", replicas / static_cast<double>(files.size()));
+    row.Set("churn_events", churn.stats().failures + churn.stats().recoveries);
+    json.AddRow("epochs", std::move(row));
   }
   churn.Stop();
+  json.SetMetrics(net.overlay().network().metrics());
   std::printf("\nExpected shape: ~%d%% of nodes are up at any instant\n",
               static_cast<int>(100.0 * 300 / 360));
   std::printf("(session/(session+downtime)); availability stays ~100%% because\n");
   std::printf("maintenance keeps re-replicating onto the current k closest.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

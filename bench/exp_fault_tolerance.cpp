@@ -47,8 +47,12 @@ std::pair<int, double> BatchLookups(Overlay* overlay, std::vector<ExpApp>* apps,
 
 }  // namespace
 
-int main() {
-  PrintHeader("E6a: routing success under crash failures (N=600, l=32)",
+int main(int argc, char** argv) {
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "fault_tolerance");
+  const int kCrashN = args.smoke ? 200 : 600;
+  const int kCrashLookups = args.smoke ? 50 : 200;
+  PrintHeader("E6a: routing success under crash failures (l=32)",
               "delivery guaranteed unless floor(l/2)=16 adjacent nodes fail");
 
   std::printf("%12s %16s %16s %12s\n", "failed", "success (fresh)",
@@ -60,13 +64,13 @@ int main() {
     opts.pastry.failure_timeout = 3 * kMicrosPerSecond;
     opts.pastry.death_quarantine = 6 * kMicrosPerSecond;
     Overlay overlay(opts);
-    overlay.Build(600);
+    overlay.Build(kCrashN);
     std::vector<ExpApp> apps(overlay.size());
     for (size_t i = 0; i < overlay.size(); ++i) {
       overlay.node(i)->SetApp(&apps[i]);
     }
     Rng rng(5);
-    int to_kill = static_cast<int>(600 * frac);
+    int to_kill = static_cast<int>(kCrashN * frac);
     int killed = 0;
     while (killed < to_kill) {
       size_t victim = rng.UniformU64(overlay.size());
@@ -77,17 +81,28 @@ int main() {
     }
     // Fresh: routed immediately after the crashes (per-hop acks must cope).
     auto [ok_fresh, hops_fresh] =
-        BatchLookups(&overlay, &apps, 200, 20 * kMicrosPerSecond, &rng);
+        BatchLookups(&overlay, &apps, kCrashLookups, 20 * kMicrosPerSecond, &rng);
     // Healed: after the repair protocols ran.
     overlay.Run(30 * kMicrosPerSecond);
     auto [ok_healed, hops_healed] =
-        BatchLookups(&overlay, &apps, 200, 20 * kMicrosPerSecond, &rng);
-    std::printf("%11.0f%% %15.1f%% %15.1f%% %12.2f\n", frac * 100, ok_fresh / 2.0,
-                ok_healed / 2.0, hops_healed);
+        BatchLookups(&overlay, &apps, kCrashLookups, 20 * kMicrosPerSecond, &rng);
+    std::printf("%11.0f%% %15.1f%% %15.1f%% %12.2f\n", frac * 100,
+                100.0 * ok_fresh / kCrashLookups, 100.0 * ok_healed / kCrashLookups,
+                hops_healed);
     (void)hops_fresh;
+
+    JsonValue row = JsonValue::Object();
+    row.Set("failed_frac", frac);
+    row.Set("success_fresh", static_cast<double>(ok_fresh) / kCrashLookups);
+    row.Set("success_healed", static_cast<double>(ok_healed) / kCrashLookups);
+    row.Set("avg_hops_healed", hops_healed);
+    json.AddRow("crash_failures", std::move(row));
+    json.SetMetrics(overlay.network().metrics());
   }
 
-  PrintHeader("E6b: client retries vs malicious forwarders (N=300)",
+  const int kMalN = args.smoke ? 150 : 300;
+  const int kQueries = args.smoke ? 40 : 150;
+  PrintHeader("E6b: client retries vs malicious forwarders",
               "randomized routing lets a retried query evade bad nodes");
   std::printf("%12s %14s %22s %22s\n", "malicious", "retries", "deterministic",
               "randomized");
@@ -103,7 +118,7 @@ int main() {
       opts.pastry.randomized_routing = mode == 1;
       opts.pastry.randomize_epsilon = 0.3;
       Overlay overlay(opts);
-      overlay.Build(300);
+      overlay.Build(kMalN);
       std::vector<ExpApp> apps(overlay.size());
       for (size_t i = 0; i < overlay.size(); ++i) {
         overlay.node(i)->SetApp(&apps[i]);
@@ -122,7 +137,6 @@ int main() {
         bool reached = false;
       };
       std::vector<Query> queries;
-      const int kQueries = 150;
       while (static_cast<int>(queries.size()) < kQueries) {
         U128 key = overlay.RandomKey();
         PastryNode* expected = overlay.GloballyClosestLiveNode(key);
@@ -165,9 +179,16 @@ int main() {
     for (int b = 0; b < 3; ++b) {
       std::printf("%11.0f%% %14d %21.1f%% %21.1f%%\n", frac * 100, retry_budgets[b],
                   success[0][b], success[1][b]);
+
+      JsonValue row = JsonValue::Object();
+      row.Set("malicious_frac", frac);
+      row.Set("retries", retry_budgets[b]);
+      row.Set("success_deterministic", success[0][b] / 100.0);
+      row.Set("success_randomized", success[1][b] / 100.0);
+      json.AddRow("malicious_forwarders", std::move(row));
     }
   }
   std::printf("\nWith retries, the randomized column should rise toward 100%%\n");
   std::printf("while deterministic routing keeps failing on the same path.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

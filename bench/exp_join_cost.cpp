@@ -5,17 +5,21 @@
 // O(log_2b N) messages".
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "join_cost");
   PrintHeader("E3: messages exchanged per node join vs N",
               "join restores invariants with O(log_16 N) messages");
 
   std::printf("%8s %14s %14s %16s\n", "N", "msgs/join", "log16 N",
               "msgs / log16 N");
-  for (int n : {128, 512, 2048, 8192}) {
+  const std::vector<int> sizes =
+      args.smoke ? std::vector<int>{128, 256} : std::vector<int>{128, 512, 2048, 8192};
+  for (int n : sizes) {
     ExpOverlay net(n, 4242);
     // Average over a batch of joins at this size.
-    const int joins = 20;
+    const int joins = args.smoke ? 5 : 20;
     uint64_t before = net.overlay->network().stats().sent;
     for (int j = 0; j < joins; ++j) {
       net.overlay->AddNode();
@@ -25,9 +29,16 @@ int main() {
     std::printf("%8d %14llu %14.2f %16.1f\n", n,
                 static_cast<unsigned long long>(per_join), Log16(n),
                 static_cast<double>(per_join) / Log16(n));
+
+    JsonValue row = JsonValue::Object();
+    row.Set("n", n);
+    row.Set("msgs_per_join", per_join);
+    row.Set("msgs_per_log16n", static_cast<double>(per_join) / Log16(n));
+    json.AddRow("join_cost_vs_n", std::move(row));
+    json.SetMetrics(net.overlay->network().metrics());
   }
   std::printf("\nThe msgs/log16N column should stay roughly constant: join\n");
   std::printf("traffic = rows from each of ~log16 N path hops + leaf set +\n");
   std::printf("neighborhood handover + announcements to every state entry.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

@@ -7,9 +7,11 @@
 #include "bench/exp_util.h"
 #include "src/workload/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
-  PrintHeader("E11: per-node storage load after 2000 file inserts (200 nodes, k=3)",
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "load_balance");
+  PrintHeader("E11: per-node storage load after a large insert workload (k=3)",
               "uniform nodeIds/fileIds keep the number of files per node "
               "roughly balanced");
 
@@ -26,13 +28,13 @@ int main() {
   options.default_node_capacity = 64 << 20;  // ample: isolate placement, not policy
   options.default_user_quota = ~0ULL >> 2;
   PastNetwork net(options);
-  const int kNodes = 200;
+  const int kNodes = args.smoke ? 60 : 200;
   net.Build(kNodes);
 
   Rng rng(5);
   FileSizeModel sizes;
   sizes.max_size = 64 << 10;
-  const int kFiles = 2000;
+  const int kFiles = args.smoke ? 300 : 2000;
   int accepted = 0;
   for (int i = 0; i < kFiles; ++i) {
     auto r = net.InsertSyntheticSync(net.RandomLiveNode(), "lb-" + std::to_string(i),
@@ -73,6 +75,21 @@ int main() {
   std::printf("%18s %10.0f %10.0f %10.0f %10.0f %8.2f\n", "bytes per node",
               Percentile(bytes, 0.05), Percentile(bytes, 0.5),
               Percentile(bytes, 0.95), Percentile(bytes, 1.0), cv(bytes));
+
+  for (const auto& [name, values] :
+       {std::make_pair("files_per_node", &file_counts),
+        std::make_pair("bytes_per_node", &bytes)}) {
+    JsonValue row = JsonValue::Object();
+    row.Set("metric", name);
+    row.Set("p5", Percentile(*values, 0.05));
+    row.Set("median", Percentile(*values, 0.5));
+    row.Set("p95", Percentile(*values, 0.95));
+    row.Set("max", Percentile(*values, 1.0));
+    row.Set("cv", cv(*values));
+    json.AddRow("load_distribution", std::move(row));
+  }
+  json.Set("accepted_inserts", JsonValue(accepted));
+  json.SetMetrics(net.overlay().network().metrics());
   std::printf("\nMean: %.1f files/node. Reference band for the CV: pure\n", expect_mean);
   std::printf("balls-into-bins would give ~%.2f; k-closest placement inherits the\n",
               1.0 / std::sqrt(expect_mean));
@@ -81,5 +98,5 @@ int main() {
               1.0 / std::sqrt(3.0));
   std::printf("balanced\"; byte loads are wider because sizes are heavy-tailed\n");
   std::printf("(E7's storage management, not placement, evens those out).\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

@@ -31,27 +31,40 @@ double MeasureRatio(past::ExpOverlay* net, int lookups) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "locality");
   PrintHeader("E4: route distance / direct proximity distance",
               "locality-aware Pastry: ~1.5x the direct distance");
 
+  const std::vector<int> sizes =
+      args.smoke ? std::vector<int>{200} : std::vector<int>{1000, 4000};
+  const int lookups = args.smoke ? 50 : 400;
   std::printf("%10s %8s %18s %18s\n", "topology", "N", "locality ON",
               "locality OFF");
   for (auto [kind, name] : {std::make_pair(TopologyKind::kSphere, "sphere"),
                             std::make_pair(TopologyKind::kPlane, "plane")}) {
-    for (int n : {1000, 4000}) {
+    for (int n : sizes) {
       ExpOverlay with(n, 900 + static_cast<uint64_t>(n), /*locality=*/true,
                       /*randomized=*/false, kind);
       ExpOverlay without(n, 900 + static_cast<uint64_t>(n), /*locality=*/false,
                          /*randomized=*/false, kind);
-      double on = MeasureRatio(&with, 400);
-      double off = MeasureRatio(&without, 400);
+      double on = MeasureRatio(&with, lookups);
+      double off = MeasureRatio(&without, lookups);
       std::printf("%10s %8d %17.2fx %17.2fx\n", name, n, on, off);
+
+      JsonValue row = JsonValue::Object();
+      row.Set("topology", name);
+      row.Set("n", n);
+      row.Set("ratio_locality_on", on);
+      row.Set("ratio_locality_off", off);
+      json.AddRow("distance_ratio", std::move(row));
+      json.SetMetrics(with.overlay->network().metrics());
     }
   }
   std::printf("\nThe ON column should sit near the paper's ~1.5x; the OFF\n");
   std::printf("ablation (random bootstrap, no proximity-based table slots)\n");
   std::printf("shows why the heuristics matter.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

@@ -6,9 +6,12 @@
 // nodeIds fail simultaneously" (l trades state for fault tolerance).
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
-  PrintHeader("E12a: digit width b — hops vs state (N=2000)",
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "param_sweep");
+  const int kSweepN = args.smoke ? 300 : 2000;
+  PrintHeader("E12a: digit width b — hops vs state",
               "hops ~ log_2^b N falls with b; table size (2^b-1)*rows grows");
 
   std::printf("%4s %12s %12s %14s %14s\n", "b", "avg hops", "bound", "avg RT size",
@@ -19,14 +22,14 @@ int main() {
     opts.pastry.b = b;
     opts.pastry.keep_alive_period = 0;
     Overlay overlay(opts);
-    overlay.Build(2000);
+    overlay.Build(kSweepN);
     std::vector<ExpApp> apps(overlay.size());
     for (size_t i = 0; i < overlay.size(); ++i) {
       overlay.node(i)->SetApp(&apps[i]);
     }
     double hops = 0;
     int delivered = 0;
-    const int lookups = 400;
+    const int lookups = args.smoke ? 60 : 400;
     for (int t = 0; t < lookups; ++t) {
       overlay.RandomLiveNode()->Route(overlay.RandomKey(), 1, {});
       overlay.RunAll();
@@ -42,13 +45,24 @@ int main() {
     for (size_t i = 0; i < overlay.size(); ++i) {
       rt += static_cast<double>(overlay.node(i)->routing_table().EntryCount());
     }
-    double log2b_n = std::log(2000.0) / std::log(static_cast<double>(1 << b));
+    double log2b_n =
+        std::log(static_cast<double>(kSweepN)) / std::log(static_cast<double>(1 << b));
     std::printf("%4d %12.2f %12.2f %14.1f %14.1f\n", b, hops / delivered,
                 std::ceil(log2b_n), rt / static_cast<double>(overlay.size()),
                 ((1 << b) - 1) * std::ceil(log2b_n));
+
+    JsonValue row = JsonValue::Object();
+    row.Set("b", b);
+    row.Set("avg_hops", hops / delivered);
+    row.Set("hop_bound", std::ceil(log2b_n));
+    row.Set("avg_rt_entries", rt / static_cast<double>(overlay.size()));
+    json.AddRow("digit_width", std::move(row));
+    json.SetMetrics(overlay.network().metrics());
   }
 
-  PrintHeader("E12b: leaf-set size l — surviving adjacent failures (N=400)",
+  const int kLeafN = args.smoke ? 200 : 400;
+  const int kLeafQueries = args.smoke ? 20 : 60;
+  PrintHeader("E12b: leaf-set size l — surviving adjacent failures",
               "keys in a dead region resolve while < floor(l/2) adjacent "
               "nodes are down");
 
@@ -64,7 +78,7 @@ int main() {
       // repair, which is what the floor(l/2) bound is about.
       opts.pastry.keep_alive_period = 0;
       Overlay overlay(opts);
-      overlay.Build(400);
+      overlay.Build(kLeafN);
       std::vector<ExpApp> apps(overlay.size());
       for (size_t i = 0; i < overlay.size(); ++i) {
         overlay.node(i)->SetApp(&apps[i]);
@@ -82,7 +96,7 @@ int main() {
       }
       // Route keys into the dead region from random live nodes.
       int ok = 0;
-      const int queries = 60;
+      const int queries = kLeafQueries;
       Rng rng(3);
       for (int q = 0; q < queries; ++q) {
         U128 key =
@@ -97,9 +111,15 @@ int main() {
       success[scenario] = 100.0 * ok / queries;
     }
     std::printf("%4d %12d %21.1f%% %21.1f%%\n", l, l / 2, success[0], success[1]);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("l", l);
+    row.Set("success_below_bound", success[0] / 100.0);
+    row.Set("success_above_bound", success[1] / 100.0);
+    json.AddRow("leaf_set_size", std::move(row));
   }
   std::printf("\nWithin the bound (left column) delivery keeps working via leaf\n");
   std::printf("sets and per-hop re-routing; beyond it (right column) success\n");
   std::printf("can degrade until the repair protocols rebuild the leaf sets.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

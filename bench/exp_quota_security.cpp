@@ -8,8 +8,10 @@
 
 #include "src/crypto/sha256.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "quota_security");
   PrintHeader("E9: quota enforcement, certificate checks, audits (60 nodes)",
               "quota blocks over-use; forged operations rejected; audits "
               "expose freeloaders");
@@ -78,6 +80,8 @@ int main() {
   net.Run(10 * kMicrosPerSecond);
   std::printf("  uncertified-card insert:  %d replicas stored (expect 0)\n",
               net.CountReplicas(bad_cert.value().file_id));
+  json.Set("forged_insert_replicas",
+           JsonValue(net.CountReplicas(bad_cert.value().file_id)));
 
   // (b) Content corrupted en route.
   auto good_cert = net.node(6)->card().IssueFileCertificate(
@@ -92,6 +96,8 @@ int main() {
   net.Run(10 * kMicrosPerSecond);
   std::printf("  corrupted-content insert: %d replicas stored (expect 0)\n",
               net.CountReplicas(good_cert.value().file_id));
+  json.Set("corrupted_insert_replicas",
+           JsonValue(net.CountReplicas(good_cert.value().file_id)));
 
   // (c) Unauthorized reclaim.
   auto victim_file = net.InsertSync(net.node(7), "victim", ToBytes("keep"), 3);
@@ -105,6 +111,8 @@ int main() {
   net.Run(10 * kMicrosPerSecond);
   std::printf("  forged reclaim:           %d replicas survive (expect 3)\n",
               net.CountReplicas(victim_file.value()));
+  json.Set("forged_reclaim_survivors",
+           JsonValue(net.CountReplicas(victim_file.value())));
 
   // --- audits -------------------------------------------------------------------
   std::printf("\naudits (honest network vs all-freeloader network):\n");
@@ -143,15 +151,20 @@ int main() {
     }
     return audits > 0 ? 100.0 * passed / audits : 0.0;
   };
-  std::printf("  honest holders pass:      %5.1f%% (expect 100%%)\n",
-              audit_rate(true, 9101));
-  std::printf("  freeloaders pass:         %5.1f%% (expect 0%%)\n",
-              audit_rate(false, 9102));
+  double honest_pass = audit_rate(true, 9101);
+  double freeloader_pass = audit_rate(false, 9102);
+  std::printf("  honest holders pass:      %5.1f%% (expect 100%%)\n", honest_pass);
+  std::printf("  freeloaders pass:         %5.1f%% (expect 0%%)\n", freeloader_pass);
+  json.Set("quota_inserts_accepted", JsonValue(accepted));
+  json.Set("quota_inserts_denied", JsonValue(quota_denied));
+  json.Set("audit_pass_honest", JsonValue(honest_pass / 100.0));
+  json.Set("audit_pass_freeloader", JsonValue(freeloader_pass / 100.0));
+  json.SetMetrics(net.overlay().network().metrics());
 
   std::printf("\nbroker supply/demand balance:\n");
   std::printf("  demand (quotas issued):   %llu bytes\n",
               static_cast<unsigned long long>(net.broker().total_demand()));
   std::printf("  supply (contributed):     %llu bytes\n",
               static_cast<unsigned long long>(net.broker().total_supply()));
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

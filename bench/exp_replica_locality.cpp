@@ -7,16 +7,18 @@
 
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "replica_locality");
   PrintHeader("E5: proximity rank of the first replica reached (k=5)",
               "nearest replica reached in ~76% of lookups; one of the two "
               "nearest in ~92%");
 
-  const int kN = 4000;
+  const int kN = args.smoke ? 300 : 4000;
   const int kReplicas = 5;
-  const int kFiles = 300;
-  const int kLookupsPerFile = 4;
+  const int kFiles = args.smoke ? 30 : 300;
+  const int kLookupsPerFile = args.smoke ? 2 : 4;
 
   ExpOverlay net(kN, 31337);
   Overlay& overlay = *net.overlay;
@@ -92,7 +94,15 @@ int main() {
     double share = 100.0 * rank_counts[static_cast<size_t>(rank)] / total;
     cumulative += share;
     std::printf("%22s %9.1f%% %11.1f%%\n", labels[rank], share, cumulative);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("rank", rank + 1);
+    row.Set("share", share / 100.0);
+    row.Set("cumulative", cumulative / 100.0);
+    json.AddRow("replica_rank", std::move(row));
   }
+  json.Set("classified_lookups", JsonValue(total));
+  json.SetMetrics(overlay.network().metrics());
   std::printf("\nPaper reference points: nearest 76%%, one-of-two-nearest 92%%.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

@@ -7,16 +7,22 @@
 // the Pastry evaluation (ref [11]).
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "routing_hops");
+
   PrintHeader("E1: average routing hops vs N (b=4, l=32)",
               "avg hops < ceil(log_16 N); delivery always at closest node");
 
+  const std::vector<int> sizes =
+      args.smoke ? std::vector<int>{64, 256} : std::vector<int>{256, 1024, 4096, 10000};
+
   std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "lookups", "avg hops",
               "max hops", "bound", "correct");
-  for (int n : {256, 1024, 4096, 10000}) {
+  for (int n : sizes) {
     ExpOverlay net(n, 42 + static_cast<uint64_t>(n));
-    const int lookups = n >= 4096 ? 500 : 1000;
+    const int lookups = args.smoke ? 100 : (n >= 4096 ? 500 : 1000);
     double total_hops = 0;
     int max_hops = 0;
     int correct = 0;
@@ -36,23 +42,55 @@ int main() {
     double bound = std::ceil(Log16(n));
     std::printf("%8d %10d %10.2f %10d %10.0f %11.1f%%\n", n, lookups,
                 total_hops / lookups, max_hops, bound, 100.0 * correct / lookups);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("n", n);
+    row.Set("lookups", lookups);
+    row.Set("avg_hops", total_hops / lookups);
+    row.Set("max_hops", max_hops);
+    row.Set("bound", bound);
+    row.Set("correct_frac", static_cast<double>(correct) / lookups);
+    json.AddRow("hops_vs_n", std::move(row));
   }
 
-  // Hop-count distribution at N = 4096 (the Pastry paper's figure 4 analog).
-  std::printf("\nHop distribution, N=4096 (expect mass at <= ceil(log_16 N) = 3):\n");
-  ExpOverlay net(4096, 777);
+  // Hop-count distribution at a fixed N (the Pastry paper's figure 4 analog).
+  const int dist_n = args.smoke ? 256 : 4096;
+  const int dist_lookups = args.smoke ? 100 : 1000;
+  std::printf("\nHop distribution, N=%d (expect mass at <= ceil(log_16 N) = %.0f):\n",
+              dist_n, std::ceil(Log16(dist_n)));
+  ExpOverlay net(dist_n, 777);
   std::vector<int> histogram(10, 0);
-  const int lookups = 1000;
-  for (int i = 0; i < lookups; ++i) {
+  for (int i = 0; i < dist_lookups; ++i) {
     auto ctx = net.RouteOnce(net.overlay->RandomKey());
     if (ctx.has_value() && ctx->hops < histogram.size() * 1u) {
       histogram[ctx->hops]++;
     }
   }
   for (int h = 0; h < 7; ++h) {
-    std::printf("  hops=%d : %5.1f%% %s\n", h, 100.0 * histogram[h] / lookups,
-                std::string(static_cast<size_t>(60.0 * histogram[h] / lookups), '#')
+    std::printf("  hops=%d : %5.1f%% %s\n", h,
+                100.0 * histogram[h] / dist_lookups,
+                std::string(static_cast<size_t>(60.0 * histogram[h] / dist_lookups),
+                            '#')
                     .c_str());
   }
-  return 0;
+
+  // Machine-readable summary of the final overlay: the registry already holds
+  // the hop-count histogram, per-rule hop attribution, and message totals
+  // accumulated over the distribution run.
+  const MetricsRegistry& metrics = net.overlay->network().metrics();
+  JsonValue dist = JsonValue::Object();
+  dist.Set("n", dist_n);
+  dist.Set("lookups", dist_lookups);
+  JsonValue hist = JsonValue::Array();
+  for (size_t h = 0; h < histogram.size(); ++h) {
+    JsonValue bucket = JsonValue::Object();
+    bucket.Set("hops", static_cast<int>(h));
+    bucket.Set("count", histogram[h]);
+    hist.Append(std::move(bucket));
+  }
+  dist.Set("histogram", std::move(hist));
+  json.Set("hop_distribution", std::move(dist));
+  json.SetMetrics(metrics);
+
+  return json.Finish() ? 0 : 1;
 }

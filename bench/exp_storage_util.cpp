@@ -24,7 +24,7 @@ struct RunResult {
 };
 
 RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
-                    double t_div, uint64_t seed) {
+                    double t_div, uint64_t seed, bool smoke, ExpJson* json) {
   PastNetworkOptions options;
   options.overlay.seed = seed;
   options.overlay.pastry.keep_alive_period = 0;
@@ -45,7 +45,7 @@ RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
   // hundreds to thousands of median files (their traces had KB-scale files
   // on hundred-MB disks). The absolute scale is shrunk so the experiment
   // fills the system in a few thousand insertions.
-  const int kNodes = 100;
+  const int kNodes = smoke ? 40 : 100;
   PastNetwork net(options);
   Rng rng(seed ^ 0xabcdef);
   CapacityModel capacities;
@@ -90,13 +90,16 @@ RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
   result.reject_rate = 100.0 * rejected / (accepted + rejected);
   result.avg_size_accepted = accepted > 0 ? static_cast<double>(accepted_bytes) / accepted : 0;
   result.avg_size_rejected = rejected > 0 ? static_cast<double>(rejected_bytes) / rejected : 0;
+  json->SetMetrics(net.overlay().network().metrics());
   return result;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("E7: storage utilization vs insert rejections (100 nodes, k=3)",
+int main(int argc, char** argv) {
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "storage_util");
+  PrintHeader("E7: storage utilization vs insert rejections (k=3)",
               ">95% utilization with <5% rejections; rejections biased large");
 
   std::printf("%16s %8s %8s %12s %12s %14s %14s\n", "policy", "t_pri", "t_div",
@@ -109,23 +112,38 @@ int main() {
   for (const PolicyRow& p : {PolicyRow{"none", false, 0},
                              PolicyRow{"replica", true, 0},
                              PolicyRow{"replica+file", true, 3}}) {
-    RunResult r = RunPolicy(p.replica, p.retries, 0.1, 0.05, 7001);
+    RunResult r = RunPolicy(p.replica, p.retries, 0.1, 0.05, 7001, args.smoke, &json);
     std::printf("%16s %8.2f %8.2f %11.1f%% %11.1f%% %14.0f %14.0f\n", p.name, 0.1,
                 0.05, 100.0 * r.utilization, r.reject_rate, r.avg_size_accepted,
                 r.avg_size_rejected);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("policy", p.name);
+    row.Set("utilization", r.utilization);
+    row.Set("reject_rate", r.reject_rate / 100.0);
+    row.Set("avg_size_accepted", r.avg_size_accepted);
+    row.Set("avg_size_rejected", r.avg_size_rejected);
+    json.AddRow("policies", std::move(row));
   }
 
   std::printf("\nThreshold sweep (policy = replica+file):\n");
   std::printf("%8s %8s %12s %12s\n", "t_pri", "t_div", "utilization", "rejected");
   for (double t_pri : {0.05, 0.1, 0.2, 0.5}) {
     double t_div = t_pri / 2;
-    RunResult r = RunPolicy(true, 3, t_pri, t_div, 7002);
+    RunResult r = RunPolicy(true, 3, t_pri, t_div, 7002, args.smoke, &json);
     std::printf("%8.2f %8.2f %11.1f%% %11.1f%%\n", t_pri, t_div,
                 100.0 * r.utilization, r.reject_rate);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("t_pri", t_pri);
+    row.Set("t_div", t_div);
+    row.Set("utilization", r.utilization);
+    row.Set("reject_rate", r.reject_rate / 100.0);
+    json.AddRow("threshold_sweep", std::move(row));
   }
   std::printf("\nExpected shape (SOSP ref [12]): the full scheme reaches >95%%\n");
   std::printf("utilization with few rejections; without diversion the system\n");
   std::printf("strands capacity on small/unlucky nodes; rejected files are on\n");
   std::printf("average much larger than accepted ones.\n");
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

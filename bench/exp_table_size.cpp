@@ -5,15 +5,19 @@
 // should track log_16 N.
 #include "bench/exp_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace past;
+  ExpArgs args = ExpArgs::Parse(argc, argv);
+  ExpJson json(args, "table_size");
   PrintHeader("E2: per-node state vs N (b=4, l=32, |M|=32)",
               "state <= (2^b-1)*ceil(log_16 N) + 2l entries; rows ~ log_16 N");
 
   PastryConfig config;
   std::printf("%8s %12s %12s %12s %10s %10s %12s\n", "N", "avg RT", "max RT",
               "RT bound", "avg rows", "log16 N", "leaf+nb");
-  for (int n : {256, 1024, 4096, 10000}) {
+  const std::vector<int> sizes =
+      args.smoke ? std::vector<int>{128, 256} : std::vector<int>{256, 1024, 4096, 10000};
+  for (int n : sizes) {
     ExpOverlay net(n, 100 + static_cast<uint64_t>(n));
     double rt_sum = 0, rows_sum = 0, leaf_nb_sum = 0;
     size_t rt_max = 0;
@@ -30,10 +34,20 @@ int main() {
                 rt_sum / static_cast<double>(n), rt_max, bound,
                 rows_sum / static_cast<double>(n), Log16(n),
                 leaf_nb_sum / static_cast<double>(n));
+
+    JsonValue row = JsonValue::Object();
+    row.Set("n", n);
+    row.Set("avg_rt_entries", rt_sum / static_cast<double>(n));
+    row.Set("max_rt_entries", static_cast<uint64_t>(rt_max));
+    row.Set("rt_bound", bound);
+    row.Set("avg_populated_rows", rows_sum / static_cast<double>(n));
+    row.Set("avg_leaf_plus_neighborhood", leaf_nb_sum / static_cast<double>(n));
+    json.AddRow("state_vs_n", std::move(row));
+    json.SetMetrics(net.overlay->network().metrics());
   }
   std::printf("\nTotal state bound incl. leaf set: (2^b-1)*ceil(log_16 N) + 2l\n");
   std::printf("e.g. N=10000: %.0f + %d = %.0f entries\n",
               15 * std::ceil(Log16(10000)), 2 * config.leaf_set_size,
               15 * std::ceil(Log16(10000)) + 2 * config.leaf_set_size);
-  return 0;
+  return json.Finish() ? 0 : 1;
 }

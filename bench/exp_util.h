@@ -3,18 +3,125 @@
 // Each exp_*.cc binary regenerates one table/figure-equivalent from the
 // paper's evaluation claims (see DESIGN.md section 4 and EXPERIMENTS.md) and
 // prints it in a fixed-width table with the paper's expectation alongside.
+//
+// Every binary also accepts:
+//   --json <path>   additionally write a machine-readable BENCH_*.json
+//                   document: {"experiment", "results", "metrics"} where
+//                   "metrics" is the final MetricsRegistry dump
+//   --smoke         shrink the workload to seconds (used by the bench_smoke
+//                   ctest); results are structurally complete but not
+//                   statistically meaningful
 #ifndef BENCH_EXP_UTIL_H_
 #define BENCH_EXP_UTIL_H_
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 #include "src/pastry/overlay.h"
 #include "src/storage/past_network.h"
 
 namespace past {
+
+// Command-line contract shared by every exp_* binary.
+struct ExpArgs {
+  std::string json_path;  // empty: no JSON output
+  bool smoke = false;
+
+  static ExpArgs Parse(int argc, char** argv) {
+    ExpArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
+      } else {
+        std::fprintf(stderr, "usage: %s [--json <path>] [--smoke]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+// Accumulates an experiment's machine-readable output and writes it on
+// Finish(). With no --json flag every call is a cheap no-op, so experiment
+// code records rows unconditionally.
+class ExpJson {
+ public:
+  ExpJson(const ExpArgs& args, const char* experiment)
+      : path_(args.json_path), root_(JsonValue::Object()) {
+    root_.Set("experiment", experiment);
+    root_.Set("smoke", args.smoke);
+    root_.Set("results", JsonValue::Object());
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Appends `row` to the "results.<section>" array.
+  void AddRow(const char* section, JsonValue row) {
+    if (!enabled()) {
+      return;
+    }
+    JsonValue* results = MutableResults();
+    const JsonValue* existing = results->Find(section);
+    JsonValue array = existing != nullptr ? *existing : JsonValue::Array();
+    array.Append(std::move(row));
+    results->Set(section, std::move(array));
+  }
+
+  // Sets "results.<key>" directly (summary scalars or nested objects).
+  void Set(const char* key, JsonValue value) {
+    if (!enabled()) {
+      return;
+    }
+    MutableResults()->Set(key, std::move(value));
+  }
+
+  // Snapshots a registry into the top-level "metrics" member. Typically
+  // called once, on the final (largest) simulation of the run.
+  void SetMetrics(const MetricsRegistry& metrics) {
+    if (!enabled()) {
+      return;
+    }
+    root_.Set("metrics", metrics.ToJson());
+  }
+
+  // Writes the document. Returns false (and prints to stderr) on I/O error.
+  bool Finish() {
+    if (!enabled()) {
+      return true;
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    out << root_.Dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed writing %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("\nwrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  JsonValue* MutableResults() {
+    // Find() is const; members are stable, so the cast is safe here.
+    return const_cast<JsonValue*>(root_.Find("results"));
+  }
+
+  std::string path_;
+  JsonValue root_;
+};
 
 // Records deliveries for routing experiments.
 struct ExpApp : public PastryApp {

@@ -1,0 +1,48 @@
+// json_check — validates a BENCH_*.json document.
+//
+//   json_check <file> [required/key/path ...]
+//
+// Parses the file with the same JSON implementation the exporters use (so a
+// round-trip failure is caught either way) and then checks that each
+// '/'-separated key path resolves. Metric names contain dots, hence the '/'
+// separator: e.g. "metrics/counters/net.sent". Exits non-zero with a message
+// on parse failure or a missing path; used by the bench_smoke ctest.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file> [required/key/path ...]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  past::JsonValue root;
+  if (!past::JsonValue::Parse(text, &root)) {
+    std::fprintf(stderr, "json_check: %s is not valid JSON\n", argv[1]);
+    return 1;
+  }
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (root.FindPath(argv[i]) == nullptr) {
+      std::fprintf(stderr, "json_check: missing key path %s\n", argv[i]);
+      ++missing;
+    }
+  }
+  if (missing == 0) {
+    std::printf("json_check: %s ok (%d path%s checked)\n", argv[1], argc - 2,
+                argc - 2 == 1 ? "" : "s");
+  }
+  return missing == 0 ? 0 : 1;
+}

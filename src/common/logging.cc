@@ -1,6 +1,8 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cstdarg>
+#include <cstdio>
 
 namespace past {
 namespace {
@@ -29,6 +31,15 @@ const char* LogLevelName(LogLevel level) {
       return "OFF";
   }
   return "?";
+}
+
+void LogWrite(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", LogLevelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
 }
 
 }  // namespace past

@@ -2,11 +2,12 @@
 //
 // Protocol code logs through PAST_LOG(level, ...); the global threshold is a
 // process-wide setting so tests and benches can silence chatter. printf-style
-// formatting keeps the hot path allocation-free when the level is filtered.
+// formatting keeps the hot path allocation-free when the level is filtered:
+// the macro checks the threshold before any argument is evaluated, and the
+// format string is compiler-checked (a bad format/argument mismatch is a
+// compile error, not runtime UB).
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
-
-#include <cstdio>
 
 namespace past {
 
@@ -18,14 +19,19 @@ LogLevel GetLogLevel();
 
 const char* LogLevelName(LogLevel level);
 
+// Formats and writes one log line to stderr. Never call directly — go
+// through PAST_LOG so filtered messages cost only the level comparison.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void LogWrite(LogLevel level, const char* fmt, ...);
+
 }  // namespace past
 
 #define PAST_LOG(level, ...)                                                          \
   do {                                                                                \
     if (static_cast<int>(level) >= static_cast<int>(::past::GetLogLevel())) {         \
-      std::fprintf(stderr, "[%s] ", ::past::LogLevelName(level));                     \
-      std::fprintf(stderr, __VA_ARGS__);                                              \
-      std::fprintf(stderr, "\n");                                                     \
+      ::past::LogWrite(level, __VA_ARGS__);                                           \
     }                                                                                 \
   } while (0)
 

@@ -1,0 +1,431 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace past {
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberToString(double v, std::string* out) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out->append(buf);
+    return;
+  }
+  if (!std::isfinite(v)) {
+    out->append("null");  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+// --- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) {
+          return false;
+        }
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (Literal("true")) {
+          *out = JsonValue(true);
+          return true;
+        }
+        return false;
+      case 'f':
+        if (Literal("false")) {
+          *out = JsonValue(false);
+          return true;
+        }
+        return false;
+      case 'n':
+        if (Literal("null")) {
+          *out = JsonValue();
+          return true;
+        }
+        return false;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return false;
+      }
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat('}')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->Append(std::move(value));
+      SkipWs();
+      if (Eat(']')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // UTF-8 encode the basic-plane code point (surrogate pairs are not
+          // combined; our own dumps never emit them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return false;
+    }
+    *out = JsonValue(v);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(std::string_view path) const {
+  const JsonValue* node = this;
+  while (!path.empty()) {
+    size_t slash = path.find('/');
+    std::string_view head = path.substr(0, slash);
+    node = node->Find(head);
+    if (node == nullptr) {
+      return nullptr;
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    path.remove_prefix(slash + 1);
+  }
+  return node;
+}
+
+void JsonValue::Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      NumberToString(num_, out);
+      break;
+    case Type::kString:
+      EscapeString(str_, out);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        if (indent > 0) {
+          Indent(out, indent, depth + 1);
+        }
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) {
+        Indent(out, indent, depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        if (indent > 0) {
+          Indent(out, indent, depth + 1);
+        }
+        EscapeString(members_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) {
+          out->push_back(' ');
+        }
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) {
+        Indent(out, indent, depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out) {
+  Parser p(text);
+  return p.ParseDocument(out);
+}
+
+}  // namespace past

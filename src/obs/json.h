@@ -1,0 +1,95 @@
+// Minimal JSON document model for the observability layer.
+//
+// JsonValue is a tree of null/bool/number/string/array/object nodes. Object
+// members keep insertion order, so dumps are deterministic and diffable.
+// Dump() produces standards-compliant JSON; Parse() is a strict recursive-
+// descent reader used by the experiment smoke tests to validate their own
+// output. Not a general-purpose library: no streaming, documents are assumed
+// to fit comfortably in memory.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace past {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool v) : type_(Type::kBool), bool_(v) {}           // NOLINT
+  JsonValue(double v) : type_(Type::kNumber), num_(v) {}        // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}       // NOLINT
+  JsonValue(int64_t v) : JsonValue(static_cast<double>(v)) {}   // NOLINT
+  JsonValue(uint64_t v) : JsonValue(static_cast<double>(v)) {}  // NOLINT
+  JsonValue(std::string v) : type_(Type::kString), str_(std::move(v)) {}  // NOLINT
+  JsonValue(const char* v) : JsonValue(std::string(v)) {}       // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  const std::string& AsString() const { return str_; }
+
+  // --- object ----------------------------------------------------------------
+  // Adds or replaces a member. Returns *this so builders can chain.
+  JsonValue& Set(std::string key, JsonValue value);
+  // Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Walks a '/'-separated member path ("metrics/counters/net.sent"); '/' is
+  // the separator because metric names themselves contain dots.
+  const JsonValue* FindPath(std::string_view path) const;
+
+  // --- array -----------------------------------------------------------------
+  void Append(JsonValue value);
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // --- serialization ----------------------------------------------------------
+  // indent == 0: compact one-liner; indent > 0: pretty-printed.
+  std::string Dump(int indent = 0) const;
+
+  // Strict parse of a complete document. Returns false (and leaves *out
+  // unspecified) on any syntax error or trailing garbage.
+  static bool Parse(std::string_view text, JsonValue* out);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_; // kObject
+};
+
+}  // namespace past
+
+#endif  // SRC_OBS_JSON_H_

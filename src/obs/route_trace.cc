@@ -1,0 +1,34 @@
+#include "src/obs/route_trace.h"
+
+namespace past {
+
+const char* RouteRuleName(RouteRule rule) {
+  switch (rule) {
+    case RouteRule::kLeafSet:
+      return "leaf_set";
+    case RouteRule::kRoutingTable:
+      return "routing_table";
+    case RouteRule::kRareCase:
+      return "rare_case";
+    case RouteRule::kReplicaShortcut:
+      return "replica_shortcut";
+  }
+  return "?";
+}
+
+JsonValue RouteTrace::ToJson() const {
+  JsonValue hop_list = JsonValue::Array();
+  for (const RouteHop& h : hops) {
+    JsonValue hop = JsonValue::Object();
+    hop.Set("node", static_cast<uint64_t>(h.node));
+    hop.Set("rule", RouteRuleName(h.rule));
+    hop.Set("distance", h.distance);
+    hop_list.Append(std::move(hop));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("trace_id", trace_id);
+  out.Set("hops", std::move(hop_list));
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,52 @@
+// Per-message route traces.
+//
+// Every routed Pastry message carries its trace: one record per overlay hop,
+// written by the node that made the forwarding decision. A record names the
+// decider, which routing rule chose the next hop (leaf set, routing table,
+// the rare-case fallback, or the replica-set proximity shortcut), and the
+// proximity distance of the hop taken. The trace is surfaced to applications
+// through DeliverContext, so experiments and tests can assert not just
+// "<= log N hops" but *which rule* produced each hop.
+#ifndef SRC_OBS_ROUTE_TRACE_H_
+#define SRC_OBS_ROUTE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace past {
+
+// Which routing rule selected the next hop (Pastry Section 2.1 terminology).
+enum class RouteRule : uint8_t {
+  kLeafSet = 0,          // destination within the leaf set's coverage
+  kRoutingTable = 1,     // prefix-matching routing-table entry
+  kRareCase = 2,         // fallback scan over all known nodes
+  kReplicaShortcut = 3,  // final-hop jump to the proximally closest replica
+};
+constexpr uint8_t kRouteRuleCount = 4;
+
+const char* RouteRuleName(RouteRule rule);
+
+struct RouteHop {
+  uint32_t node = 0;       // NodeAddr of the node that chose this hop
+  RouteRule rule = RouteRule::kLeafSet;
+  double distance = 0.0;   // proximity distance of the hop taken
+
+  bool operator==(const RouteHop& o) const {
+    return node == o.node && rule == o.rule && distance == o.distance;
+  }
+};
+
+struct RouteTrace {
+  uint64_t trace_id = 0;        // the message seq: unique per (source, message)
+  std::vector<RouteHop> hops;   // one record per overlay hop, in order
+
+  // [{"node": .., "rule": "leaf_set", "distance": ..}, ...] wrapped with the
+  // trace id: {"trace_id": .., "hops": [...]}.
+  JsonValue ToJson() const;
+};
+
+}  // namespace past
+
+#endif  // SRC_OBS_ROUTE_TRACE_H_

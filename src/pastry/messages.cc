@@ -63,6 +63,12 @@ void RouteMsg::EncodeBody(Writer* w) const {
   for (NodeAddr a : path) {
     w->U32(a);
   }
+  w->U32(static_cast<uint32_t>(trace.size()));
+  for (const RouteHop& h : trace) {
+    w->U32(h.node);
+    w->U8(static_cast<uint8_t>(h.rule));
+    w->F64(h.distance);
+  }
   w->Blob(payload);
 }
 
@@ -81,6 +87,22 @@ bool RouteMsg::DecodeBody(Reader* r, RouteMsg* m) {
     if (!r->U32(&a)) {
       return false;
     }
+  }
+  uint32_t trace_len;
+  // Each hop record is 13 bytes; reject absurd counts before allocating.
+  if (!r->U32(&trace_len) || static_cast<size_t>(trace_len) * 13 > r->remaining()) {
+    return false;
+  }
+  m->trace.resize(trace_len);
+  for (auto& h : m->trace) {
+    uint8_t rule;
+    if (!r->U32(&h.node) || !r->U8(&rule) || !r->F64(&h.distance)) {
+      return false;
+    }
+    if (rule >= kRouteRuleCount) {
+      return false;
+    }
+    h.rule = static_cast<RouteRule>(rule);
   }
   return r->Blob(&m->payload);
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/serializer.h"
+#include "src/obs/route_trace.h"
 #include "src/pastry/node_id.h"
 
 namespace past {
@@ -61,6 +62,10 @@ struct RouteMsg {
   uint8_t replica_k = 0;
   double distance = 0.0;     // accumulated proximity distance
   std::vector<NodeAddr> path;  // addresses visited (source first)
+  // Route trace: one record per hop taken, appended by the forwarding node
+  // (decider address, routing rule used, proximity distance of the hop).
+  // Always trace.size() == hops; `seq` doubles as the trace id.
+  std::vector<RouteHop> trace;
   Bytes payload;
 
   void EncodeBody(Writer* w) const;

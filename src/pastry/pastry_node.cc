@@ -1,6 +1,7 @@
 #include "src/pastry/pastry_node.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
@@ -27,6 +28,23 @@ PastryNode::PastryNode(Network* net, const NodeId& id, const PastryConfig& confi
       nb_(id, config.neighborhood_size,
           [this](NodeAddr a) { return net_->Proximity(addr_, a); }) {
   addr_ = net_->Register(this);
+  MetricsRegistry& m = net_->metrics();
+  obs_.msgs_sent = m.GetCounter("pastry.msgs_sent");
+  obs_.join_msgs = m.GetCounter("pastry.join_msgs_sent");
+  obs_.maintenance_msgs = m.GetCounter("pastry.maintenance_msgs_sent");
+  obs_.routed_seen = m.GetCounter("pastry.routed_seen");
+  obs_.delivered = m.GetCounter("pastry.delivered");
+  obs_.forwarded = m.GetCounter("pastry.forwarded");
+  obs_.reroutes = m.GetCounter("pastry.reroutes");
+  obs_.failures_detected = m.GetCounter("pastry.failures_detected");
+  for (uint8_t r = 0; r < kRouteRuleCount; ++r) {
+    obs_.rule_hops[r] = m.GetCounter(
+        std::string("pastry.route.rule.") + RouteRuleName(static_cast<RouteRule>(r)));
+  }
+  obs_.route_hops =
+      m.GetHistogram("pastry.route.hops", {0, 1, 2, 3, 4, 5, 6, 8, 12, 16, 32});
+  obs_.hop_distance = m.GetHistogram(
+      "pastry.route.hop_distance", {10, 25, 50, 100, 200, 400, 800, 1600, 3200});
 }
 
 PastryNode::~PastryNode() = default;
@@ -38,11 +56,14 @@ uint64_t PastryNode::NextSeq() {
 void PastryNode::SendWire(NodeAddr to, Bytes wire, bool join_traffic,
                           bool maintenance) {
   ++stats_.msgs_sent;
+  obs_.msgs_sent->Inc();
   if (join_traffic) {
     ++stats_.join_msgs_sent;
+    obs_.join_msgs->Inc();
   }
   if (maintenance) {
     ++stats_.maintenance_msgs_sent;
+    obs_.maintenance_msgs->Inc();
   }
   net_->Send(addr_, to, std::move(wire));
 }
@@ -207,7 +228,8 @@ std::vector<NodeDescriptor> PastryNode::CandidateHops(const U128& key, int min_p
   return out;
 }
 
-std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t replica_k) {
+std::optional<PastryNode::RouteChoice> PastryNode::NextHop(const U128& key,
+                                                           uint8_t replica_k) {
   if (key == id_) {
     return std::nullopt;
   }
@@ -233,7 +255,7 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
         }
       }
       if (nearest.valid()) {
-        return nearest;
+        return RouteChoice{nearest, RouteRule::kReplicaShortcut};
       }
       return std::nullopt;
     }
@@ -242,7 +264,7 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
       return std::nullopt;  // we are the numerically closest node we know
     }
     if (!config_.randomized_routing) {
-      return best;
+      return RouteChoice{best, RouteRule::kLeafSet};
     }
     // Randomized: any leaf member strictly closer than self preserves
     // progress; bias heavily toward the closest.
@@ -254,9 +276,10 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
       }
     }
     if (alts.size() > 1 && rng_.Bernoulli(config_.randomize_epsilon)) {
-      return alts[1 + rng_.PickIndex(alts.size() - 1)];
+      return RouteChoice{alts[1 + rng_.PickIndex(alts.size() - 1)],
+                         RouteRule::kLeafSet};
     }
-    return alts[0];
+    return RouteChoice{alts[0], RouteRule::kLeafSet};
   }
 
   const int row = id_.SharedPrefixLength(key, config_.b);
@@ -264,7 +287,7 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
 
   if (!config_.randomized_routing) {
     if (entry.has_value()) {
-      return entry;
+      return RouteChoice{*entry, RouteRule::kRoutingTable};
     }
     // Rare case: no routing-table entry. Use any known node with an
     // at-least-as-long prefix that is numerically closer.
@@ -272,7 +295,7 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
     if (cands.empty()) {
       return std::nullopt;
     }
-    return cands[0];
+    return RouteChoice{cands[0], RouteRule::kRareCase};
   }
 
   std::vector<NodeDescriptor> cands = CandidateHops(key, row, self_dist);
@@ -291,22 +314,29 @@ std::optional<NodeDescriptor> PastryNode::NextHop(const U128& key, uint8_t repli
   if (cands.empty()) {
     return std::nullopt;
   }
+  // Attribution under randomization: the proper routing-table entry counts
+  // as a table hop; any other pick came from the fallback scan.
+  NodeDescriptor chosen = cands[0];
   if (cands.size() > 1 && rng_.Bernoulli(config_.randomize_epsilon)) {
-    return cands[1 + rng_.PickIndex(cands.size() - 1)];
+    chosen = cands[1 + rng_.PickIndex(cands.size() - 1)];
   }
-  return cands[0];
+  RouteRule rule = (entry.has_value() && chosen.id == entry->id)
+                       ? RouteRule::kRoutingTable
+                       : RouteRule::kRareCase;
+  return RouteChoice{chosen, rule};
 }
 
 void PastryNode::ProcessRouteMsg(RouteMsg msg, int attempts) {
   ++stats_.routed_seen;
-  std::optional<NodeDescriptor> next = NextHop(msg.key, msg.replica_k);
+  obs_.routed_seen->Inc();
+  std::optional<RouteChoice> next = NextHop(msg.key, msg.replica_k);
   if (next.has_value() && msg.replica_k > 0) {
     // Replica-aware final hops jump by proximity, and two nodes with
     // divergent leaf views could bounce a message between them; if the chosen
     // hop was already visited, fall back to strict closest-node routing
     // (which provably makes ring progress).
     for (NodeAddr visited : msg.path) {
-      if (visited == next->addr) {
+      if (visited == next->next.addr) {
         next = NextHop(msg.key, 0);
         break;
       }
@@ -314,6 +344,8 @@ void PastryNode::ProcessRouteMsg(RouteMsg msg, int attempts) {
   }
   if (!next.has_value()) {
     ++stats_.delivered;
+    obs_.delivered->Inc();
+    obs_.route_hops->Observe(static_cast<double>(msg.hops));
     if (app_ != nullptr) {
       DeliverContext ctx;
       ctx.key = msg.key;
@@ -322,28 +354,36 @@ void PastryNode::ProcessRouteMsg(RouteMsg msg, int attempts) {
       ctx.hops = msg.hops;
       ctx.distance = msg.distance;
       ctx.path = msg.path;
+      ctx.trace.trace_id = msg.seq;
+      ctx.trace.hops = msg.trace;
       app_->Deliver(ctx, ByteSpan(msg.payload.data(), msg.payload.size()));
     }
     return;
   }
   if (app_ != nullptr &&
-      !app_->Forward(msg.key, msg.app_type, *next, &msg.payload)) {
+      !app_->Forward(msg.key, msg.app_type, next->next, &msg.payload)) {
     return;  // absorbed by the application (e.g. answered from cache)
   }
   ++stats_.forwarded;
+  obs_.forwarded->Inc();
   ForwardTo(*next, std::move(msg), attempts);
 }
 
-void PastryNode::ForwardTo(const NodeDescriptor& next, RouteMsg msg, int attempts) {
+void PastryNode::ForwardTo(const RouteChoice& choice, RouteMsg msg, int attempts) {
+  const NodeDescriptor& next = choice.next;
   if (msg.hops >= kMaxHops) {
     PAST_WARN("dropping message %llu: hop limit reached",
               static_cast<unsigned long long>(msg.seq));
     return;
   }
   RouteMsg original = msg;  // pre-hop state, for re-routing on ack timeout
+  const double hop_distance = ProximityTo(next.addr);
   msg.hops += 1;
-  msg.distance += ProximityTo(next.addr);
+  msg.distance += hop_distance;
   msg.path.push_back(next.addr);
+  msg.trace.push_back(RouteHop{addr_, choice.rule, hop_distance});
+  obs_.rule_hops[static_cast<uint8_t>(choice.rule)]->Inc();
+  obs_.hop_distance->Observe(hop_distance);
 
   if (config_.per_hop_acks) {
     // Track the in-flight hop; if no ack arrives, assume the hop is dead,
@@ -364,6 +404,7 @@ void PastryNode::ForwardTo(const NodeDescriptor& next, RouteMsg msg, int attempt
       PendingAck pending = std::move(pit->second);
       pending_acks_.erase(pit);
       ++stats_.reroutes;
+      obs_.reroutes->Inc();
       HandleNodeFailure(pending.next);
       if (pending.attempts + 1 < config_.max_reroute_attempts && active_) {
         ProcessRouteMsg(std::move(pending.msg), pending.attempts + 1);
@@ -404,11 +445,11 @@ void PastryNode::HandleJoinRequest(NodeAddr from, JoinRequestMsg msg) {
     SendMsg(msg.joiner.addr, nb_msg, /*join_traffic=*/true);
   }
 
-  std::optional<NodeDescriptor> next = NextHop(msg.joiner.id, 0);
-  if (next.has_value() && next->id != msg.joiner.id && msg.hops < kMaxHops) {
+  std::optional<RouteChoice> next = NextHop(msg.joiner.id, 0);
+  if (next.has_value() && next->next.id != msg.joiner.id && msg.hops < kMaxHops) {
     JoinRequestMsg fwd = msg;
     fwd.hops += 1;
-    SendMsg(next->addr, fwd, /*join_traffic=*/true);
+    SendMsg(next->next.addr, fwd, /*join_traffic=*/true);
     return;
   }
   // This node is numerically closest to the joiner: hand over the leaf set.
@@ -524,6 +565,7 @@ void PastryNode::HandleNodeFailure(const NodeDescriptor& failed) {
     return;
   }
   ++stats_.failures_detected;
+  obs_.failures_detected->Inc();
   death_list_[failed.id] = queue_->Now();
   bool was_leaf = leaf_.Remove(failed.id);
   std::vector<std::pair<int, int>> vacated = rt_.RemoveNode(failed.id);

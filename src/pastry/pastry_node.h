@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/route_trace.h"
 #include "src/pastry/leaf_set.h"
 #include "src/pastry/messages.h"
 #include "src/pastry/neighborhood_set.h"
@@ -34,6 +36,10 @@ struct DeliverContext {
   uint16_t hops = 0;
   double distance = 0.0;            // accumulated proximity distance
   std::vector<NodeAddr> path;       // addresses visited, source first
+  // Per-hop attribution: trace.hops[i] records which routing rule node
+  // path[i] used to choose path[i+1] and the hop's proximity distance.
+  // Invariant: trace.hops.size() == hops; trace.trace_id is the message seq.
+  RouteTrace trace;
 };
 
 class PastryApp {
@@ -162,13 +168,20 @@ class PastryNode : public NetReceiver {
     int attempts = 0;
   };
 
+  // A routing decision: the chosen next hop and the rule that produced it
+  // (recorded into the message's route trace and the per-rule counters).
+  struct RouteChoice {
+    NodeDescriptor next;
+    RouteRule rule = RouteRule::kLeafSet;
+  };
+
   // Routing core. Returns the next hop, or nullopt when this node is the
   // closest it knows (deliver here). replica_k as in Route().
-  std::optional<NodeDescriptor> NextHop(const U128& key, uint8_t replica_k);
+  std::optional<RouteChoice> NextHop(const U128& key, uint8_t replica_k);
   std::vector<NodeDescriptor> CandidateHops(const U128& key, int min_prefix,
                                             const U128& self_dist) const;
   void ProcessRouteMsg(RouteMsg msg, int attempts);
-  void ForwardTo(const NodeDescriptor& next, RouteMsg msg, int attempts);
+  void ForwardTo(const RouteChoice& choice, RouteMsg msg, int attempts);
 
   // Join protocol.
   void HandleJoinRequest(NodeAddr from, JoinRequestMsg msg);
@@ -228,6 +241,23 @@ class PastryNode : public NetReceiver {
   std::vector<NodeDescriptor> last_leaf_members_;  // snapshot for recovery
 
   Stats stats_;
+
+  // Aggregate instruments in the network's registry, shared by every node on
+  // the network; resolved once at construction (see DESIGN.md for names).
+  struct Instruments {
+    Counter* msgs_sent;
+    Counter* join_msgs;
+    Counter* maintenance_msgs;
+    Counter* routed_seen;
+    Counter* delivered;
+    Counter* forwarded;
+    Counter* reroutes;
+    Counter* failures_detected;
+    Counter* rule_hops[kRouteRuleCount];  // indexed by RouteRule
+    Histogram* route_hops;
+    Histogram* hop_distance;
+  };
+  Instruments obs_;
 };
 
 }  // namespace past

@@ -11,6 +11,14 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
                  uint64_t seed)
     : queue_(queue), topology_(topology), config_(config), rng_(seed) {
   PAST_CHECK(queue != nullptr && topology != nullptr);
+  sent_ = metrics_.GetCounter("net.sent");
+  delivered_ = metrics_.GetCounter("net.delivered");
+  dropped_loss_ = metrics_.GetCounter("net.dropped_loss");
+  dropped_down_ = metrics_.GetCounter("net.dropped_down");
+  bytes_sent_ = metrics_.GetCounter("net.bytes_sent");
+  msg_bytes_ = metrics_.GetHistogram(
+      "net.msg_bytes", {64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576});
+  queue_depth_ = metrics_.GetGauge("sim.queue_depth");
 }
 
 NodeAddr Network::Register(NetReceiver* receiver) {
@@ -44,10 +52,12 @@ SimTime Network::SampleLatency(NodeAddr from, NodeAddr to) {
 
 void Network::Send(NodeAddr from, NodeAddr to, Bytes wire) {
   PAST_CHECK(from < endpoints_.size() && to < endpoints_.size());
-  ++stats_.sent;
-  stats_.bytes_sent += wire.size();
+  sent_->Inc();
+  bytes_sent_->Inc(wire.size());
+  msg_bytes_->Observe(static_cast<double>(wire.size()));
+  queue_depth_->Set(static_cast<double>(queue_->PendingCount()));
   if (config_.loss_rate > 0.0 && rng_.Bernoulli(config_.loss_rate)) {
-    ++stats_.dropped_loss;
+    dropped_loss_->Inc();
     return;
   }
   SimTime latency = SampleLatency(from, to);
@@ -57,12 +67,31 @@ void Network::Send(NodeAddr from, NodeAddr to, Bytes wire) {
   queue_->After(latency, [this, from, to, payload] {
     Endpoint& dest = endpoints_[to];
     if (!dest.up) {
-      ++stats_.dropped_down;
+      dropped_down_->Inc();
       return;
     }
-    ++stats_.delivered;
+    delivered_->Inc();
     dest.receiver->OnMessage(from, ByteSpan(payload->data(), payload->size()));
   });
+}
+
+Network::Stats Network::stats() const {
+  Stats s;
+  s.sent = sent_->value();
+  s.delivered = delivered_->value();
+  s.dropped_loss = dropped_loss_->value();
+  s.dropped_down = dropped_down_->value();
+  s.bytes_sent = bytes_sent_->value();
+  return s;
+}
+
+void Network::ResetStats() {
+  sent_->Reset();
+  delivered_->Reset();
+  dropped_loss_->Reset();
+  dropped_down_->Reset();
+  bytes_sent_->Reset();
+  msg_bytes_->Reset();
 }
 
 double Network::Proximity(NodeAddr a, NodeAddr b) const {

@@ -14,6 +14,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/topology.h"
 
@@ -63,6 +64,14 @@ class Network {
   Topology* topology() { return topology_; }
   size_t endpoint_count() const { return endpoints_.size(); }
 
+  // The per-simulation metrics registry. Every layer riding on this network
+  // (Pastry nodes, the PAST storage layer, experiment drivers) records into
+  // this registry, so one dump captures the whole stack.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Legacy aggregate view over the "net.*" registry counters. The counters
+  // are the source of truth; this struct is assembled on read.
   struct Stats {
     uint64_t sent = 0;
     uint64_t delivered = 0;
@@ -70,8 +79,8 @@ class Network {
     uint64_t dropped_down = 0;
     uint64_t bytes_sent = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  Stats stats() const;
+  void ResetStats();
 
  private:
   struct Endpoint {
@@ -87,7 +96,16 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   std::vector<Endpoint> endpoints_;
-  Stats stats_;
+
+  MetricsRegistry metrics_;
+  // Cached instrument handles for the send/deliver hot path.
+  Counter* sent_;
+  Counter* delivered_;
+  Counter* dropped_loss_;
+  Counter* dropped_down_;
+  Counter* bytes_sent_;
+  Histogram* msg_bytes_;
+  Gauge* queue_depth_;
 };
 
 }  // namespace past

@@ -38,9 +38,12 @@ bool Cache::Insert(const FileCertificate& cert, Bytes content, uint64_t availabl
   entry.file.cert = cert;
   entry.file.content = std::move(content);
   entry.queue_pos = queue_.emplace(PriorityFor(size), id);
-  used_ += size;
+  AccountUsed(static_cast<int64_t>(size));
   entries_.emplace(id, std::move(entry));
   ++stats_.insertions;
+  if (insertions_ != nullptr) {
+    insertions_->Inc();
+  }
   return true;
 }
 
@@ -48,9 +51,15 @@ const CachedFile* Cache::Get(const FileId& id) {
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (misses_ != nullptr) {
+      misses_->Inc();
+    }
     return nullptr;
   }
   ++stats_.hits;
+  if (hits_ != nullptr) {
+    hits_->Inc();
+  }
   // Refresh priority: GD-S re-computes H with the current inflation floor,
   // LRU advances the clock.
   if (policy_ == CachePolicy::kLru) {
@@ -66,7 +75,7 @@ bool Cache::Remove(const FileId& id) {
   if (it == entries_.end()) {
     return false;
   }
-  used_ -= it->second.file.cert.file_size;
+  AccountUsed(-static_cast<int64_t>(it->second.file.cert.file_size));
   queue_.erase(it->second.queue_pos);
   entries_.erase(it);
   return true;
@@ -82,10 +91,20 @@ void Cache::EvictOne() {
   }
   auto it = entries_.find(victim->second);
   PAST_CHECK(it != entries_.end());
-  used_ -= it->second.file.cert.file_size;
+  AccountUsed(-static_cast<int64_t>(it->second.file.cert.file_size));
   entries_.erase(it);
   queue_.erase(victim);
   ++stats_.evictions;
+  if (evictions_ != nullptr) {
+    evictions_->Inc();
+  }
+}
+
+void Cache::AccountUsed(int64_t delta) {
+  used_ = static_cast<uint64_t>(static_cast<int64_t>(used_) + delta);
+  if (used_bytes_ != nullptr) {
+    used_bytes_->Add(static_cast<double>(delta));
+  }
 }
 
 uint64_t Cache::ShrinkTo(uint64_t max_bytes) {

@@ -13,6 +13,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
 #include "src/storage/certificates.h"
 
 namespace past {
@@ -26,7 +27,19 @@ struct CachedFile {
 
 class Cache {
  public:
-  explicit Cache(CachePolicy policy) : policy_(policy) {}
+  // With a registry, hit/miss/insert/evict counts and the used-bytes gauge
+  // are also mirrored into the shared "cache.*" instruments (aggregated
+  // across every cache on the same registry).
+  explicit Cache(CachePolicy policy, MetricsRegistry* metrics = nullptr)
+      : policy_(policy) {
+    if (metrics != nullptr) {
+      hits_ = metrics->GetCounter("cache.hits");
+      misses_ = metrics->GetCounter("cache.misses");
+      insertions_ = metrics->GetCounter("cache.insertions");
+      evictions_ = metrics->GetCounter("cache.evictions");
+      used_bytes_ = metrics->GetGauge("cache.used_bytes");
+    }
+  }
 
   // Inserts a file, evicting lower-priority entries while the cache exceeds
   // `available` bytes. Returns false if the policy is kNone, the file cannot
@@ -64,12 +77,22 @@ class Cache {
   double PriorityFor(uint64_t size) const;
   void EvictOne();
 
+  // Adjusts used_ and keeps the aggregate gauge in sync.
+  void AccountUsed(int64_t delta);
+
   CachePolicy policy_;
   uint64_t used_ = 0;
   double inflation_ = 0.0;  // L for GD-S; logical clock for LRU
   std::unordered_map<U160, Entry, U160Hash> entries_;
   std::multimap<double, U160> queue_;  // priority -> fileId (min first)
   Stats stats_;
+
+  // Shared registry instruments; null when metrics are off.
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Counter* insertions_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Gauge* used_bytes_ = nullptr;
 };
 
 }  // namespace past

@@ -4,19 +4,38 @@
 
 namespace past {
 
-FileStore::FileStore(uint64_t capacity) : capacity_(capacity) {}
+FileStore::FileStore(uint64_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics != nullptr) {
+    puts_ = metrics->GetCounter("store.puts");
+    rejects_ = metrics->GetCounter("store.rejects");
+    removes_ = metrics->GetCounter("store.removes");
+    used_bytes_ = metrics->GetGauge("store.used_bytes");
+    capacity_bytes_ = metrics->GetGauge("store.capacity_bytes");
+    capacity_bytes_->Add(static_cast<double>(capacity_));
+  }
+}
 
 StatusCode FileStore::Put(StoredFile file) {
   const FileId id = file.cert.file_id;
   if (files_.count(id) > 0) {
+    if (rejects_ != nullptr) {
+      rejects_->Inc();
+    }
     return StatusCode::kAlreadyExists;
   }
   const uint64_t size = file.cert.file_size;
   if (size > free_space()) {
+    if (rejects_ != nullptr) {
+      rejects_->Inc();
+    }
     return StatusCode::kInsufficientStorage;
   }
-  used_ += size;
+  AccountUsed(static_cast<int64_t>(size));
   files_.emplace(id, std::move(file));
+  if (puts_ != nullptr) {
+    puts_->Inc();
+  }
   return StatusCode::kOk;
 }
 
@@ -32,9 +51,19 @@ std::optional<uint64_t> FileStore::Remove(const FileId& id) {
   }
   uint64_t size = it->second.cert.file_size;
   PAST_CHECK(size <= used_);
-  used_ -= size;
+  AccountUsed(-static_cast<int64_t>(size));
   files_.erase(it);
+  if (removes_ != nullptr) {
+    removes_->Inc();
+  }
   return size;
+}
+
+void FileStore::AccountUsed(int64_t delta) {
+  used_ = static_cast<uint64_t>(static_cast<int64_t>(used_) + delta);
+  if (used_bytes_ != nullptr) {
+    used_bytes_->Add(static_cast<double>(delta));
+  }
 }
 
 void FileStore::PutPointer(const FileId& id, const NodeDescriptor& holder) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/pastry/node_id.h"
 #include "src/storage/certificates.h"
 
@@ -26,7 +27,10 @@ struct StoredFile {
 
 class FileStore {
  public:
-  explicit FileStore(uint64_t capacity);
+  // With a registry, accept/reject counts and capacity/used-bytes gauges are
+  // mirrored into the shared "store.*" instruments (aggregated across every
+  // store on the same registry, giving system-wide utilization).
+  explicit FileStore(uint64_t capacity, MetricsRegistry* metrics = nullptr);
 
   uint64_t capacity() const { return capacity_; }
   uint64_t used() const { return used_; }
@@ -54,10 +58,19 @@ class FileStore {
   size_t pointer_count() const { return pointers_.size(); }
 
  private:
+  void AccountUsed(int64_t delta);
+
   uint64_t capacity_;
   uint64_t used_ = 0;
   std::unordered_map<U160, StoredFile, U160Hash> files_;
   std::unordered_map<U160, NodeDescriptor, U160Hash> pointers_;
+
+  // Shared registry instruments; null when metrics are off.
+  Counter* puts_ = nullptr;
+  Counter* rejects_ = nullptr;
+  Counter* removes_ = nullptr;
+  Gauge* used_bytes_ = nullptr;
+  Gauge* capacity_bytes_ = nullptr;
 };
 
 // Admission policy from the SOSP storage-management scheme: a node accepts a

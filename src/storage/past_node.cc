@@ -32,12 +32,13 @@ PastNode::PastNode(PastryNode* overlay, std::unique_ptr<Smartcard> card,
       card_(std::move(card)),
       config_(config),
       rng_(seed),
-      store_(card_->contributed_storage()),
-      cache_(config.cache_policy) {
+      store_(card_->contributed_storage(), &overlay->net()->metrics()),
+      cache_(config.cache_policy, &overlay->net()->metrics()) {
   PAST_CHECK(overlay_ != nullptr);
   PAST_CHECK(card_ != nullptr);
   broker_key_ = card_->broker_key();
   overlay_->SetApp(this);
+  ResolveInstruments();
 }
 
 PastNode::PastNode(PastryNode* overlay, RsaPublicKey broker_key,
@@ -47,10 +48,26 @@ PastNode::PastNode(PastryNode* overlay, RsaPublicKey broker_key,
       broker_key_(std::move(broker_key)),
       config_(config),
       rng_(seed),
-      store_(0),
-      cache_(config.cache_policy) {
+      store_(0, &overlay->net()->metrics()),
+      cache_(config.cache_policy, &overlay->net()->metrics()) {
   PAST_CHECK(overlay_ != nullptr);
   overlay_->SetApp(this);
+  ResolveInstruments();
+}
+
+void PastNode::ResolveInstruments() {
+  MetricsRegistry& m = metrics();
+  obs_.inserts_rooted = m.GetCounter("past.inserts_rooted");
+  obs_.replicas_stored = m.GetCounter("past.replicas_stored");
+  obs_.diverted_accepted = m.GetCounter("past.diverted_accepted");
+  obs_.diversions_ok = m.GetCounter("past.diversions_ok");
+  obs_.store_rejects = m.GetCounter("past.store_rejects");
+  obs_.lookups_served_store = m.GetCounter("past.lookups_served_store");
+  obs_.lookups_served_cache = m.GetCounter("past.lookups_served_cache");
+  obs_.maintenance_fetches = m.GetCounter("past.maintenance_fetches");
+  obs_.demotions = m.GetCounter("past.demotions");
+  obs_.reclaims_processed = m.GetCounter("past.reclaims_processed");
+  obs_.bad_certificates = m.GetCounter("past.bad_certificates");
 }
 
 PastNode::~PastNode() {
@@ -183,6 +200,7 @@ void PastNode::HandleStoreReceipt(const StoreReceipt& receipt) {
   PendingInsert& state = it->second;
   if (config_.verify_crypto && !receipt.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   const NodeId node = receipt.node_card.DerivedNodeId();
@@ -219,6 +237,7 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
     outcome.from_cache = false;
     outcome.replier = overlay_->descriptor();
     ++stats_.lookups_served_store;
+    obs_.lookups_served_store->Inc();
     cb(std::move(outcome));
     return;
   }
@@ -229,6 +248,7 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
     outcome.from_cache = true;
     outcome.replier = overlay_->descriptor();
     ++stats_.lookups_served_cache;
+    obs_.lookups_served_cache->Inc();
     cb(std::move(outcome));
     return;
   }
@@ -267,12 +287,14 @@ void PastNode::HandleLookupReply(const LookupReplyPayload& reply) {
   }
   if (config_.verify_crypto && !reply.cert.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   // Verify content authenticity against the owner-signed certificate.
   if (!reply.content.empty() &&
       !reply.cert.MatchesContent(ByteSpan(reply.content.data(), reply.content.size()))) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   if (it->second.timer != 0) {
@@ -336,6 +358,7 @@ void PastNode::HandleReclaimReceipt(const ReclaimReceipt& receipt) {
   }
   if (config_.verify_crypto && !receipt.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   card_->CreditReclaim(receipt, it->second.cert);
@@ -417,8 +440,10 @@ void PastNode::HandleAuditResponse(const AuditResponsePayload& response) {
 void PastNode::HandleInsertAtRoot(const DeliverContext& ctx,
                                   const InsertRequestPayload& req) {
   ++stats_.inserts_rooted;
+  obs_.inserts_rooted->Inc();
   if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     StoreNackPayload nack;
     nack.file_id = req.cert.file_id;
     nack.reason = static_cast<uint8_t>(StatusCode::kVerificationFailed);
@@ -445,6 +470,7 @@ void PastNode::HandleStoreReplica(const StoreReplicaPayload& req) {
   const FileId id = req.cert.file_id;
   auto send_nack = [&](StatusCode reason) {
     ++stats_.store_rejects;
+    obs_.store_rejects->Inc();
     StoreNackPayload nack;
     nack.file_id = id;
     nack.reason = static_cast<uint8_t>(reason);
@@ -459,6 +485,7 @@ void PastNode::HandleStoreReplica(const StoreReplicaPayload& req) {
 
   if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     send_nack(StatusCode::kVerificationFailed);
     return;
   }
@@ -466,6 +493,7 @@ void PastNode::HandleStoreReplica(const StoreReplicaPayload& req) {
   if (!req.content.empty() &&
       !req.cert.MatchesContent(ByteSpan(req.content.data(), req.content.size()))) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     send_nack(StatusCode::kVerificationFailed);
     return;
   }
@@ -488,6 +516,7 @@ void PastNode::HandleStoreReplica(const StoreReplicaPayload& req) {
   if (config_.policy.AcceptPrimary(size, primary_free())) {
     StorePrimary(req.cert, req.content, /*diverted=*/false, NodeDescriptor{});
     ++stats_.replicas_stored;
+    obs_.replicas_stored->Inc();
     StoreReceiptPayload receipt;
     receipt.receipt = card_->IssueStoreReceipt(id, /*diverted=*/false, Now());
     SendOp(req.client.addr, PastOp::kStoreReceiptMsg, receipt.Encode());
@@ -538,6 +567,7 @@ void PastNode::TryNextDiversion(const FileId& id) {
   PendingDivert& state = it->second;
   if (state.candidates.empty()) {
     ++stats_.store_rejects;
+    obs_.store_rejects->Inc();
     StoreNackPayload nack;
     nack.file_id = id;
     nack.reason = static_cast<uint8_t>(StatusCode::kInsufficientStorage);
@@ -568,6 +598,7 @@ void PastNode::HandleDivertStore(const NodeDescriptor& from,
       config_.policy.AcceptDiverted(req.cert.file_size, primary_free())) {
     StorePrimary(req.cert, req.content, /*diverted=*/true, req.primary);
     ++stats_.diverted_accepted;
+    obs_.diverted_accepted->Inc();
     result.accepted = true;
   }
   SendOp(from.addr, PastOp::kDivertResult, result.Encode());
@@ -585,6 +616,7 @@ void PastNode::HandleDivertResult(const NodeDescriptor& from,
   }
   store_.PutPointer(res.file_id, from);
   ++stats_.diversions_ok;
+  obs_.diversions_ok->Inc();
   StoreReceiptPayload receipt;
   receipt.receipt = card_->IssueStoreReceipt(res.file_id, /*diverted=*/true, Now());
   SendOp(it->second.client.addr, PastOp::kStoreReceiptMsg, receipt.Encode());
@@ -623,8 +655,10 @@ void PastNode::ServeLookup(const NodeDescriptor& client, const FileCertificate& 
   SendOp(client.addr, PastOp::kLookupReply, reply.Encode());
   if (from_cache) {
     ++stats_.lookups_served_cache;
+    obs_.lookups_served_cache->Inc();
   } else {
     ++stats_.lookups_served_store;
+    obs_.lookups_served_store->Inc();
   }
   // Push cacheable copies to the nodes the lookup traversed (the SOSP scheme
   // caches along the lookup path; by Pastry's locality property the first
@@ -718,6 +752,7 @@ void PastNode::HandleFetchReply(const FetchReplyPayload& reply) {
   }
   if (config_.verify_crypto && !reply.cert.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   // Maintenance fetch: this node is now among the k closest for the file, so
@@ -725,6 +760,7 @@ void PastNode::HandleFetchReply(const FetchReplyPayload& reply) {
   if (reply.cert.file_size <= primary_free()) {
     StorePrimary(reply.cert, reply.content, /*diverted=*/false, NodeDescriptor{});
     ++stats_.maintenance_fetches;
+    obs_.maintenance_fetches->Inc();
   }
 }
 
@@ -750,6 +786,7 @@ void PastNode::HandleReclaimReplica(const ReclaimRequestPayload& req) {
   const FileId id = req.cert.file_id;
   if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
     ++stats_.bad_certificates;
+    obs_.bad_certificates->Inc();
     return;
   }
   if (const StoredFile* f = store_.Get(id)) {
@@ -757,11 +794,13 @@ void PastNode::HandleReclaimReplica(const ReclaimRequestPayload& req) {
     // Only the owner of the file certificate may reclaim.
     if (!(req.cert.owner.public_key == f->cert.owner.public_key)) {
       ++stats_.bad_certificates;
+      obs_.bad_certificates->Inc();
       return;
     }
     uint64_t size = f->cert.file_size;
     store_.Remove(id);
     ++stats_.reclaims_processed;
+    obs_.reclaims_processed->Inc();
     ReclaimReceiptPayload receipt;
     receipt.receipt = card_->IssueReclaimReceipt(id, size, Now());
     SendOp(req.client.addr, PastOp::kReclaimReceiptMsg, receipt.Encode());
@@ -845,6 +884,7 @@ void PastNode::RunMaintenance() {
       MaybeCache(f->cert, f->content);
       store_.Remove(id);
       ++stats_.demotions;
+      obs_.demotions->Inc();
     }
   }
 }
@@ -886,6 +926,7 @@ void PastNode::Deliver(const DeliverContext& ctx, ByteSpan payload) {
       if (ReclaimRequestPayload::Decode(payload, &req)) {
         if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
           ++stats_.bad_certificates;
+          obs_.bad_certificates->Inc();
           break;
         }
         HandleReclaimAtRoot(req);

@@ -151,6 +151,9 @@ class PastNode : public PastryApp {
   };
   const Stats& stats() const { return stats_; }
 
+  // The simulation-wide metrics registry this node reports into.
+  MetricsRegistry& metrics() { return overlay_->net()->metrics(); }
+
   // PastryApp:
   void Deliver(const DeliverContext& ctx, ByteSpan payload) override;
   bool Forward(const U128& key, uint32_t app_type, const NodeDescriptor& next,
@@ -261,6 +264,25 @@ class PastNode : public PastryApp {
 
   EventQueue::EventId maintenance_timer_ = 0;
   Stats stats_;
+
+  // Aggregate "past.*" instruments in the network's registry (shared by all
+  // storage nodes on the network); resolved once at construction.
+  void ResolveInstruments();
+
+  struct Instruments {
+    Counter* inserts_rooted;
+    Counter* replicas_stored;
+    Counter* diverted_accepted;
+    Counter* diversions_ok;
+    Counter* store_rejects;
+    Counter* lookups_served_store;
+    Counter* lookups_served_cache;
+    Counter* maintenance_fetches;
+    Counter* demotions;
+    Counter* reclaims_processed;
+    Counter* bad_certificates;
+  };
+  Instruments obs_;
 };
 
 }  // namespace past

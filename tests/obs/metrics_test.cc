@@ -1,0 +1,151 @@
+// Unit tests for the observability subsystem: instrument semantics, registry
+// idempotence, the JSON dump/parse round trip, and route-trace export.
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/route_trace.h"
+
+namespace past {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(5.0);
+  g.Sub(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // <= 1
+  h.Observe(1.0);  // <= 1 (inclusive)
+  h.Observe(1.5);  // <= 2
+  h.Observe(4.0);  // <= 4 (inclusive)
+  h.Observe(9.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);  // overflow bucket
+}
+
+TEST(HistogramTest, MeanOfObservations) {
+  Histogram h({10.0});
+  h.Observe(2.0);
+  h.Observe(4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(MetricsRegistryTest, GetIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  EXPECT_EQ(b->value(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("x.hist", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("x.hist", {5.0, 6.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, ResetAllClearsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Inc(7);
+  registry.GetGauge("g")->Set(3.0);
+  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h", {1.0})->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, DumpJsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.sent")->Inc(42);
+  registry.GetGauge("store.used_bytes")->Set(1024.0);
+  Histogram* h = registry.GetHistogram("pastry.route.hops", {1.0, 2.0, 4.0});
+  h->Observe(1.0);
+  h->Observe(3.0);
+
+  const std::string dumped = registry.DumpJson();
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(dumped, &parsed));
+
+  const JsonValue* sent = parsed.FindPath("counters/net.sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_DOUBLE_EQ(sent->AsDouble(), 42.0);
+
+  const JsonValue* used = parsed.FindPath("gauges/store.used_bytes");
+  ASSERT_NE(used, nullptr);
+  EXPECT_DOUBLE_EQ(used->AsDouble(), 1024.0);
+
+  const JsonValue* hops = parsed.FindPath("histograms/pastry.route.hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_DOUBLE_EQ(hops->FindPath("count")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(hops->FindPath("sum")->AsDouble(), 4.0);
+  // 3 finite buckets + 1 overflow.
+  EXPECT_EQ(hops->FindPath("buckets")->size(), 4u);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  JsonValue out;
+  EXPECT_FALSE(JsonValue::Parse("{", &out));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }", &out));
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]", &out));
+  EXPECT_FALSE(JsonValue::Parse("{} trailing", &out));
+  EXPECT_TRUE(JsonValue::Parse("{\"a\": [1, 2.5, \"s\", null, true]}", &out));
+}
+
+TEST(JsonTest, EscapesAndUnicodeRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("key \"quoted\"\n", "tab\there");
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(obj.Dump(), &parsed));
+  const JsonValue* v = parsed.Find("key \"quoted\"\n");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsString(), "tab\there");
+}
+
+TEST(RouteTraceTest, ToJsonEmitsEveryHop) {
+  RouteTrace trace;
+  trace.trace_id = 99;
+  trace.hops.push_back({7, RouteRule::kRoutingTable, 120.5});
+  trace.hops.push_back({12, RouteRule::kLeafSet, 30.0});
+
+  JsonValue j = trace.ToJson();
+  EXPECT_DOUBLE_EQ(j.FindPath("trace_id")->AsDouble(), 99.0);
+  const JsonValue* hops = j.FindPath("hops");
+  ASSERT_NE(hops, nullptr);
+  ASSERT_EQ(hops->size(), 2u);
+  EXPECT_DOUBLE_EQ(hops->at(0).Find("node")->AsDouble(), 7.0);
+  EXPECT_EQ(hops->at(0).Find("rule")->AsString(), "routing_table");
+  EXPECT_DOUBLE_EQ(hops->at(0).Find("distance")->AsDouble(), 120.5);
+  EXPECT_EQ(hops->at(1).Find("rule")->AsString(), "leaf_set");
+}
+
+TEST(RouteTraceTest, RuleNamesCoverEveryEnumerator) {
+  EXPECT_STREQ(RouteRuleName(RouteRule::kLeafSet), "leaf_set");
+  EXPECT_STREQ(RouteRuleName(RouteRule::kRoutingTable), "routing_table");
+  EXPECT_STREQ(RouteRuleName(RouteRule::kRareCase), "rare_case");
+  EXPECT_STREQ(RouteRuleName(RouteRule::kReplicaShortcut), "replica_shortcut");
+}
+
+}  // namespace
+}  // namespace past

@@ -54,6 +54,9 @@ TEST(PastryMessagesTest, RouteMsgRoundTrip) {
   msg.hops = 3;
   msg.distance = 42.5;
   msg.path = {1, 2, 3};
+  msg.trace = {RouteHop{1, RouteRule::kRoutingTable, 17.25},
+               RouteHop{2, RouteRule::kLeafSet, 3.5},
+               RouteHop{3, RouteRule::kRareCase, 0.0}};
   msg.payload = TestRng()->RandomBytes(50);
   RouteMsg out = RoundTrip(msg);
   EXPECT_EQ(out.key, msg.key);
@@ -63,6 +66,7 @@ TEST(PastryMessagesTest, RouteMsgRoundTrip) {
   EXPECT_EQ(out.hops, msg.hops);
   EXPECT_DOUBLE_EQ(out.distance, msg.distance);
   EXPECT_EQ(out.path, msg.path);
+  EXPECT_EQ(out.trace, msg.trace);
   EXPECT_EQ(out.payload, msg.payload);
   CheckTruncationRejected(msg);
 }

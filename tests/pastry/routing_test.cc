@@ -247,6 +247,73 @@ TEST(RoutingTest, DeterministicRoutingTakesOnePath) {
   EXPECT_EQ(paths.size(), 1u);
 }
 
+// The tentpole observability invariant: every delivered message carries a
+// route trace whose length equals its recorded hop count, with one record
+// per forwarding decision (node, rule used, proximity distance).
+TEST(RoutingTest, RouteTraceMatchesHopCountAndPath) {
+  TestNet net(200, 43);
+  for (int i = 0; i < 100; ++i) {
+    U128 key = net.overlay->RandomKey();
+    auto ctx = net.RouteAndRun(key);
+    ASSERT_TRUE(ctx.has_value());
+    ASSERT_EQ(ctx->trace.hops.size(), static_cast<size_t>(ctx->hops));
+    // trace.hops[i] was recorded by path[i] when it chose the next hop.
+    double distance_sum = 0;
+    for (size_t h = 0; h < ctx->trace.hops.size(); ++h) {
+      const RouteHop& hop = ctx->trace.hops[h];
+      EXPECT_EQ(hop.node, ctx->path[h]);
+      EXPECT_LT(static_cast<uint8_t>(hop.rule), kRouteRuleCount);
+      EXPECT_GE(hop.distance, 0.0);
+      distance_sum += hop.distance;
+    }
+    // Per-hop distances add up to the context's total traveled distance.
+    EXPECT_NEAR(distance_sum, ctx->distance, 1e-6);
+  }
+}
+
+TEST(RoutingTest, RouteRuleCountersMatchObservedTraces) {
+  TestNet net(150, 47);
+  MetricsRegistry& metrics = net.overlay->network().metrics();
+  uint64_t rule_before[kRouteRuleCount];
+  uint64_t traced[kRouteRuleCount] = {0, 0, 0, 0};
+  for (uint8_t r = 0; r < kRouteRuleCount; ++r) {
+    rule_before[r] = metrics
+                         .GetCounter(std::string("pastry.route.rule.") +
+                                     RouteRuleName(static_cast<RouteRule>(r)))
+                         ->value();
+  }
+  const Histogram* hops_hist = metrics.FindHistogram("pastry.route.hops");
+  ASSERT_NE(hops_hist, nullptr);
+  uint64_t deliveries_before = hops_hist->count();
+
+  const int lookups = 50;
+  uint64_t total_hops = 0;
+  for (int i = 0; i < lookups; ++i) {
+    auto ctx = net.RouteAndRun(net.overlay->RandomKey());
+    ASSERT_TRUE(ctx.has_value());
+    total_hops += ctx->hops;
+    for (const RouteHop& hop : ctx->trace.hops) {
+      ++traced[static_cast<uint8_t>(hop.rule)];
+    }
+  }
+  // Every delivery was observed into the hop histogram...
+  EXPECT_EQ(hops_hist->count() - deliveries_before,
+            static_cast<uint64_t>(lookups));
+  // ...and the per-rule counters grew by at least what the traces recorded
+  // (other traffic, e.g. join-protocol routing, may also have contributed).
+  uint64_t counted = 0;
+  for (uint8_t r = 0; r < kRouteRuleCount; ++r) {
+    uint64_t delta = metrics
+                         .GetCounter(std::string("pastry.route.rule.") +
+                                     RouteRuleName(static_cast<RouteRule>(r)))
+                         ->value() -
+                     rule_before[r];
+    EXPECT_GE(delta, traced[r]);
+    counted += delta;
+  }
+  EXPECT_GE(counted, total_hops);
+}
+
 TEST(RoutingTest, PayloadSurvivesRouting) {
   TestNet net(60, 31);
   struct PayloadApp : public PastryApp {
