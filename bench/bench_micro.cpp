@@ -1,12 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the building blocks: hashing,
-// RSA/smartcard operations, id algebra, routing-table and leaf-set
-// operations, wire codecs and the cache.
+// checksums, RSA/smartcard operations, id algebra, routing-table and
+// leaf-set operations, wire codecs, the cache, and the disk log engine.
+//
+// Accepts the same flags as the exp_* binaries in addition to the native
+// google-benchmark ones:
+//   --json <path>   write a BENCH_micro.json document with one row per
+//                   benchmark (name, iterations, times, counters)
+//   --smoke         cut --benchmark_min_time down so the whole suite runs
+//                   in seconds
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/crc32c.h"
 #include "src/common/rng.h"
 #include "src/crypto/rsa.h"
 #include "src/crypto/sha1.h"
 #include "src/crypto/sha256.h"
+#include "src/diskstore/disk_store.h"
+#include "src/obs/json.h"
 #include "src/pastry/leaf_set.h"
 #include "src/pastry/messages.h"
 #include "src/pastry/routing_table.h"
@@ -14,6 +32,22 @@
 
 namespace past {
 namespace {
+
+// Self-cleaning mkdtemp directory for the disk-log benchmarks.
+struct ScratchDir {
+  ScratchDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "past-bench-XXXXXX").string();
+    PAST_CHECK_MSG(mkdtemp(tmpl.data()) != nullptr, "mkdtemp failed");
+    path = tmpl;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string Sub(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
 
 void BM_Sha1(benchmark::State& state) {
   Rng rng(1);
@@ -34,6 +68,16 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc32c(benchmark::State& state) {
+  Rng rng(12);
+  Bytes data = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
 
 void BM_HmacSha256(benchmark::State& state) {
   Rng rng(3);
@@ -159,7 +203,143 @@ void BM_CacheGdsInsertGet(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheGdsInsertGet);
 
+// Appends value_bytes records to the durable log (sync_every = 0: the fsync
+// policies are measured by exp_persistence; this isolates the encode + CRC +
+// write path). Keys rotate over a fixed pool so compaction bounds the
+// on-disk footprint however long the benchmark runs.
+void BM_LogAppend(benchmark::State& state) {
+  ScratchDir scratch;
+  DiskStoreOptions options;
+  auto store = DiskStore::Open(scratch.Sub("log"), options);
+  PAST_CHECK_MSG(store.ok(), "open failed");
+  Rng rng(13);
+  const Bytes value = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  std::vector<U160> keys;
+  for (int i = 0; i < 1024; ++i) {
+    Bytes raw = rng.RandomBytes(U160::kBytes);
+    keys.push_back(U160::FromBytes(ByteSpan(raw.data(), raw.size())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    StatusCode status =
+        store.value()->Put(keys[i++ % keys.size()], ByteSpan(value.data(), value.size()));
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_LogAppend)->Arg(256)->Arg(4096);
+
+// Open()-time recovery: replays a log of range(0) live records (the reboot
+// cost a PAST node pays before serving its replicas again).
+void BM_LogReplay(benchmark::State& state) {
+  ScratchDir scratch;
+  const std::string dir = scratch.Sub("log");
+  DiskStoreOptions options;
+  Rng rng(14);
+  {
+    auto store = DiskStore::Open(dir, options);
+    PAST_CHECK_MSG(store.ok(), "open failed");
+    const Bytes value = rng.RandomBytes(512);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      Bytes raw = rng.RandomBytes(U160::kBytes);
+      (void)store.value()->Put(U160::FromBytes(ByteSpan(raw.data(), raw.size())),
+                               ByteSpan(value.data(), value.size()));
+    }
+    (void)store.value()->Sync();
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    auto reopened = DiskStore::Open(dir, options);
+    PAST_CHECK_MSG(reopened.ok(), "replay failed");
+    replayed = reopened.value()->stats().replayed_records;
+    benchmark::DoNotOptimize(reopened);
+  }
+  state.counters["replayed_records"] =
+      benchmark::Counter(static_cast<double>(replayed));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(replayed));
+}
+BENCHMARK(BM_LogReplay)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Console output plus a JSON row per run, written on Finish() in the same
+// {"experiment", "results"} shape the exp_* binaries use.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      JsonValue row = JsonValue::Object();
+      row.Set("name", run.benchmark_name());
+      row.Set("iterations", static_cast<int64_t>(run.iterations));
+      row.Set("real_time", run.GetAdjustedRealTime());
+      row.Set("cpu_time", run.GetAdjustedCPUTime());
+      row.Set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [name, counter] : run.counters) {
+        row.Set(name, counter.value);
+      }
+      rows_.Append(std::move(row));
+    }
+  }
+
+  bool Write(const std::string& path) {
+    JsonValue root = JsonValue::Object();
+    root.Set("experiment", "micro");
+    JsonValue results = JsonValue::Object();
+    results.Set("benchmarks", std::move(rows_));
+    root.Set("results", std::move(results));
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << root.Dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      return false;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  JsonValue rows_ = JsonValue::Array();
+};
+
 }  // namespace
 }  // namespace past
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the exp-style flags before handing the rest to google-benchmark.
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> remaining;
+  remaining.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      remaining.push_back(argv[i]);
+    }
+  }
+  static char kMinTime[] = "--benchmark_min_time=0.01";
+  if (smoke) {
+    remaining.push_back(kMinTime);
+  }
+  int remaining_argc = static_cast<int>(remaining.size());
+  benchmark::Initialize(&remaining_argc, remaining.data());
+  if (benchmark::ReportUnrecognizedArguments(remaining_argc, remaining.data())) {
+    return 1;
+  }
+  past::JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.Write(json_path)) {
+    return 1;
+  }
+  return 0;
+}

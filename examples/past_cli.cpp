@@ -26,6 +26,7 @@ struct CliOptions {
   int ops = 200;
   std::string trace_path;
   std::string cache = "gds";  // gds | lru | none
+  std::string state_dir;      // empty: in-memory stores
   bool help = false;
 };
 
@@ -68,6 +69,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->trace_path = v;
+    } else if (arg == "--state-dir") {
+      const char* v = next("--state-dir");
+      if (v == nullptr) {
+        return false;
+      }
+      out->state_dir = v;
     } else if (arg == "--cache") {
       const char* v = next("--cache");
       if (v == nullptr) {
@@ -94,7 +101,9 @@ void PrintUsage() {
       "  --k K         replication factor for generated workloads (default 3)\n"
       "  --ops N       operations to generate when no trace is given (default 200)\n"
       "  --trace FILE  replay this trace file instead of generating one\n"
-      "  --cache P     cache policy: gds | lru | none (default gds)\n");
+      "  --cache P     cache policy: gds | lru | none (default gds)\n"
+      "  --state-dir D durable per-node stores under D; a rerun with the same\n"
+      "                directory and seed recovers them from disk\n");
 }
 
 }  // namespace
@@ -122,11 +131,24 @@ int main(int argc, char** argv) {
                                                    : CachePolicy::kNone;
   options.past.cache_on_insert_path = options.past.cache_policy != CachePolicy::kNone;
   options.past.cache_push_on_lookup = options.past.cache_policy != CachePolicy::kNone;
+  options.past.state_dir = cli.state_dir;
 
   PastNetwork net(options);
   net.Build(cli.nodes);
   std::printf("network: %d nodes, k=%u, cache=%s, seed=%llu\n", cli.nodes, cli.k,
               cli.cache.c_str(), static_cast<unsigned long long>(cli.seed));
+  if (!cli.state_dir.empty()) {
+    // Same seed => same node ids => same per-node state directories, so a
+    // rerun reopens the previous run's logs and starts with its files.
+    size_t recovered_files = 0, recovered_nodes = 0;
+    for (size_t i = 0; i < net.size(); ++i) {
+      const size_t n = net.node(i)->store().file_count();
+      recovered_files += n;
+      recovered_nodes += n > 0 ? 1 : 0;
+    }
+    std::printf("state: %s — recovered %zu replicas on %zu nodes\n",
+                cli.state_dir.c_str(), recovered_files, recovered_nodes);
+  }
 
   Trace trace;
   if (!cli.trace_path.empty()) {

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// record in the disk storage engine's append-only log.
+//
+// Software slice-by-4 implementation: four 256-entry tables let the inner
+// loop consume one 32-bit word per iteration instead of one byte. No
+// hardware (SSE4.2 / ARMv8 CRC) path — the engine is I/O bound and the
+// portable code keeps the build dependency-free.
+#ifndef SRC_COMMON_CRC32C_H_
+#define SRC_COMMON_CRC32C_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace past {
+
+// CRC of `data` continuing from `crc` (the CRC of all preceding bytes).
+// Streaming: Crc32cExtend(Crc32cExtend(0, a), b) == Crc32c(a || b).
+uint32_t Crc32cExtend(uint32_t crc, ByteSpan data);
+
+// One-shot CRC32C of `data`.
+inline uint32_t Crc32c(ByteSpan data) { return Crc32cExtend(0, data); }
+
+}  // namespace past
+
+#endif  // SRC_COMMON_CRC32C_H_

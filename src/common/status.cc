@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CERTIFICATE_EXPIRED";
     case StatusCode::kDecodeError:
       return "DECODE_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
   }
   return "UNKNOWN";
 }

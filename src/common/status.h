@@ -35,6 +35,8 @@ enum class StatusCode {
   kCertificateExpired,
   // Serialization / wire.
   kDecodeError,
+  // Durable storage.
+  kCorruption,            // on-disk record failed checksum or decode
 };
 
 // Human-readable name, for logs and test diagnostics.

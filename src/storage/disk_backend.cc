@@ -1,0 +1,132 @@
+#include "src/storage/disk_backend.h"
+
+#include <utility>
+
+#include "src/common/serializer.h"
+#include "src/pastry/messages.h"
+
+namespace past {
+namespace {
+
+Bytes EncodeStoredFile(const StoredFile& file) {
+  Writer w;
+  file.cert.EncodeTo(&w);
+  w.Blob(ByteSpan(file.content.data(), file.content.size()));
+  w.Bool(file.diverted);
+  EncodeDescriptor(&w, file.diverted_from);
+  return w.Take();
+}
+
+bool DecodeStoredFile(ByteSpan data, StoredFile* out) {
+  Reader r(data);
+  return FileCertificate::DecodeFrom(&r, &out->cert) && r.Blob(&out->content) &&
+         r.Bool(&out->diverted) && DecodeDescriptor(&r, &out->diverted_from) &&
+         r.AtEnd();
+}
+
+Bytes EncodePointer(const NodeDescriptor& holder) {
+  Writer w;
+  EncodeDescriptor(&w, holder);
+  return w.Take();
+}
+
+bool DecodePointer(ByteSpan data, NodeDescriptor* out) {
+  Reader r(data);
+  return DecodeDescriptor(&r, out) && r.AtEnd();
+}
+
+}  // namespace
+
+DiskBackend::DiskBackend(std::unique_ptr<DiskStore> engine)
+    : engine_(std::move(engine)) {}
+
+Result<std::unique_ptr<DiskBackend>> DiskBackend::Open(
+    const std::string& dir, const DiskStoreOptions& options) {
+  Result<std::unique_ptr<DiskStore>> engine = DiskStore::Open(dir, options);
+  if (!engine.ok()) {
+    return engine.status();
+  }
+  std::unique_ptr<DiskBackend> backend(
+      new DiskBackend(std::move(engine).value()));
+  StatusCode status = backend->LoadRecovered();
+  if (status != StatusCode::kOk) {
+    return status;
+  }
+  return backend;
+}
+
+StatusCode DiskBackend::LoadRecovered() {
+  for (const U160& key : engine_->Keys()) {
+    Result<Bytes> value = engine_->Get(key);
+    if (!value.ok()) {
+      return value.status();
+    }
+    StoredFile file;
+    if (!DecodeStoredFile(ByteSpan(value.value().data(), value.value().size()),
+                          &file) ||
+        file.cert.file_id != key) {
+      return StatusCode::kCorruption;
+    }
+    mirror_.Put(std::move(file));
+  }
+  for (const U160& key : engine_->PointerKeys()) {
+    Result<Bytes> value = engine_->GetPointer(key);
+    if (!value.ok()) {
+      return value.status();
+    }
+    NodeDescriptor holder;
+    if (!DecodePointer(ByteSpan(value.value().data(), value.value().size()),
+                       &holder)) {
+      return StatusCode::kCorruption;
+    }
+    mirror_.PutPointer(key, holder);
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode DiskBackend::Put(StoredFile file) {
+  Bytes value = EncodeStoredFile(file);
+  StatusCode status =
+      engine_->Put(file.cert.file_id, ByteSpan(value.data(), value.size()));
+  if (status != StatusCode::kOk) {
+    return status;
+  }
+  return mirror_.Put(std::move(file));
+}
+
+const StoredFile* DiskBackend::Get(const FileId& id) const {
+  return mirror_.Get(id);
+}
+
+bool DiskBackend::Remove(const FileId& id) {
+  if (engine_->Remove(id) != StatusCode::kOk) {
+    return false;
+  }
+  return mirror_.Remove(id);
+}
+
+StatusCode DiskBackend::PutPointer(const FileId& id,
+                                   const NodeDescriptor& holder) {
+  Bytes value = EncodePointer(holder);
+  StatusCode status =
+      engine_->PutPointer(id, ByteSpan(value.data(), value.size()));
+  if (status != StatusCode::kOk) {
+    return status;
+  }
+  return mirror_.PutPointer(id, holder);
+}
+
+std::optional<NodeDescriptor> DiskBackend::GetPointer(const FileId& id) const {
+  return mirror_.GetPointer(id);
+}
+
+bool DiskBackend::RemovePointer(const FileId& id) {
+  if (engine_->RemovePointer(id) != StatusCode::kOk) {
+    return false;
+  }
+  return mirror_.RemovePointer(id);
+}
+
+std::vector<FileId> DiskBackend::FileIds() const { return mirror_.FileIds(); }
+
+}  // namespace past

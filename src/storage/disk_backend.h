@@ -1,0 +1,55 @@
+// DiskBackend — a StoreBackend written through to the durable log engine.
+//
+// Every mutation is appended to the DiskStore before the in-memory mirror is
+// updated, so Open() on the same directory after a crash or restart rebuilds
+// exactly the acknowledged (and, with sync, durable) state. Replica values
+// are serialized StoredFiles; pointer values are serialized NodeDescriptors.
+#ifndef SRC_STORAGE_DISK_BACKEND_H_
+#define SRC_STORAGE_DISK_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/diskstore/disk_store.h"
+#include "src/storage/store_backend.h"
+
+namespace past {
+
+class DiskBackend : public StoreBackend {
+ public:
+  // Opens (creating if needed) the engine in `dir`, replays its log, and
+  // decodes the recovered values. Fails with kCorruption when a recovered
+  // value does not decode, or with whatever DiskStore::Open reports.
+  static Result<std::unique_ptr<DiskBackend>> Open(
+      const std::string& dir, const DiskStoreOptions& options);
+
+  StatusCode Put(StoredFile file) override;
+  const StoredFile* Get(const FileId& id) const override;
+  bool Remove(const FileId& id) override;
+
+  StatusCode PutPointer(const FileId& id, const NodeDescriptor& holder) override;
+  std::optional<NodeDescriptor> GetPointer(const FileId& id) const override;
+  bool RemovePointer(const FileId& id) override;
+
+  std::vector<FileId> FileIds() const override;
+  size_t file_count() const override { return mirror_.file_count(); }
+  size_t pointer_count() const override { return mirror_.pointer_count(); }
+
+  StatusCode Sync() override { return engine_->Sync(); }
+
+  DiskStore* engine() { return engine_.get(); }
+
+ private:
+  explicit DiskBackend(std::unique_ptr<DiskStore> engine);
+
+  // Decodes everything the engine recovered into the mirror.
+  StatusCode LoadRecovered();
+
+  std::unique_ptr<DiskStore> engine_;
+  // Serves reads; the engine is only read at Open() and compaction.
+  MemoryBackend mirror_;
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_DISK_BACKEND_H_

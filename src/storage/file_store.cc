@@ -5,7 +5,12 @@
 namespace past {
 
 FileStore::FileStore(uint64_t capacity, MetricsRegistry* metrics)
-    : capacity_(capacity) {
+    : FileStore(capacity, std::make_unique<MemoryBackend>(), metrics) {}
+
+FileStore::FileStore(uint64_t capacity, std::unique_ptr<StoreBackend> backend,
+                     MetricsRegistry* metrics)
+    : capacity_(capacity), backend_(std::move(backend)) {
+  PAST_CHECK(backend_ != nullptr);
   if (metrics != nullptr) {
     puts_ = metrics->GetCounter("store.puts");
     rejects_ = metrics->GetCounter("store.rejects");
@@ -14,11 +19,29 @@ FileStore::FileStore(uint64_t capacity, MetricsRegistry* metrics)
     capacity_bytes_ = metrics->GetGauge("store.capacity_bytes");
     capacity_bytes_->Add(static_cast<double>(capacity_));
   }
+  // A recovered backend already holds replicas; account for them so
+  // admission decisions after a restart see the true free space.
+  for (const FileId& id : backend_->FileIds()) {
+    const StoredFile* file = backend_->Get(id);
+    PAST_CHECK(file != nullptr);
+    AccountUsed(static_cast<int64_t>(file->cert.file_size));
+  }
+}
+
+FileStore::~FileStore() {
+  // The shared gauges outlive this store; give back its contribution so
+  // system-wide utilization stays truthful across node restarts.
+  if (capacity_bytes_ != nullptr) {
+    capacity_bytes_->Sub(static_cast<double>(capacity_));
+  }
+  if (used_bytes_ != nullptr) {
+    used_bytes_->Sub(static_cast<double>(used_));
+  }
 }
 
 StatusCode FileStore::Put(StoredFile file) {
   const FileId id = file.cert.file_id;
-  if (files_.count(id) > 0) {
+  if (backend_->Get(id) != nullptr) {
     if (rejects_ != nullptr) {
       rejects_->Inc();
     }
@@ -31,28 +54,31 @@ StatusCode FileStore::Put(StoredFile file) {
     }
     return StatusCode::kInsufficientStorage;
   }
+  StatusCode status = backend_->Put(std::move(file));
+  if (status != StatusCode::kOk) {
+    if (rejects_ != nullptr) {
+      rejects_->Inc();
+    }
+    return status;
+  }
   AccountUsed(static_cast<int64_t>(size));
-  files_.emplace(id, std::move(file));
   if (puts_ != nullptr) {
     puts_->Inc();
   }
   return StatusCode::kOk;
 }
 
-const StoredFile* FileStore::Get(const FileId& id) const {
-  auto it = files_.find(id);
-  return it == files_.end() ? nullptr : &it->second;
-}
-
 std::optional<uint64_t> FileStore::Remove(const FileId& id) {
-  auto it = files_.find(id);
-  if (it == files_.end()) {
+  const StoredFile* file = backend_->Get(id);
+  if (file == nullptr) {
     return std::nullopt;
   }
-  uint64_t size = it->second.cert.file_size;
+  uint64_t size = file->cert.file_size;
   PAST_CHECK(size <= used_);
+  if (!backend_->Remove(id)) {
+    return std::nullopt;
+  }
   AccountUsed(-static_cast<int64_t>(size));
-  files_.erase(it);
   if (removes_ != nullptr) {
     removes_->Inc();
   }
@@ -67,26 +93,15 @@ void FileStore::AccountUsed(int64_t delta) {
 }
 
 void FileStore::PutPointer(const FileId& id, const NodeDescriptor& holder) {
-  pointers_[id] = holder;
+  backend_->PutPointer(id, holder);
 }
 
 std::optional<NodeDescriptor> FileStore::GetPointer(const FileId& id) const {
-  auto it = pointers_.find(id);
-  if (it == pointers_.end()) {
-    return std::nullopt;
-  }
-  return it->second;
+  return backend_->GetPointer(id);
 }
 
-bool FileStore::RemovePointer(const FileId& id) { return pointers_.erase(id) > 0; }
-
-std::vector<FileId> FileStore::FileIds() const {
-  std::vector<FileId> out;
-  out.reserve(files_.size());
-  for (const auto& [id, file] : files_) {
-    out.push_back(id);
-  }
-  return out;
+bool FileStore::RemovePointer(const FileId& id) {
+  return backend_->RemovePointer(id);
 }
 
 }  // namespace past

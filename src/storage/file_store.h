@@ -4,26 +4,25 @@
 // diverted), and pointers to replicas it diverted elsewhere (the indirection
 // of the SOSP storage-management scheme). Content bytes may be empty for
 // synthetic workloads; accounting always uses the certified file size.
+//
+// Replicas and pointers live in a StoreBackend: MemoryBackend by default, or
+// DiskBackend for a node with a state directory. FileStore owns the PAST
+// semantics either way — capacity accounting (rebuilt from the backend's
+// recovered contents on construction), duplicate and fit checks, and the
+// store.* metrics.
 #ifndef SRC_STORAGE_FILE_STORE_H_
 #define SRC_STORAGE_FILE_STORE_H_
 
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
 #include "src/pastry/node_id.h"
-#include "src/storage/certificates.h"
+#include "src/storage/store_backend.h"
 
 namespace past {
-
-struct StoredFile {
-  FileCertificate cert;
-  Bytes content;        // may be empty in synthetic-content mode
-  bool diverted = false;  // stored here on behalf of another node
-  NodeDescriptor diverted_from;  // the node holding the pointer (if diverted)
-};
 
 class FileStore {
  public:
@@ -31,6 +30,14 @@ class FileStore {
   // mirrored into the shared "store.*" instruments (aggregated across every
   // store on the same registry, giving system-wide utilization).
   explicit FileStore(uint64_t capacity, MetricsRegistry* metrics = nullptr);
+  // Uses `backend` instead of a fresh MemoryBackend; anything it already
+  // holds (a recovered DiskBackend) is counted into used() immediately.
+  FileStore(uint64_t capacity, std::unique_ptr<StoreBackend> backend,
+            MetricsRegistry* metrics = nullptr);
+  ~FileStore();
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
 
   uint64_t capacity() const { return capacity_; }
   uint64_t used() const { return used_; }
@@ -42,8 +49,8 @@ class FileStore {
   // Stores a replica. Fails with kInsufficientStorage if it does not fit and
   // kAlreadyExists on duplicate fileId.
   StatusCode Put(StoredFile file);
-  bool Has(const FileId& id) const { return files_.count(id) > 0; }
-  const StoredFile* Get(const FileId& id) const;
+  bool Has(const FileId& id) const { return backend_->Get(id) != nullptr; }
+  const StoredFile* Get(const FileId& id) const { return backend_->Get(id); }
   // Removes the replica and releases its space. Returns the freed size, or
   // nullopt if absent.
   std::optional<uint64_t> Remove(const FileId& id);
@@ -53,17 +60,20 @@ class FileStore {
   std::optional<NodeDescriptor> GetPointer(const FileId& id) const;
   bool RemovePointer(const FileId& id);
 
-  std::vector<FileId> FileIds() const;
-  size_t file_count() const { return files_.size(); }
-  size_t pointer_count() const { return pointers_.size(); }
+  std::vector<FileId> FileIds() const { return backend_->FileIds(); }
+  size_t file_count() const { return backend_->file_count(); }
+  size_t pointer_count() const { return backend_->pointer_count(); }
+
+  // Flushes acknowledged writes to stable storage (no-op in memory).
+  StatusCode Sync() { return backend_->Sync(); }
+  StoreBackend* backend() { return backend_.get(); }
 
  private:
   void AccountUsed(int64_t delta);
 
   uint64_t capacity_;
   uint64_t used_ = 0;
-  std::unordered_map<U160, StoredFile, U160Hash> files_;
-  std::unordered_map<U160, NodeDescriptor, U160Hash> pointers_;
+  std::unique_ptr<StoreBackend> backend_;
 
   // Shared registry instruments; null when metrics are off.
   Counter* puts_ = nullptr;

@@ -139,6 +139,27 @@ void PastNetwork::CrashNode(size_t i) {
   nodes_[i]->overlay()->Fail();
 }
 
+PastNode* PastNetwork::RestartNode(size_t i) {
+  PAST_CHECK(i < nodes_.size());
+  PastryNode* overlay_node = nodes_[i]->overlay();
+  PAST_CHECK_MSG(!overlay_node->active(), "RestartNode on a live node");
+  std::unique_ptr<Smartcard> card = nodes_[i]->TakeCard();
+  // Tear the dead application down before its replacement opens the same
+  // state directory.
+  nodes_[i].reset();
+  if (card != nullptr) {
+    nodes_[i] = std::make_unique<PastNode>(overlay_node, std::move(card),
+                                           options_.past, overlay_.rng().NextU64());
+  } else {
+    nodes_[i] = std::make_unique<PastNode>(overlay_node, broker_.public_key(),
+                                           options_.past, overlay_.rng().NextU64());
+  }
+  PastryNode* bootstrap = overlay_.NearestLiveNode(overlay_node->addr());
+  overlay_node->Recover(bootstrap != nullptr ? bootstrap->addr()
+                                             : overlay_node->addr());
+  return nodes_[i].get();
+}
+
 int PastNetwork::CountReplicas(const FileId& id) const {
   int count = 0;
   for (const auto& node : nodes_) {

@@ -66,6 +66,12 @@ class PastNetwork {
   // Kills a node silently (crash) and lets its PAST state die with it.
   void CrashNode(size_t i);
 
+  // Reboots a crashed node: a fresh PastNode (same smartcard, same nodeId)
+  // reopens the old node's state directory — recovering its replica store if
+  // the network runs with a state_dir — and rejoins the overlay through a
+  // live bootstrap node. Returns the replacement node.
+  PastNode* RestartNode(size_t i);
+
   // How many live nodes currently hold a (non-diverted or diverted) replica.
   int CountReplicas(const FileId& id) const;
 

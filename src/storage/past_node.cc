@@ -5,6 +5,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/crypto/sha256.h"
+#include "src/storage/disk_backend.h"
 
 namespace past {
 namespace {
@@ -26,13 +27,33 @@ Bytes SyntheticContentHash(std::string_view name, uint64_t size) {
 
 }  // namespace
 
+std::unique_ptr<StoreBackend> PastNode::MakeBackend(const PastConfig& config,
+                                                    const NodeId& id,
+                                                    MetricsRegistry* metrics) {
+  if (config.state_dir.empty()) {
+    return std::make_unique<MemoryBackend>();
+  }
+  DiskStoreOptions options = config.disk;
+  options.metrics = metrics;
+  const std::string dir = config.state_dir + "/" + id.ToHex();
+  Result<std::unique_ptr<DiskBackend>> backend = DiskBackend::Open(dir, options);
+  if (!backend.ok()) {
+    PAST_WARN("node %s: cannot open durable store in %s (%s); running in memory",
+              id.ToHex().c_str(), dir.c_str(), StatusCodeName(backend.status()));
+    return std::make_unique<MemoryBackend>();
+  }
+  return std::move(backend).value();
+}
+
 PastNode::PastNode(PastryNode* overlay, std::unique_ptr<Smartcard> card,
                    const PastConfig& config, uint64_t seed)
     : overlay_(overlay),
       card_(std::move(card)),
       config_(config),
       rng_(seed),
-      store_(card_->contributed_storage(), &overlay->net()->metrics()),
+      store_(card_->contributed_storage(),
+             MakeBackend(config, overlay->id(), &overlay->net()->metrics()),
+             &overlay->net()->metrics()),
       cache_(config.cache_policy, &overlay->net()->metrics()) {
   PAST_CHECK(overlay_ != nullptr);
   PAST_CHECK(card_ != nullptr);

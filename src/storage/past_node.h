@@ -24,6 +24,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/diskstore/disk_store.h"
 #include "src/pastry/pastry_node.h"
 #include "src/storage/cache.h"
 #include "src/storage/file_store.h"
@@ -61,6 +62,14 @@ struct PastConfig {
   // A dishonest node returns store receipts without storing (the freeloader
   // the paper's random audits are designed to expose).
   bool honest = true;
+
+  // When non-empty, each node persists its replica store durably under
+  // <state_dir>/<nodeId hex> (diskstore engine) and recovers it on restart;
+  // when empty, stores are purely in-memory and die with the node.
+  std::string state_dir;
+  // Engine tuning for the durable store (env/metrics fields are overridden
+  // per node; metrics always point at the network registry).
+  DiskStoreOptions disk;
 };
 
 class PastNode : public PastryApp {
@@ -125,8 +134,13 @@ class PastNode : public PastryApp {
     PAST_CHECK_MSG(card_ != nullptr, "read-only node has no smartcard");
     return *card_;
   }
+  // Surrenders the smartcard (for reuse by a replacement node after a
+  // simulated reboot — the card survives the crash, the process does not).
+  std::unique_ptr<Smartcard> TakeCard() { return std::move(card_); }
+
   const RsaPublicKey& broker_key() const { return broker_key_; }
   const FileStore& store() const { return store_; }
+  FileStore& store() { return store_; }
   const Cache& file_cache() const { return cache_; }
   const PastConfig& config() const { return config_; }
 
@@ -238,6 +252,14 @@ class PastNode : public PastryApp {
   // Maintenance.
   void ScheduleMaintenance();
   void RunMaintenance();
+
+  // The store backend this node's config asks for: memory when state_dir is
+  // empty, otherwise the durable engine under <state_dir>/<nodeId hex>
+  // (falling back to memory, with a warning, if the directory cannot be
+  // opened).
+  static std::unique_ptr<StoreBackend> MakeBackend(const PastConfig& config,
+                                                   const NodeId& id,
+                                                   MetricsRegistry* metrics);
 
   void SendOp(NodeAddr to, PastOp op, Bytes payload) {
     overlay_->SendDirect(to, static_cast<uint32_t>(op), std::move(payload));

@@ -1,0 +1,45 @@
+#include "src/storage/store_backend.h"
+
+namespace past {
+
+StatusCode MemoryBackend::Put(StoredFile file) {
+  const FileId id = file.cert.file_id;
+  files_[id] = std::move(file);
+  return StatusCode::kOk;
+}
+
+const StoredFile* MemoryBackend::Get(const FileId& id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+bool MemoryBackend::Remove(const FileId& id) { return files_.erase(id) > 0; }
+
+StatusCode MemoryBackend::PutPointer(const FileId& id,
+                                     const NodeDescriptor& holder) {
+  pointers_[id] = holder;
+  return StatusCode::kOk;
+}
+
+std::optional<NodeDescriptor> MemoryBackend::GetPointer(const FileId& id) const {
+  auto it = pointers_.find(id);
+  if (it == pointers_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool MemoryBackend::RemovePointer(const FileId& id) {
+  return pointers_.erase(id) > 0;
+}
+
+std::vector<FileId> MemoryBackend::FileIds() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (const auto& [id, file] : files_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,99 @@
+#include "src/common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+ByteSpan Span(const Bytes& b) { return ByteSpan(b.data(), b.size()); }
+
+Bytes FromString(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Bit-at-a-time reference implementation of the Castagnoli CRC.
+uint32_t ReferenceCrc32c(ByteSpan data) {
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+    }
+  }
+  return ~crc;
+}
+
+// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4.
+TEST(Crc32cTest, KnownAnswers) {
+  EXPECT_EQ(Crc32c(ByteSpan()), 0x00000000u);
+  EXPECT_EQ(Crc32c(Span(FromString("a"))), 0xC1D04330u);
+  EXPECT_EQ(Crc32c(Span(FromString("123456789"))), 0xE3069283u);
+
+  Bytes zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(Span(zeros)), 0x8A9136AAu);
+  Bytes ones(32, 0xff);
+  EXPECT_EQ(Crc32c(Span(ones)), 0x62A8AB43u);
+  Bytes ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(Span(ascending)), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, MatchesBitwiseReferenceOnRandomInputs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data = rng.RandomBytes(rng.UniformU64(300));
+    EXPECT_EQ(Crc32c(Span(data)), ReferenceCrc32c(Span(data)));
+  }
+}
+
+// Extending over chunks must equal hashing the concatenation, regardless of
+// how the input is split (this is what incremental record writers rely on).
+TEST(Crc32cTest, ExtendIsChunkingInvariant) {
+  Rng rng(7);
+  Bytes data = rng.RandomBytes(1024);
+  const uint32_t whole = Crc32c(Span(data));
+  for (size_t split1 : {size_t{0}, size_t{1}, size_t{3}, size_t{512}, size_t{1023}}) {
+    for (size_t split2 : {split1, split1 + (data.size() - split1) / 2, data.size()}) {
+      uint32_t crc = Crc32cExtend(0, ByteSpan(data.data(), split1));
+      crc = Crc32cExtend(crc, ByteSpan(data.data() + split1, split2 - split1));
+      crc = Crc32cExtend(crc, ByteSpan(data.data() + split2, data.size() - split2));
+      EXPECT_EQ(crc, whole);
+    }
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  Rng rng(11);
+  Bytes data = rng.RandomBytes(64);
+  const uint32_t original = Crc32c(Span(data));
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(Span(data)), original);
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+}
+
+// Unaligned starting addresses exercise the byte-at-a-time head of the
+// slice-by-4 loop.
+TEST(Crc32cTest, AlignmentInvariant) {
+  Rng rng(13);
+  Bytes data = rng.RandomBytes(256);
+  for (size_t lead = 0; lead < 8; ++lead) {
+    Bytes shifted(lead, 0xab);
+    shifted.insert(shifted.end(), data.begin(), data.end());
+    EXPECT_EQ(Crc32c(ByteSpan(shifted.data() + lead, data.size())),
+              Crc32c(Span(data)));
+  }
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,38 @@
+// Scoped temporary directory for diskstore tests.
+#ifndef TESTS_DISKSTORE_TEMP_DIR_H_
+#define TESTS_DISKSTORE_TEMP_DIR_H_
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace past {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "past-state-XXXXXX").string();
+    PAST_CHECK(::mkdtemp(templ.data()) != nullptr);
+    path_ = templ;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace past
+
+#endif  // TESTS_DISKSTORE_TEMP_DIR_H_
