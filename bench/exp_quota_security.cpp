@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   if (tracked.ok()) {
     some_file = tracked.value();
     uint64_t used_before = user2->card().quota_used();
-    net.ReclaimSync(user2, some_file);
+    IgnoreStatus(net.ReclaimSync(user2, some_file));  // demo: quota delta printed below
     std::printf("  reclaim credit:         %llu -> %llu bytes used\n",
                 static_cast<unsigned long long>(used_before),
                 static_cast<unsigned long long>(user2->card().quota_used()));

@@ -11,8 +11,7 @@
 //   --smoke         shrink the workload to seconds (used by the bench_smoke
 //                   ctest); results are structurally complete but not
 //                   statistically meaningful
-#ifndef BENCH_EXP_UTIL_H_
-#define BENCH_EXP_UTIL_H_
+#pragma once
 
 #include <cmath>
 #include <cstdio>
@@ -199,4 +198,3 @@ inline double Percentile(std::vector<double> values, double p) {
 
 }  // namespace past
 
-#endif  // BENCH_EXP_UTIL_H_

@@ -71,7 +71,7 @@ int main() {
   std::printf("consumer stored %d files of 64 KiB x2 replicas\n", stored);
 
   // ...and frees some of it by reclaiming.
-  net.ReclaimSync(consumer, owned.front());
+  IgnoreStatus(net.ReclaimSync(consumer, owned.front()));  // demo: quota delta printed below
   uint64_t used_after_reclaim = consumer->card().quota_used();
   bool extra_ok = net.InsertSyntheticSync(consumer, "extra", 64 * 1024, 2).ok();
   std::printf("after one reclaim: quota used %llu KiB -> a new insert %s\n",

@@ -1,6 +1,5 @@
 // Byte-buffer aliases and hex helpers shared across the library.
-#ifndef SRC_COMMON_BYTES_H_
-#define SRC_COMMON_BYTES_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -30,4 +29,3 @@ bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
 
 }  // namespace past
 
-#endif  // SRC_COMMON_BYTES_H_

@@ -3,8 +3,7 @@
 // PAST_CHECK aborts (in all build types) when a protocol or data-structure
 // invariant is violated; such a violation is always a programming error, never
 // a recoverable runtime condition, so we fail fast with a readable message.
-#ifndef SRC_COMMON_CHECK_H_
-#define SRC_COMMON_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,4 +34,3 @@
     std::abort();                                                                     \
   } while (0)
 
-#endif  // SRC_COMMON_CHECK_H_

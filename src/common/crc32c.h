@@ -5,8 +5,7 @@
 // loop consume one 32-bit word per iteration instead of one byte. No
 // hardware (SSE4.2 / ARMv8 CRC) path — the engine is I/O bound and the
 // portable code keeps the build dependency-free.
-#ifndef SRC_COMMON_CRC32C_H_
-#define SRC_COMMON_CRC32C_H_
+#pragma once
 
 #include <cstdint>
 
@@ -23,4 +22,3 @@ inline uint32_t Crc32c(ByteSpan data) { return Crc32cExtend(0, data); }
 
 }  // namespace past
 
-#endif  // SRC_COMMON_CRC32C_H_

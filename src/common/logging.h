@@ -6,8 +6,7 @@
 // the macro checks the threshold before any argument is evaluated, and the
 // format string is compiler-checked (a bad format/argument mismatch is a
 // compile error, not runtime UB).
-#ifndef SRC_COMMON_LOGGING_H_
-#define SRC_COMMON_LOGGING_H_
+#pragma once
 
 namespace past {
 
@@ -41,4 +40,3 @@ void LogWrite(LogLevel level, const char* fmt, ...);
 #define PAST_WARN(...) PAST_LOG(::past::LogLevel::kWarn, __VA_ARGS__)
 #define PAST_ERROR(...) PAST_LOG(::past::LogLevel::kError, __VA_ARGS__)
 
-#endif  // SRC_COMMON_LOGGING_H_

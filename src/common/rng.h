@@ -4,8 +4,7 @@
 // splitmix64), so that every experiment is reproducible from a single seed.
 // ZipfDistribution implements the heavy-tailed popularity model used by the
 // caching and storage-management experiments.
-#ifndef SRC_COMMON_RNG_H_
-#define SRC_COMMON_RNG_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -82,4 +81,3 @@ class ZipfDistribution {
 
 }  // namespace past
 
-#endif  // SRC_COMMON_RNG_H_

@@ -4,8 +4,7 @@
 // Writer and decodes through Reader. Reader never reads past the end of the
 // buffer: each accessor returns false on truncation, and decoding code
 // propagates that as StatusCode::kDecodeError. Integers are little-endian.
-#ifndef SRC_COMMON_SERIALIZER_H_
-#define SRC_COMMON_SERIALIZER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -45,17 +44,17 @@ class Reader {
  public:
   explicit Reader(ByteSpan data) : data_(data) {}
 
-  bool U8(uint8_t* v);
-  bool U16(uint16_t* v);
-  bool U32(uint32_t* v);
-  bool U64(uint64_t* v);
-  bool I64(int64_t* v);
-  bool F64(double* v);
-  bool Bool(bool* v);
-  bool Id128(U128* v);
-  bool Id160(U160* v);
-  bool Blob(Bytes* out);
-  bool Str(std::string* out);
+  [[nodiscard]] bool U8(uint8_t* v);
+  [[nodiscard]] bool U16(uint16_t* v);
+  [[nodiscard]] bool U32(uint32_t* v);
+  [[nodiscard]] bool U64(uint64_t* v);
+  [[nodiscard]] bool I64(int64_t* v);
+  [[nodiscard]] bool F64(double* v);
+  [[nodiscard]] bool Bool(bool* v);
+  [[nodiscard]] bool Id128(U128* v);
+  [[nodiscard]] bool Id160(U160* v);
+  [[nodiscard]] bool Blob(Bytes* out);
+  [[nodiscard]] bool Str(std::string* out);
 
   // True when the whole buffer has been consumed; decoders should require
   // this to reject trailing garbage.
@@ -71,4 +70,3 @@ class Reader {
 
 }  // namespace past
 
-#endif  // SRC_COMMON_SERIALIZER_H_

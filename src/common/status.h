@@ -4,8 +4,7 @@
 // returns a StatusCode or a Result<T>. StatusCode values mirror the failure
 // modes the PAST paper discusses (quota exhaustion, insufficient storage,
 // failed verification, unreachable nodes, ...).
-#ifndef SRC_COMMON_STATUS_H_
-#define SRC_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -15,7 +14,10 @@
 
 namespace past {
 
-enum class StatusCode {
+// [[nodiscard]] on the type: any call site that ignores a returned
+// StatusCode fails the build (-Werror=unused-result). Deliberate discards
+// must say so with a cast to void and a reason.
+enum class [[nodiscard]] StatusCode {
   kOk = 0,
   // Generic.
   kInvalidArgument,
@@ -42,10 +44,15 @@ enum class StatusCode {
 // Human-readable name, for logs and test diagnostics.
 const char* StatusCodeName(StatusCode code);
 
+// Documents a deliberately discarded StatusCode. Only for best-effort paths
+// (destructors, cleanup after an already-reported failure) where no recovery
+// is possible; the call site comment should say why.
+inline void IgnoreStatus(StatusCode) {}
+
 // Result<T> is a value-or-status sum type. Accessing the value of a failed
 // Result is a checked invariant violation.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit: lets functions `return value;` / `return code;`.
   Result(T value) : inner_(std::move(value)) {}                 // NOLINT
@@ -79,4 +86,3 @@ class Result {
 
 }  // namespace past
 
-#endif  // SRC_COMMON_STATUS_H_

@@ -4,8 +4,7 @@
 // 128-bit unsigned integers and, for routing, as a sequence of digits in base
 // 2^b (most significant digit first). The id space is circular: distance
 // between two ids is measured around the 2^128 ring.
-#ifndef SRC_COMMON_U128_H_
-#define SRC_COMMON_U128_H_
+#pragma once
 
 #include <array>
 #include <compare>
@@ -89,4 +88,3 @@ struct U128Hash {
 
 }  // namespace past
 
-#endif  // SRC_COMMON_U128_H_

@@ -4,8 +4,7 @@
 // owner's public key and a random salt. Routing uses only the 128 most
 // significant bits (Top128()); the remaining 32 bits disambiguate files that
 // would otherwise collide on the routing key.
-#ifndef SRC_COMMON_U160_H_
-#define SRC_COMMON_U160_H_
+#pragma once
 
 #include <array>
 #include <compare>
@@ -56,4 +55,3 @@ struct U160Hash {
 
 }  // namespace past
 
-#endif  // SRC_COMMON_U160_H_

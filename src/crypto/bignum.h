@@ -4,8 +4,7 @@
 // arithmetic, binary long division, square-and-multiply modular
 // exponentiation, extended Euclid for modular inverses, and Miller-Rabin
 // primality testing for RSA key generation. Little-endian 32-bit limbs.
-#ifndef SRC_CRYPTO_BIGNUM_H_
-#define SRC_CRYPTO_BIGNUM_H_
+#pragma once
 
 #include <compare>
 #include <cstdint>
@@ -78,4 +77,3 @@ class BigNum {
 
 }  // namespace past
 
-#endif  // SRC_CRYPTO_BIGNUM_H_

@@ -4,8 +4,7 @@
 // configurable; simulations default to 512-bit moduli so that thousands of
 // smartcards can be generated quickly, while the algorithmic path (keygen,
 // PKCS#1-style padding, sign, verify) is the real one.
-#ifndef SRC_CRYPTO_RSA_H_
-#define SRC_CRYPTO_RSA_H_
+#pragma once
 
 #include <string>
 
@@ -22,7 +21,7 @@ struct RsaPublicKey {
   // Deterministic byte encoding (length-prefixed n, e). NodeIds and
   // pseudonyms are hashes of this encoding.
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, RsaPublicKey* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, RsaPublicKey* out);
 
   bool operator==(const RsaPublicKey& other) const = default;
 };
@@ -40,13 +39,12 @@ struct RsaKeyPair {
 Bytes RsaSignDigest(const RsaKeyPair& key, ByteSpan digest);
 
 // Verifies a signature produced by RsaSignDigest.
-bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signature);
+[[nodiscard]] bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signature);
 
 // Convenience: SHA-1 the message (20-byte digest fits a 256-bit modulus,
 // the smallest size simulations use), then sign/verify the digest.
 Bytes RsaSignMessage(const RsaKeyPair& key, ByteSpan message);
-bool RsaVerifyMessage(const RsaPublicKey& key, ByteSpan message, ByteSpan signature);
+[[nodiscard]] bool RsaVerifyMessage(const RsaPublicKey& key, ByteSpan message, ByteSpan signature);
 
 }  // namespace past
 
-#endif  // SRC_CRYPTO_RSA_H_

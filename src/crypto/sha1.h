@@ -4,8 +4,7 @@
 // salt) and 128-bit nodeIds from a hash of the node's public key. SHA-1's
 // collision weaknesses do not matter here: the system needs uniform,
 // hard-to-target ids, and the reproduction keeps the paper's exact choice.
-#ifndef SRC_CRYPTO_SHA1_H_
-#define SRC_CRYPTO_SHA1_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -39,4 +38,3 @@ class Sha1 {
 
 }  // namespace past
 
-#endif  // SRC_CRYPTO_SHA1_H_

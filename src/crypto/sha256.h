@@ -3,8 +3,7 @@
 // Used for HMAC keying, content hashes in file certificates, and anywhere a
 // 256-bit digest is preferable to SHA-1 (the paper only mandates SHA-1 for
 // fileIds).
-#ifndef SRC_CRYPTO_SHA256_H_
-#define SRC_CRYPTO_SHA256_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -38,4 +37,3 @@ std::array<uint8_t, Sha256::kDigestBytes> HmacSha256(ByteSpan key, ByteSpan mess
 
 }  // namespace past
 
-#endif  // SRC_CRYPTO_SHA256_H_

@@ -23,9 +23,10 @@ DiskStore::DiskStore(std::string dir, const DiskStoreOptions& options)
 
 DiskStore::~DiskStore() {
   if (active_file_ != nullptr) {
-    // Best-effort durability on clean shutdown.
-    active_file_->Sync();
-    active_file_->Close();
+    // Best-effort durability on clean shutdown; a failure here has no
+    // caller to report to, and replay handles whatever did not land.
+    IgnoreStatus(active_file_->Sync());
+    IgnoreStatus(active_file_->Close());
   }
   if (m_segments_ != nullptr) {
     m_segments_->Sub(static_cast<double>(segment_seqs_.size()));
@@ -115,8 +116,9 @@ StatusCode DiskStore::ReplaySegment(uint64_t seq, bool is_last) {
   if (buf.size() < kSegmentHeaderSize) {
     if (is_last) {
       // Crash before the segment header was fully written: the file cannot
-      // contain any acknowledged record, so drop it.
-      env_->RemoveFile(path);
+      // contain any acknowledged record, so drop it (best effort: a
+      // leftover headerless file is re-dropped on the next replay).
+      IgnoreStatus(env_->RemoveFile(path));
       ++stats_.torn_tails;
       if (m_torn_tails_ != nullptr) {
         m_torn_tails_->Inc();
@@ -381,9 +383,10 @@ StatusCode DiskStore::Compact() {
     return status;
   }
 
-  // The new segment is durable: retire everything older.
+  // The new segment is durable: retire everything older (best effort; on
+  // the default Env, RemoveFile only fails for an already-absent file).
   for (uint64_t seq : segment_seqs_) {
-    env_->RemoveFile(SegmentPath(seq));
+    IgnoreStatus(env_->RemoveFile(SegmentPath(seq)));
   }
   if (m_segments_ != nullptr) {
     m_segments_->Sub(static_cast<double>(segment_seqs_.size()) - 1.0);

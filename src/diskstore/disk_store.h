@@ -20,8 +20,7 @@
 //    write-through). A record acknowledged after Sync() survives any crash.
 //
 // Single-threaded, like the rest of the simulator.
-#ifndef SRC_DISKSTORE_DISK_STORE_H_
-#define SRC_DISKSTORE_DISK_STORE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -152,4 +151,3 @@ class DiskStore {
 
 }  // namespace past
 
-#endif  // SRC_DISKSTORE_DISK_STORE_H_

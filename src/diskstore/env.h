@@ -7,8 +7,7 @@
 //
 // All operations return StatusCode (kUnavailable for I/O errors) — disk
 // failures are runtime conditions, never invariant violations.
-#ifndef SRC_DISKSTORE_ENV_H_
-#define SRC_DISKSTORE_ENV_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -57,4 +56,3 @@ class Env {
 
 }  // namespace past
 
-#endif  // SRC_DISKSTORE_ENV_H_

@@ -11,8 +11,7 @@
 //
 // The env is meant to be pointed at an initially empty directory: the
 // operation log is the sole source of truth for Materialize().
-#ifndef SRC_DISKSTORE_FAULT_ENV_H_
-#define SRC_DISKSTORE_FAULT_ENV_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -86,4 +85,3 @@ class FaultInjectionEnv : public Env {
 
 }  // namespace past
 
-#endif  // SRC_DISKSTORE_FAULT_ENV_H_

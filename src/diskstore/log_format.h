@@ -17,8 +17,7 @@
 // CRC covers exactly those bytes, so a corrupted length lands the CRC on
 // unrelated bytes and still fails verification. All integers little-endian,
 // matching the serializer.
-#ifndef SRC_DISKSTORE_LOG_FORMAT_H_
-#define SRC_DISKSTORE_LOG_FORMAT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -57,15 +56,15 @@ struct Record {
 // seg-<seq as 16 hex digits>.log
 std::string SegmentFileName(uint64_t seq);
 // Inverse of SegmentFileName; false if `name` is not a segment file name.
-bool ParseSegmentFileName(const std::string& name, uint64_t* seq);
+[[nodiscard]] bool ParseSegmentFileName(const std::string& name, uint64_t* seq);
 
 Bytes EncodeSegmentHeader(uint64_t seq);
-bool DecodeSegmentHeader(ByteSpan data, uint64_t* seq);
+[[nodiscard]] bool DecodeSegmentHeader(ByteSpan data, uint64_t* seq);
 
 // The full on-disk encoding of one record (prefix + body).
 Bytes EncodeRecord(RecordType type, const U160& key, ByteSpan value);
 
-enum class ParseStatus {
+enum class [[nodiscard]] ParseStatus {
   kOk,         // *out holds the record, *offset advanced past it
   kAtEnd,      // clean end of buffer (offset == buf.size())
   kTruncated,  // header or body runs past the end of the buffer (torn tail)
@@ -78,4 +77,3 @@ ParseStatus ParseRecord(ByteSpan buf, size_t* offset, Record* out);
 
 }  // namespace past
 
-#endif  // SRC_DISKSTORE_LOG_FORMAT_H_

@@ -263,8 +263,14 @@ class Parser {
               return false;
             }
           }
-          // UTF-8 encode the basic-plane code point (surrogate pairs are not
-          // combined; our own dumps never emit them).
+          // Lone surrogates are not code points; encoding them would emit
+          // invalid UTF-8 (found by fuzz_obs_json, corpus:
+          // json_surrogate_escape.json). Pair combining is unsupported — our
+          // own dumps never emit \u escapes above 0x1f — so reject the range.
+          if (code >= 0xd800 && code <= 0xdfff) {
+            return false;
+          }
+          // UTF-8 encode the basic-plane code point.
           if (code < 0x80) {
             out->push_back(static_cast<char>(code));
           } else if (code < 0x800) {
@@ -286,8 +292,14 @@ class Parser {
 
   bool ParseNumber(JsonValue* out) {
     size_t start = pos_;
+    // JSON numbers start with '-' or a digit; strtod alone would also take a
+    // leading '+'.
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
     }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
@@ -302,6 +314,13 @@ class Parser {
     char* end = nullptr;
     double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {
+      return false;
+    }
+    // Overflowing literals like 1e999 reach here as +/-inf, which Dump() can
+    // only render as null (found by fuzz_obs_json, corpus:
+    // json_number_overflow.json). Reject them so every accepted number is
+    // representable.
+    if (!std::isfinite(v)) {
       return false;
     }
     *out = JsonValue(v);

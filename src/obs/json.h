@@ -6,8 +6,7 @@
 // descent reader used by the experiment smoke tests to validate their own
 // output. Not a general-purpose library: no streaming, documents are assumed
 // to fit comfortably in memory.
-#ifndef SRC_OBS_JSON_H_
-#define SRC_OBS_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -77,7 +76,7 @@ class JsonValue {
 
   // Strict parse of a complete document. Returns false (and leaves *out
   // unspecified) on any syntax error or trailing garbage.
-  static bool Parse(std::string_view text, JsonValue* out);
+  [[nodiscard]] static bool Parse(std::string_view text, JsonValue* out);
 
  private:
   void DumpTo(std::string* out, int indent, int depth) const;
@@ -92,4 +91,3 @@ class JsonValue {
 
 }  // namespace past
 
-#endif  // SRC_OBS_JSON_H_

@@ -18,8 +18,7 @@
 //
 // Naming convention (see DESIGN.md "Observability"): dotted lowercase paths,
 // "<layer>.<metric>" — e.g. "net.sent", "pastry.route.hops", "cache.hits".
-#ifndef SRC_OBS_METRICS_H_
-#define SRC_OBS_METRICS_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -117,4 +116,3 @@ class MetricsRegistry {
 
 }  // namespace past
 
-#endif  // SRC_OBS_METRICS_H_

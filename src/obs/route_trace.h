@@ -7,8 +7,7 @@
 // proximity distance of the hop taken. The trace is surfaced to applications
 // through DeliverContext, so experiments and tests can assert not just
 // "<= log N hops" but *which rule* produced each hop.
-#ifndef SRC_OBS_ROUTE_TRACE_H_
-#define SRC_OBS_ROUTE_TRACE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ struct RouteTrace {
 
 }  // namespace past
 
-#endif  // SRC_OBS_ROUTE_TRACE_H_

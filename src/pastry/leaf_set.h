@@ -9,8 +9,7 @@
 // When the overlay is small a node can legitimately appear on both sides
 // (it is simultaneously among the closest-larger and closest-smaller ids);
 // Members() deduplicates.
-#ifndef SRC_PASTRY_LEAF_SET_H_
-#define SRC_PASTRY_LEAF_SET_H_
+#pragma once
 
 #include <vector>
 
@@ -82,4 +81,3 @@ class LeafSet {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_LEAF_SET_H_

@@ -4,8 +4,7 @@
 // decoded on receipt, so the protocol cannot accidentally rely on shared
 // memory. Each struct provides EncodeBody/DecodeBody; EncodeMessage() adds a
 // (version, type) header and DecodeHeader() strips it.
-#ifndef SRC_PASTRY_MESSAGES_H_
-#define SRC_PASTRY_MESSAGES_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -38,9 +37,9 @@ enum class PastryMsgType : uint8_t {
 // --- field helpers ---------------------------------------------------------
 
 void EncodeDescriptor(Writer* w, const NodeDescriptor& d);
-bool DecodeDescriptor(Reader* r, NodeDescriptor* d);
+[[nodiscard]] bool DecodeDescriptor(Reader* r, NodeDescriptor* d);
 void EncodeDescriptorList(Writer* w, const std::vector<NodeDescriptor>& list);
-bool DecodeDescriptorList(Reader* r, std::vector<NodeDescriptor>* list);
+[[nodiscard]] bool DecodeDescriptorList(Reader* r, std::vector<NodeDescriptor>* list);
 
 // --- messages ---------------------------------------------------------------
 
@@ -69,7 +68,7 @@ struct RouteMsg {
   Bytes payload;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, RouteMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, RouteMsg* m);
 };
 
 // Per-hop acknowledgment for failure detection on the routing path.
@@ -79,7 +78,7 @@ struct RouteAckMsg {
   uint64_t seq = 0;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, RouteAckMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, RouteAckMsg* m);
 };
 
 // Routed toward the joiner's own id. Every node on the path contributes
@@ -92,7 +91,7 @@ struct JoinRequestMsg {
   uint64_t seq = 0;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, JoinRequestMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, JoinRequestMsg* m);
 };
 
 // Routing-table rows for a joiner, sent by a node on the join path.
@@ -105,7 +104,7 @@ struct JoinRowsMsg {
   std::vector<std::vector<NodeDescriptor>> rows;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, JoinRowsMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, JoinRowsMsg* m);
 };
 
 // Leaf set handed to the joiner by the numerically closest existing node.
@@ -117,7 +116,7 @@ struct JoinLeafSetMsg {
   uint64_t seq = 0;  // echoes JoinRequestMsg::seq
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, JoinLeafSetMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, JoinLeafSetMsg* m);
 };
 
 // Neighborhood set handed to the joiner by its bootstrap node.
@@ -128,7 +127,7 @@ struct JoinNeighborhoodMsg {
   std::vector<NodeDescriptor> neighbors;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, JoinNeighborhoodMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, JoinNeighborhoodMsg* m);
 };
 
 // Sent by a newly joined node to everyone in its state so they can fold the
@@ -139,7 +138,7 @@ struct AnnounceArrivalMsg {
   NodeDescriptor joiner;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, AnnounceArrivalMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, AnnounceArrivalMsg* m);
 };
 
 struct KeepAliveMsg {
@@ -148,7 +147,7 @@ struct KeepAliveMsg {
   NodeDescriptor sender;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, KeepAliveMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, KeepAliveMsg* m);
 };
 
 struct KeepAliveAckMsg {
@@ -157,7 +156,7 @@ struct KeepAliveAckMsg {
   NodeDescriptor sender;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, KeepAliveAckMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, KeepAliveAckMsg* m);
 };
 
 // Leaf-set repair: ask a surviving member for its leaf set.
@@ -167,7 +166,7 @@ struct LeafSetRequestMsg {
   NodeDescriptor sender;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, LeafSetRequestMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, LeafSetRequestMsg* m);
 };
 
 struct LeafSetReplyMsg {
@@ -177,7 +176,7 @@ struct LeafSetReplyMsg {
   std::vector<NodeDescriptor> leaves;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, LeafSetReplyMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, LeafSetReplyMsg* m);
 };
 
 // Lazy routing-table repair: ask a row peer for its entry at (row, col).
@@ -189,7 +188,7 @@ struct RepairRequestMsg {
   uint16_t col = 0;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, RepairRequestMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, RepairRequestMsg* m);
 };
 
 struct RepairReplyMsg {
@@ -202,7 +201,7 @@ struct RepairReplyMsg {
   NodeDescriptor entry;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, RepairReplyMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, RepairReplyMsg* m);
 };
 
 // A point-to-point application message (not routed by key): PAST uses these
@@ -215,7 +214,7 @@ struct AppDirectMsg {
   Bytes payload;
 
   void EncodeBody(Writer* w) const;
-  static bool DecodeBody(Reader* r, AppDirectMsg* m);
+  [[nodiscard]] static bool DecodeBody(Reader* r, AppDirectMsg* m);
 };
 
 // --- envelope ---------------------------------------------------------------
@@ -231,14 +230,13 @@ Bytes EncodeMessage(const M& msg) {
 
 // Reads the header; on success `*type` is set and `r` is positioned at the
 // body.
-bool DecodeHeader(Reader* r, PastryMsgType* type);
+[[nodiscard]] bool DecodeHeader(Reader* r, PastryMsgType* type);
 
 // Decodes a full body and requires the buffer to be fully consumed.
 template <typename M>
-bool DecodeBodyStrict(Reader* r, M* msg) {
+[[nodiscard]] bool DecodeBodyStrict(Reader* r, M* msg) {
   return M::DecodeBody(r, msg) && r->AtEnd();
 }
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_MESSAGES_H_

@@ -2,8 +2,7 @@
 // according to the *proximity* metric (not the id space). It is not used for
 // routing decisions; it seeds locality-aware routing-table maintenance and is
 // handed to joining nodes so they start with proximally relevant candidates.
-#ifndef SRC_PASTRY_NEIGHBORHOOD_SET_H_
-#define SRC_PASTRY_NEIGHBORHOOD_SET_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -42,4 +41,3 @@ class NeighborhoodSet {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_NEIGHBORHOOD_SET_H_

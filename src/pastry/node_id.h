@@ -4,8 +4,7 @@
 // node's public key (the smartcard's key in a brokered PAST network), which
 // makes the id space uniformly and quasi-randomly populated — the property
 // the paper relies on for replica diversity and load balance.
-#ifndef SRC_PASTRY_NODE_ID_H_
-#define SRC_PASTRY_NODE_ID_H_
+#pragma once
 
 #include <string>
 
@@ -76,4 +75,3 @@ struct PastryConfig {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_NODE_ID_H_

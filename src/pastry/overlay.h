@@ -4,8 +4,7 @@
 // set, and drives the real join protocol to grow the overlay one node at a
 // time (each join completes before the next starts, as in the Pastry
 // evaluation methodology). Experiments and PAST both sit on top of this.
-#ifndef SRC_PASTRY_OVERLAY_H_
-#define SRC_PASTRY_OVERLAY_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -78,4 +77,3 @@ class Overlay {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_OVERLAY_H_

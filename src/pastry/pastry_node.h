@@ -8,8 +8,7 @@
 // Applications (PAST's storage layer, the examples, the experiment drivers)
 // attach through the PastryApp interface, mirroring the classic
 // deliver/forward/newLeafs API.
-#ifndef SRC_PASTRY_PASTRY_NODE_H_
-#define SRC_PASTRY_PASTRY_NODE_H_
+#pragma once
 
 #include <optional>
 #include <unordered_map>
@@ -262,4 +261,3 @@ class PastryNode : public NetReceiver {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_PASTRY_NODE_H_

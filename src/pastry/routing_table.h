@@ -7,8 +7,7 @@
 // empty. Among candidate nodes for a slot, the proximally closest one is kept
 // when locality awareness is on (the heuristic behind Pastry's route-locality
 // results).
-#ifndef SRC_PASTRY_ROUTING_TABLE_H_
-#define SRC_PASTRY_ROUTING_TABLE_H_
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -68,4 +67,3 @@ class RoutingTable {
 
 }  // namespace past
 
-#endif  // SRC_PASTRY_ROUTING_TABLE_H_

@@ -5,8 +5,7 @@
 // alternating renewal process: exponentially distributed sessions (up-time)
 // and downtimes, after which the node recovers (rejoins). Experiments and
 // tests register fail/recover callbacks; the driver owns only timers.
-#ifndef SRC_SIM_CHURN_H_
-#define SRC_SIM_CHURN_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -68,4 +67,3 @@ class ChurnDriver {
 
 }  // namespace past
 
-#endif  // SRC_SIM_CHURN_H_

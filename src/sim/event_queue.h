@@ -4,8 +4,7 @@
 // runs on this queue. Events at equal timestamps fire in scheduling order
 // (sequence-number tie-break), which makes every simulation deterministic.
 // Time is in integer microseconds.
-#ifndef SRC_SIM_EVENT_QUEUE_H_
-#define SRC_SIM_EVENT_QUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -76,4 +75,3 @@ class EventQueue {
 
 }  // namespace past
 
-#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -6,8 +6,7 @@
 // lost or the destination is down. There is no delivery notification and no
 // failure notification — exactly the asymmetric-knowledge environment PAST
 // assumes (nodes "may silently leave the system without warning").
-#ifndef SRC_SIM_NETWORK_H_
-#define SRC_SIM_NETWORK_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -110,4 +109,3 @@ class Network {
 
 }  // namespace past
 
-#endif  // SRC_SIM_NETWORK_H_

@@ -8,8 +8,7 @@
 //   kSphere    — uniform points on a sphere (great-circle distance)
 //   kClustered — Internet-like: dense clusters (sites) joined by long links;
 //                intra-cluster distances are small, inter-cluster large.
-#ifndef SRC_SIM_TOPOLOGY_H_
-#define SRC_SIM_TOPOLOGY_H_
+#pragma once
 
 #include <vector>
 
@@ -52,4 +51,3 @@ class Topology {
 
 }  // namespace past
 
-#endif  // SRC_SIM_TOPOLOGY_H_

@@ -7,8 +7,7 @@
 // Size (the policy used by the PAST storage-management paper) favors small
 // and popular files: each entry carries H = L + cost/size, eviction removes
 // the minimum-H entry and raises the floor L to that value.
-#ifndef SRC_STORAGE_CACHE_H_
-#define SRC_STORAGE_CACHE_H_
+#pragma once
 
 #include <map>
 #include <unordered_map>
@@ -97,4 +96,3 @@ class Cache {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_CACHE_H_

@@ -5,8 +5,7 @@
 // certificates before storing, clients verify store receipts to confirm k
 // replicas exist, reclaim certificates authorize storage reclamation, and
 // reclaim receipts let the client's card credit its quota.
-#ifndef SRC_STORAGE_CERTIFICATES_H_
-#define SRC_STORAGE_CERTIFICATES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -24,10 +23,10 @@ struct CardIdentity {
   Bytes broker_signature;
 
   void EncodeTo(Writer* w) const;
-  static bool DecodeFrom(Reader* r, CardIdentity* out);
+  [[nodiscard]] static bool DecodeFrom(Reader* r, CardIdentity* out);
 
   // Did `broker` certify this card?
-  bool VerifyIssuedBy(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool VerifyIssuedBy(const RsaPublicKey& broker) const;
 
   // The nodeId / pseudonym derived from this card.
   NodeId DerivedNodeId() const { return NodeIdFromPublicKey(public_key.Encode()); }
@@ -50,12 +49,12 @@ struct FileCertificate {
   // The byte string the signature covers.
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
-  static bool DecodeFrom(Reader* r, FileCertificate* out);
+  [[nodiscard]] static bool DecodeFrom(Reader* r, FileCertificate* out);
 
   // Signature valid and card certified by `broker`.
-  bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
   // Does `content` match content_hash?
-  bool MatchesContent(ByteSpan content) const;
+  [[nodiscard]] bool MatchesContent(ByteSpan content) const;
 };
 
 // Issued by a storage node after storing a replica; returned to the client,
@@ -69,8 +68,8 @@ struct StoreReceipt {
 
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
-  static bool DecodeFrom(Reader* r, StoreReceipt* out);
-  bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] static bool DecodeFrom(Reader* r, StoreReceipt* out);
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
 };
 
 // Authorizes reclaiming the storage of a file; only the owner's card can
@@ -83,8 +82,8 @@ struct ReclaimCertificate {
 
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
-  static bool DecodeFrom(Reader* r, ReclaimCertificate* out);
-  bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] static bool DecodeFrom(Reader* r, ReclaimCertificate* out);
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
 };
 
 // Issued by a storage node that reclaimed a replica; presented by the client
@@ -98,10 +97,9 @@ struct ReclaimReceipt {
 
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
-  static bool DecodeFrom(Reader* r, ReclaimReceipt* out);
-  bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] static bool DecodeFrom(Reader* r, ReclaimReceipt* out);
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
 };
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_CERTIFICATES_H_

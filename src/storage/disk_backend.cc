@@ -67,7 +67,10 @@ StatusCode DiskBackend::LoadRecovered() {
         file.cert.file_id != key) {
       return StatusCode::kCorruption;
     }
-    mirror_.Put(std::move(file));
+    if (StatusCode status = mirror_.Put(std::move(file));
+        status != StatusCode::kOk) {
+      return status;
+    }
   }
   for (const U160& key : engine_->PointerKeys()) {
     Result<Bytes> value = engine_->GetPointer(key);
@@ -79,7 +82,10 @@ StatusCode DiskBackend::LoadRecovered() {
                        &holder)) {
       return StatusCode::kCorruption;
     }
-    mirror_.PutPointer(key, holder);
+    if (StatusCode status = mirror_.PutPointer(key, holder);
+        status != StatusCode::kOk) {
+      return status;
+    }
   }
   return StatusCode::kOk;
 }

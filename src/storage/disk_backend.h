@@ -4,8 +4,7 @@
 // updated, so Open() on the same directory after a crash or restart rebuilds
 // exactly the acknowledged (and, with sync, durable) state. Replica values
 // are serialized StoredFiles; pointer values are serialized NodeDescriptors.
-#ifndef SRC_STORAGE_DISK_BACKEND_H_
-#define SRC_STORAGE_DISK_BACKEND_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -25,11 +24,11 @@ class DiskBackend : public StoreBackend {
 
   StatusCode Put(StoredFile file) override;
   const StoredFile* Get(const FileId& id) const override;
-  bool Remove(const FileId& id) override;
+  [[nodiscard]] bool Remove(const FileId& id) override;
 
   StatusCode PutPointer(const FileId& id, const NodeDescriptor& holder) override;
   std::optional<NodeDescriptor> GetPointer(const FileId& id) const override;
-  bool RemovePointer(const FileId& id) override;
+  [[nodiscard]] bool RemovePointer(const FileId& id) override;
 
   std::vector<FileId> FileIds() const override;
   size_t file_count() const override { return mirror_.file_count(); }
@@ -52,4 +51,3 @@ class DiskBackend : public StoreBackend {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_DISK_BACKEND_H_

@@ -5,8 +5,7 @@
 // (name, owner, salt) triple always maps to the same id, and re-inserting
 // under a fresh salt yields a new, unrelated id — which is exactly the "file
 // diversion" retry mechanism the storage-management scheme uses.
-#ifndef SRC_STORAGE_FILE_ID_H_
-#define SRC_STORAGE_FILE_ID_H_
+#pragma once
 
 #include <string_view>
 
@@ -22,4 +21,3 @@ FileId MakeFileId(std::string_view name, const RsaPublicKey& owner, uint64_t sal
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_FILE_ID_H_

@@ -92,8 +92,8 @@ void FileStore::AccountUsed(int64_t delta) {
   }
 }
 
-void FileStore::PutPointer(const FileId& id, const NodeDescriptor& holder) {
-  backend_->PutPointer(id, holder);
+StatusCode FileStore::PutPointer(const FileId& id, const NodeDescriptor& holder) {
+  return backend_->PutPointer(id, holder);
 }
 
 std::optional<NodeDescriptor> FileStore::GetPointer(const FileId& id) const {

@@ -10,8 +10,7 @@
 // semantics either way — capacity accounting (rebuilt from the backend's
 // recovered contents on construction), duplicate and fit checks, and the
 // store.* metrics.
-#ifndef SRC_STORAGE_FILE_STORE_H_
-#define SRC_STORAGE_FILE_STORE_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -56,9 +55,10 @@ class FileStore {
   std::optional<uint64_t> Remove(const FileId& id);
 
   // Diverted-replica pointers: fileId -> node actually holding the replica.
-  void PutPointer(const FileId& id, const NodeDescriptor& holder);
+  // Durable backends may fail with kUnavailable on I/O errors.
+  StatusCode PutPointer(const FileId& id, const NodeDescriptor& holder);
   std::optional<NodeDescriptor> GetPointer(const FileId& id) const;
-  bool RemovePointer(const FileId& id);
+  [[nodiscard]] bool RemovePointer(const FileId& id);
 
   std::vector<FileId> FileIds() const { return backend_->FileIds(); }
   size_t file_count() const { return backend_->file_count(); }
@@ -103,4 +103,3 @@ struct StoragePolicy {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_FILE_STORE_H_

@@ -3,8 +3,7 @@
 // Routed operations (keyed by the 128 msbs of the fileId): insert, lookup,
 // reclaim. Direct operations: replica placement and diversion, receipts back
 // to the client, fetches, cache pushes, replica maintenance and audits.
-#ifndef SRC_STORAGE_MESSAGES_H_
-#define SRC_STORAGE_MESSAGES_H_
+#pragma once
 
 #include "src/common/serializer.h"
 #include "src/pastry/messages.h"
@@ -40,7 +39,7 @@ struct InsertRequestPayload {
   NodeDescriptor client;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, InsertRequestPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, InsertRequestPayload* out);
 };
 
 struct StoreReplicaPayload {
@@ -50,7 +49,7 @@ struct StoreReplicaPayload {
   bool divert_allowed = true;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, StoreReplicaPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, StoreReplicaPayload* out);
 };
 
 struct DivertStorePayload {
@@ -60,7 +59,7 @@ struct DivertStorePayload {
   NodeDescriptor primary;  // the node that keeps the pointer
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, DivertStorePayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, DivertStorePayload* out);
 };
 
 struct DivertResultPayload {
@@ -69,14 +68,14 @@ struct DivertResultPayload {
   NodeDescriptor client;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, DivertResultPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, DivertResultPayload* out);
 };
 
 struct StoreReceiptPayload {
   StoreReceipt receipt;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, StoreReceiptPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, StoreReceiptPayload* out);
 };
 
 struct StoreNackPayload {
@@ -84,7 +83,7 @@ struct StoreNackPayload {
   uint8_t reason = 0;  // StatusCode, narrowed
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, StoreNackPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, StoreNackPayload* out);
 };
 
 struct LookupRequestPayload {
@@ -92,7 +91,7 @@ struct LookupRequestPayload {
   NodeDescriptor client;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, LookupRequestPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, LookupRequestPayload* out);
 };
 
 struct LookupReplyPayload {
@@ -102,7 +101,7 @@ struct LookupReplyPayload {
   NodeDescriptor replier;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, LookupReplyPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, LookupReplyPayload* out);
 };
 
 struct FetchRequestPayload {
@@ -113,7 +112,7 @@ struct FetchRequestPayload {
   bool for_lookup = false;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, FetchRequestPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, FetchRequestPayload* out);
 };
 
 struct FetchReplyPayload {
@@ -122,7 +121,7 @@ struct FetchReplyPayload {
   Bytes content;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, FetchReplyPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, FetchReplyPayload* out);
 };
 
 struct ReclaimRequestPayload {
@@ -130,14 +129,14 @@ struct ReclaimRequestPayload {
   NodeDescriptor client;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, ReclaimRequestPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, ReclaimRequestPayload* out);
 };
 
 struct ReclaimReceiptPayload {
   ReclaimReceipt receipt;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, ReclaimReceiptPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, ReclaimReceiptPayload* out);
 };
 
 struct CachePushPayload {
@@ -145,7 +144,7 @@ struct CachePushPayload {
   Bytes content;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, CachePushPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, CachePushPayload* out);
 };
 
 struct ReplicaNotifyPayload {
@@ -153,7 +152,7 @@ struct ReplicaNotifyPayload {
   uint64_t file_size = 0;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, ReplicaNotifyPayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, ReplicaNotifyPayload* out);
 };
 
 struct AuditChallengePayload {
@@ -161,7 +160,7 @@ struct AuditChallengePayload {
   uint64_t nonce = 0;
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, AuditChallengePayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, AuditChallengePayload* out);
 };
 
 struct AuditResponsePayload {
@@ -172,9 +171,8 @@ struct AuditResponsePayload {
                  // synthetic content
 
   Bytes Encode() const;
-  static bool Decode(ByteSpan data, AuditResponsePayload* out);
+  [[nodiscard]] static bool Decode(ByteSpan data, AuditResponsePayload* out);
 };
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_MESSAGES_H_

@@ -5,8 +5,7 @@
 // real join protocol, and attaches a PastNode to every overlay node. Also
 // provides synchronous wrappers over the asynchronous client API for tests
 // and experiments.
-#ifndef SRC_STORAGE_PAST_NETWORK_H_
-#define SRC_STORAGE_PAST_NETWORK_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -103,4 +102,3 @@ class PastNetwork {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_PAST_NETWORK_H_

@@ -199,7 +199,11 @@ void PastNode::FailInsertAttempt(const FileId& id, StatusCode reason) {
     cleanup.client = overlay_->descriptor();
     RouteOp(id.Top128(), PastOp::kReclaimRequest, cleanup.Encode());
   }
-  card_->RefundFileCertificate(state.cert);
+  if (StatusCode refund = card_->RefundFileCertificate(state.cert);
+      refund != StatusCode::kOk) {
+    PAST_WARN("quota refund for '%s' failed: %s", state.name.c_str(),
+              StatusCodeName(refund));
+  }
 
   if (state.attempt < config_.file_diversion_retries) {
     // File diversion: retry under a fresh salt, which maps the file to an
@@ -382,7 +386,10 @@ void PastNode::HandleReclaimReceipt(const ReclaimReceipt& receipt) {
     obs_.bad_certificates->Inc();
     return;
   }
-  card_->CreditReclaim(receipt, it->second.cert);
+  if (StatusCode credit = card_->CreditReclaim(receipt, it->second.cert);
+      credit != StatusCode::kOk) {
+    PAST_WARN("reclaim credit failed: %s", StatusCodeName(credit));
+  }
   if (it->second.timer != 0) {
     overlay_->queue()->Cancel(it->second.timer);
   }
@@ -635,7 +642,13 @@ void PastNode::HandleDivertResult(const NodeDescriptor& from,
     TryNextDiversion(res.file_id);
     return;
   }
-  store_.PutPointer(res.file_id, from);
+  if (StatusCode status = store_.PutPointer(res.file_id, from);
+      status != StatusCode::kOk) {
+    // The replica is already on the diversion target; losing the pointer
+    // only costs an indirection (maintenance re-fetches find it), so keep
+    // the receipt path going but record the failure.
+    PAST_WARN("diverted-pointer write failed: %s", StatusCodeName(status));
+  }
   ++stats_.diversions_ok;
   obs_.diversions_ok->Inc();
   StoreReceiptPayload receipt;
@@ -828,7 +841,7 @@ void PastNode::HandleReclaimReplica(const ReclaimRequestPayload& req) {
     return;
   }
   if (std::optional<NodeDescriptor> holder = store_.GetPointer(id)) {
-    store_.RemovePointer(id);
+    PAST_CHECK(store_.RemovePointer(id));  // present: GetPointer just hit
     SendOp(holder->addr, PastOp::kReclaimReplica, req.Encode());
     return;
   }

@@ -13,8 +13,7 @@
 //
 // Every node is simultaneously a storage node (capacity possibly zero) and a
 // client access point — exactly the paper's symmetric peer model.
-#ifndef SRC_STORAGE_PAST_NODE_H_
-#define SRC_STORAGE_PAST_NODE_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -309,4 +308,3 @@ class PastNode : public PastryApp {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_PAST_NODE_H_

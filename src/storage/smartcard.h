@@ -9,8 +9,7 @@
 // counters live inside the card object, certificates are only produced
 // through card methods, and "tamper-proofness" becomes a set of invariants
 // the test suite enforces.
-#ifndef SRC_STORAGE_SMARTCARD_H_
-#define SRC_STORAGE_SMARTCARD_H_
+#pragma once
 
 #include <memory>
 #include <string_view>
@@ -64,16 +63,16 @@ class Smartcard {
   ReclaimReceipt IssueReclaimReceipt(const FileId& file_id, uint64_t bytes, int64_t ts);
 
   // --- verification helpers (delegate to the certificate types) -------------------
-  bool VerifyFileCertificate(const FileCertificate& cert) const {
+  [[nodiscard]] bool VerifyFileCertificate(const FileCertificate& cert) const {
     return cert.Verify(broker_key_);
   }
-  bool VerifyStoreReceipt(const StoreReceipt& receipt) const {
+  [[nodiscard]] bool VerifyStoreReceipt(const StoreReceipt& receipt) const {
     return receipt.Verify(broker_key_);
   }
-  bool VerifyReclaimCertificate(const ReclaimCertificate& cert) const {
+  [[nodiscard]] bool VerifyReclaimCertificate(const ReclaimCertificate& cert) const {
     return cert.Verify(broker_key_);
   }
-  bool VerifyReclaimReceipt(const ReclaimReceipt& receipt) const {
+  [[nodiscard]] bool VerifyReclaimReceipt(const ReclaimReceipt& receipt) const {
     return receipt.Verify(broker_key_);
   }
 
@@ -138,4 +137,3 @@ class Broker {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_SMARTCARD_H_

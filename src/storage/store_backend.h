@@ -5,8 +5,7 @@
 // with two keyspaces. MemoryBackend is the default and holds everything in
 // maps; DiskBackend (disk_backend.h) writes through to the durable log
 // engine so a restarted node recovers its state.
-#ifndef SRC_STORAGE_STORE_BACKEND_H_
-#define SRC_STORAGE_STORE_BACKEND_H_
+#pragma once
 
 #include <optional>
 #include <unordered_map>
@@ -34,12 +33,12 @@ class StoreBackend {
   virtual StatusCode Put(StoredFile file) = 0;
   // Null when absent. The pointer stays valid until the entry is mutated.
   virtual const StoredFile* Get(const FileId& id) const = 0;
-  virtual bool Remove(const FileId& id) = 0;
+  [[nodiscard]] virtual bool Remove(const FileId& id) = 0;
 
   virtual StatusCode PutPointer(const FileId& id,
                                 const NodeDescriptor& holder) = 0;
   virtual std::optional<NodeDescriptor> GetPointer(const FileId& id) const = 0;
-  virtual bool RemovePointer(const FileId& id) = 0;
+  [[nodiscard]] virtual bool RemovePointer(const FileId& id) = 0;
 
   virtual std::vector<FileId> FileIds() const = 0;
   virtual size_t file_count() const = 0;
@@ -53,11 +52,11 @@ class MemoryBackend : public StoreBackend {
  public:
   StatusCode Put(StoredFile file) override;
   const StoredFile* Get(const FileId& id) const override;
-  bool Remove(const FileId& id) override;
+  [[nodiscard]] bool Remove(const FileId& id) override;
 
   StatusCode PutPointer(const FileId& id, const NodeDescriptor& holder) override;
   std::optional<NodeDescriptor> GetPointer(const FileId& id) const override;
-  bool RemovePointer(const FileId& id) override;
+  [[nodiscard]] bool RemovePointer(const FileId& id) override;
 
   std::vector<FileId> FileIds() const override;
   size_t file_count() const override { return files_.size(); }
@@ -70,4 +69,3 @@ class MemoryBackend : public StoreBackend {
 
 }  // namespace past
 
-#endif  // SRC_STORAGE_STORE_BACKEND_H_

@@ -4,8 +4,7 @@
 // lookups and reclaims resolve their insert references through the fileIds
 // produced during this replay. Crash victims are skipped if already down;
 // join ops add a node with the network's default capacity/quota.
-#ifndef SRC_WORKLOAD_REPLAY_H_
-#define SRC_WORKLOAD_REPLAY_H_
+#pragma once
 
 #include "src/storage/past_network.h"
 #include "src/workload/trace.h"
@@ -33,4 +32,3 @@ ReplayResult ReplayTrace(const Trace& trace, PastNetwork* net,
 
 }  // namespace past
 
-#endif  // SRC_WORKLOAD_REPLAY_H_

@@ -14,8 +14,7 @@
 //
 // where <insert-index> refers to the i-th insert line (0-based) and <client>
 // / <node> are node indices modulo the network size at replay time.
-#ifndef SRC_WORKLOAD_TRACE_H_
-#define SRC_WORKLOAD_TRACE_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -77,4 +76,3 @@ Trace GenerateTrace(const TraceWorkloadOptions& options, Rng* rng);
 
 }  // namespace past
 
-#endif  // SRC_WORKLOAD_TRACE_H_

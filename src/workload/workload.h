@@ -5,8 +5,7 @@
 // file sizes (lognormal body, Pareto tail), Zipf popularity for lookups, and
 // skewed node capacities (the paper's storage nodes differ by orders of
 // magnitude). DESIGN.md records the substitution rationale.
-#ifndef SRC_WORKLOAD_WORKLOAD_H_
-#define SRC_WORKLOAD_WORKLOAD_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ class LookupTrace {
 
 }  // namespace past
 
-#endif  // SRC_WORKLOAD_WORKLOAD_H_

@@ -1,6 +1,5 @@
 // Scoped temporary directory for diskstore tests.
-#ifndef TESTS_DISKSTORE_TEMP_DIR_H_
-#define TESTS_DISKSTORE_TEMP_DIR_H_
+#pragma once
 
 #include <cstdlib>
 #include <filesystem>
@@ -35,4 +34,3 @@ class TempDir {
 
 }  // namespace past
 
-#endif  // TESTS_DISKSTORE_TEMP_DIR_H_

@@ -1,0 +1,104 @@
+// Fuzz driver for the segment-log on-disk format (src/diskstore/log_format.h).
+//
+// Treats the input as the raw contents of one segment file and replays it the
+// way DiskStore recovery does: DecodeSegmentHeader, then ParseRecord in a loop
+// until the first non-kOk status (the consistent-prefix cut). Invariants: the
+// offset advances on every kOk and never moves otherwise, an accepted record
+// re-encodes to exactly the bytes it was parsed from, and the replay loop
+// terminates.
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/u160.h"
+#include "src/diskstore/log_format.h"
+#include "tests/fuzz/fuzz_util.h"
+
+namespace {
+
+using namespace past;  // NOLINT
+
+void TestOneInput(ByteSpan data) {
+  uint64_t seq = 0;
+  if (!DecodeSegmentHeader(data, &seq)) {
+    return;
+  }
+
+  size_t offset = kSegmentHeaderSize;
+  while (true) {
+    size_t before = offset;
+    Record record;
+    ParseStatus status = ParseRecord(data, &offset, &record);
+    if (status == ParseStatus::kOk) {
+      FUZZ_ASSERT(offset > before, "kOk must advance the offset");
+      FUZZ_ASSERT(offset <= data.size(), "offset must stay inside the buffer");
+      // The record the parser accepted must be exactly what the encoder
+      // produces for it — the CRC leaves no room for non-canonical bytes.
+      Bytes reencoded =
+          EncodeRecord(record.type, record.key,
+                       ByteSpan(record.value.data(), record.value.size()));
+      FUZZ_ASSERT(reencoded.size() == offset - before,
+                  "re-encoded record must have the parsed size");
+      FUZZ_ASSERT(std::equal(reencoded.begin(), reencoded.end(),
+                             data.begin() + static_cast<long>(before)),
+                  "re-encoded record must match the parsed bytes");
+      continue;
+    }
+    // kAtEnd / kTruncated / kCorrupt: the offset marks the consistent prefix
+    // and must not have moved.
+    FUZZ_ASSERT(offset == before, "non-kOk must leave the offset unchanged");
+    if (status == ParseStatus::kAtEnd) {
+      FUZZ_ASSERT(offset == data.size(), "kAtEnd means the buffer is consumed");
+    }
+    break;
+  }
+}
+
+std::vector<Bytes> SeedInputs() {
+  std::vector<Bytes> seeds;
+
+  auto key = [](uint8_t fill) {
+    Bytes raw(U160::kBytes, fill);
+    return U160::FromBytes(ByteSpan(raw.data(), raw.size()));
+  };
+  auto append = [](Bytes* out, const Bytes& part) {
+    out->insert(out->end(), part.begin(), part.end());
+  };
+
+  // Header only: a freshly created, empty segment.
+  seeds.push_back(EncodeSegmentHeader(1));
+
+  // A typical segment: puts, a pointer put, a remove, a pointer remove.
+  Bytes value = {0x10, 0x20, 0x30, 0x40, 0x50};
+  Bytes seg = EncodeSegmentHeader(2);
+  append(&seg, EncodeRecord(RecordType::kPut, key(0xaa),
+                            ByteSpan(value.data(), value.size())));
+  append(&seg, EncodeRecord(RecordType::kPointerPut, key(0xbb),
+                            ByteSpan(value.data(), 2)));
+  append(&seg, EncodeRecord(RecordType::kRemove, key(0xaa), ByteSpan()));
+  append(&seg, EncodeRecord(RecordType::kPointerRemove, key(0xbb), ByteSpan()));
+  seeds.push_back(seg);
+
+  // A segment with a torn tail: a valid put followed by half a record.
+  Bytes torn = EncodeSegmentHeader(3);
+  append(&torn, EncodeRecord(RecordType::kPut, key(0xcc),
+                             ByteSpan(value.data(), value.size())));
+  Bytes partial = EncodeRecord(RecordType::kPut, key(0xdd),
+                               ByteSpan(value.data(), value.size()));
+  partial.resize(partial.size() / 2);
+  append(&torn, partial);
+  seeds.push_back(torn);
+
+  // A large-value record, so length mutations cross size-class boundaries.
+  Bytes big_value(4096, 0x5a);
+  Bytes big = EncodeSegmentHeader(4);
+  append(&big, EncodeRecord(RecordType::kPut, key(0xee),
+                            ByteSpan(big_value.data(), big_value.size())));
+  seeds.push_back(big);
+
+  return seeds;
+}
+
+}  // namespace
+
+PAST_FUZZ_MAIN(TestOneInput, SeedInputs)

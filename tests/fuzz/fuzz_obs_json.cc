@@ -1,0 +1,87 @@
+// Fuzz driver for the observability JSON codec (src/obs/json.h).
+//
+// Parses arbitrary bytes as a JSON document. Parsing must never crash, and an
+// accepted document must satisfy: every number is finite (Dump() could not
+// represent an inf/nan), and Dump -> Parse -> Dump is byte-stable for both
+// compact and pretty-printed output. The corpus files pin the two parser bugs
+// this driver found: overflowing number literals and lone \u surrogates.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/obs/json.h"
+#include "tests/fuzz/fuzz_util.h"
+
+namespace {
+
+using namespace past;  // NOLINT
+
+void CheckFinite(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNumber:
+      FUZZ_ASSERT(std::isfinite(v.AsDouble()),
+                  "an accepted number must be representable by Dump");
+      break;
+    case JsonValue::Type::kArray:
+      for (const JsonValue& item : v.items()) {
+        CheckFinite(item);
+      }
+      break;
+    case JsonValue::Type::kObject:
+      for (const auto& [key, member] : v.members()) {
+        CheckFinite(member);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void TestOneInput(ByteSpan data) {
+  std::string text(reinterpret_cast<const char*>(data.data()), data.size());
+  JsonValue doc;
+  if (!JsonValue::Parse(text, &doc)) {
+    return;
+  }
+  CheckFinite(doc);
+
+  std::string once = doc.Dump();
+  JsonValue doc2;
+  FUZZ_ASSERT(JsonValue::Parse(once, &doc2), "a dump must re-parse");
+  FUZZ_ASSERT(doc2.Dump() == once, "compact dump must be byte-stable");
+
+  std::string pretty = doc.Dump(2);
+  JsonValue doc3;
+  FUZZ_ASSERT(JsonValue::Parse(pretty, &doc3), "a pretty dump must re-parse");
+  FUZZ_ASSERT(doc3.Dump() == once, "pretty and compact dumps must agree");
+}
+
+std::vector<Bytes> SeedInputs() {
+  const char* docs[] = {
+      "null",
+      "true",
+      "-17",
+      "3.25e-3",
+      "\"a \\\"quoted\\\" string with \\u00e9 and \\n\"",
+      "[]",
+      "[1,2,3,[4,[5]],null,false]",
+      "{}",
+      R"({"experiment":"routing_hops","nodes":1000,"metrics":{)"
+      R"("counters":{"net.sent":12345,"net.dropped":0},)"
+      R"("histos":{"hops":[0,12,480,508,0]}},)"
+      R"("trace":{"trace_id":42,"hops":[)"
+      R"({"node":7,"rule":"leaf_set","distance":10.5},)"
+      R"({"node":9,"rule":"routing_table","distance":0.25}]},)"
+      R"("ok":true,"notes":null})",
+  };
+  std::vector<Bytes> seeds;
+  for (const char* doc : docs) {
+    seeds.push_back(ToBytes(doc));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+PAST_FUZZ_MAIN(TestOneInput, SeedInputs)

@@ -1,0 +1,203 @@
+// Deterministic fuzzing harness shared by the tests/fuzz/ drivers.
+//
+// Each driver defines two functions:
+//
+//   void TestOneInput(past::ByteSpan data);   // must not crash or leak
+//   std::vector<past::Bytes> SeedInputs();    // structurally valid inputs
+//
+// and delegates to FuzzMain(), which (1) replays every file under each
+// --corpus directory (checked-in regression inputs), (2) runs the pristine
+// seeds, then (3) runs --iters structure-aware mutations of the seeds. All
+// randomness flows through the seeded past::Rng, so a given (--seed, --iters)
+// pair replays the exact same byte sequences on every run and every machine —
+// a failure is reproducible from its iteration number alone.
+//
+// With PAST_USE_LIBFUZZER defined the same TestOneInput is exported as
+// LLVMFuzzerTestOneInput and no main() is emitted (see tests/fuzz/CMakeLists).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace past {
+namespace fuzz {
+
+// Aborts with a message: under the fuzz_smoke ctest an invariant violation is
+// a test failure, under libFuzzer it becomes a reported crash + repro input.
+#define FUZZ_ASSERT(cond, what)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s (%s) at %s:%d\n", #cond, \
+                   what, __FILE__, __LINE__);                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Values that exercise length-prefix and boundary handling.
+inline uint64_t InterestingValue(Rng* rng) {
+  static const uint64_t kValues[] = {
+      0,    1,          2,          0x7f,       0x80,       0xff,
+      0x100, 0x7fff,    0x8000,     0xffff,     0x10000,    0x7fffffff,
+      0x80000000ULL,    0xffffffffULL,          0xffffffffffffffffULL};
+  return kValues[rng->PickIndex(sizeof(kValues) / sizeof(kValues[0]))];
+}
+
+// One structure-aware mutation: bit flips, boundary-value overwrites of
+// 1/2/4/8-byte windows (little-endian, matching the serializer), chunk
+// erase/insert/duplicate, truncation, and splicing with another seed.
+inline Bytes MutateOnce(const Bytes& input, const std::vector<Bytes>& seeds,
+                        Rng* rng) {
+  Bytes out = input;
+  switch (rng->UniformU64(8)) {
+    case 0: {  // flip one bit
+      if (out.empty()) break;
+      size_t i = rng->PickIndex(out.size());
+      out[i] = static_cast<uint8_t>(out[i] ^ (1u << rng->UniformU64(8)));
+      break;
+    }
+    case 1: {  // overwrite one byte
+      if (out.empty()) break;
+      out[rng->PickIndex(out.size())] = static_cast<uint8_t>(rng->NextU64());
+      break;
+    }
+    case 2: {  // overwrite a 1/2/4/8-byte window with an interesting value
+      if (out.empty()) break;
+      size_t width = size_t{1} << rng->UniformU64(4);
+      size_t i = rng->PickIndex(out.size());
+      uint64_t v = InterestingValue(rng);
+      for (size_t b = 0; b < width && i + b < out.size(); ++b) {
+        out[i + b] = static_cast<uint8_t>(v >> (8 * b));
+      }
+      break;
+    }
+    case 3: {  // truncate a suffix
+      if (out.empty()) break;
+      out.resize(rng->PickIndex(out.size()));
+      break;
+    }
+    case 4: {  // erase a middle chunk
+      if (out.size() < 2) break;
+      size_t start = rng->PickIndex(out.size());
+      size_t len = 1 + rng->PickIndex(out.size() - start);
+      out.erase(out.begin() + static_cast<long>(start),
+                out.begin() + static_cast<long>(start + len));
+      break;
+    }
+    case 5: {  // insert random bytes
+      size_t at = out.empty() ? 0 : rng->PickIndex(out.size() + 1);
+      Bytes chunk = rng->RandomBytes(1 + rng->UniformU64(16));
+      out.insert(out.begin() + static_cast<long>(at), chunk.begin(), chunk.end());
+      break;
+    }
+    case 6: {  // duplicate a chunk
+      if (out.empty()) break;
+      size_t start = rng->PickIndex(out.size());
+      size_t len = 1 + rng->PickIndex(out.size() - start);
+      Bytes chunk(out.begin() + static_cast<long>(start),
+                  out.begin() + static_cast<long>(start + len));
+      size_t at = rng->PickIndex(out.size() + 1);
+      out.insert(out.begin() + static_cast<long>(at), chunk.begin(), chunk.end());
+      break;
+    }
+    case 7: {  // splice: head of this input + tail of another seed
+      if (seeds.empty()) break;
+      const Bytes& other = seeds[rng->PickIndex(seeds.size())];
+      if (other.empty() || out.empty()) break;
+      size_t head = rng->PickIndex(out.size() + 1);
+      size_t tail = rng->PickIndex(other.size());
+      out.resize(head);
+      out.insert(out.end(), other.begin() + static_cast<long>(tail), other.end());
+      break;
+    }
+  }
+  return out;
+}
+
+inline int FuzzMain(int argc, char** argv, void (*one_input)(ByteSpan),
+                    std::vector<Bytes> (*seed_inputs)()) {
+  uint64_t iters = 5000;
+  uint64_t seed = 0x9a57f022;
+  std::vector<std::string> corpus_dirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_dirs.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--iters N] [--seed S] [--corpus <dir>]...\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Phase 1: checked-in regression corpus (sorted for a stable replay order).
+  size_t corpus_files = 0;
+  for (const std::string& dir : corpus_dirs) {
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      Bytes data((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+      one_input(ByteSpan(data.data(), data.size()));
+      ++corpus_files;
+    }
+  }
+
+  // Phase 2: pristine seeds (the round-trip property must hold on these).
+  std::vector<Bytes> seeds = seed_inputs();
+  for (const Bytes& s : seeds) {
+    one_input(ByteSpan(s.data(), s.size()));
+  }
+
+  // Phase 3: deterministic mutation. Each iteration stacks 1-4 mutations on
+  // a seed, so inputs range from near-valid (deep decoder paths) to mangled.
+  Rng rng(seed);
+  for (uint64_t i = 0; i < iters; ++i) {
+    Bytes input = seeds[rng.PickIndex(seeds.size())];
+    uint64_t stack = 1 + rng.UniformU64(4);
+    for (uint64_t m = 0; m < stack; ++m) {
+      input = MutateOnce(input, seeds, &rng);
+    }
+    one_input(ByteSpan(input.data(), input.size()));
+  }
+  std::printf("fuzz: %zu corpus files, %zu seeds, %llu mutated inputs clean\n",
+              corpus_files, seeds.size(),
+              static_cast<unsigned long long>(iters));
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace past
+
+// Shared entry-point boilerplate: libFuzzer export or deterministic main.
+#ifdef PAST_USE_LIBFUZZER
+#define PAST_FUZZ_MAIN(one_input, seed_inputs)                            \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) { \
+    one_input(past::ByteSpan(data, size));                                \
+    return 0;                                                             \
+  }
+#else
+#define PAST_FUZZ_MAIN(one_input, seed_inputs)                        \
+  int main(int argc, char** argv) {                                   \
+    return past::fuzz::FuzzMain(argc, argv, one_input, seed_inputs);  \
+  }
+#endif

@@ -1,0 +1,111 @@
+// Malformed-input coverage for the JSON parser: truncated documents,
+// trailing garbage, depth overruns, and the two defects the fuzzer surfaced
+// (overflowing number literals, lone surrogate escapes) must all be rejected
+// — returning false, never crashing or accepting unrepresentable values.
+#include "src/obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace past {
+namespace {
+
+bool Rejects(const std::string& text) {
+  JsonValue doc;
+  return !JsonValue::Parse(text, &doc);
+}
+
+TEST(JsonMalformedTest, TruncatedDocumentsRejected) {
+  const std::string valid =
+      R"({"a":[1,2.5],"b":{"c":null,"d":"text \u00e9"},"e":true})";
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(valid, &doc));
+  for (size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_TRUE(Rejects(valid.substr(0, len)))
+        << "prefix of length " << len << " parsed: " << valid.substr(0, len);
+  }
+}
+
+TEST(JsonMalformedTest, TrailingGarbageRejected) {
+  EXPECT_TRUE(Rejects("{} x"));
+  EXPECT_TRUE(Rejects("null null"));
+  EXPECT_TRUE(Rejects("1 2"));
+  EXPECT_TRUE(Rejects("[1]]"));
+}
+
+TEST(JsonMalformedTest, BrokenLiteralsRejected) {
+  EXPECT_TRUE(Rejects("tru"));
+  EXPECT_TRUE(Rejects("falsey"));
+  EXPECT_TRUE(Rejects("nul"));
+  EXPECT_TRUE(Rejects("-"));
+  EXPECT_TRUE(Rejects("1.2.3"));
+  EXPECT_TRUE(Rejects("1e"));
+  EXPECT_TRUE(Rejects("+1"));
+}
+
+TEST(JsonMalformedTest, BrokenStringsRejected) {
+  EXPECT_TRUE(Rejects("\"unterminated"));
+  EXPECT_TRUE(Rejects("\"bad escape \\q\""));
+  EXPECT_TRUE(Rejects("\"short \\u12\""));
+  EXPECT_TRUE(Rejects("\"not hex \\uZZZZ\""));
+}
+
+TEST(JsonMalformedTest, BrokenStructuresRejected) {
+  EXPECT_TRUE(Rejects("{"));
+  EXPECT_TRUE(Rejects("{\"a\"}"));
+  EXPECT_TRUE(Rejects("{\"a\":}"));
+  EXPECT_TRUE(Rejects("{\"a\":1,}"));
+  EXPECT_TRUE(Rejects("{1:2}"));
+  EXPECT_TRUE(Rejects("["));
+  EXPECT_TRUE(Rejects("[1,]"));
+  EXPECT_TRUE(Rejects("[1 2]"));
+}
+
+TEST(JsonMalformedTest, DepthOverrunRejected) {
+  EXPECT_TRUE(Rejects(std::string(100, '[')));
+  std::string nested;
+  for (int i = 0; i < 100; ++i) {
+    nested += "{\"k\":";
+  }
+  nested += "1";
+  nested += std::string(100, '}');
+  EXPECT_TRUE(Rejects(nested));
+}
+
+TEST(JsonMalformedTest, GarbageBytesRejected) {
+  EXPECT_TRUE(Rejects(std::string("\xff\xfe\x00\x01", 4)));
+  EXPECT_TRUE(Rejects(""));
+  EXPECT_TRUE(Rejects("  \t\n"));
+}
+
+TEST(JsonMalformedTest, OverflowingNumbersRejected) {
+  // strtod turns these into +/-inf, which Dump() cannot represent; the
+  // parser must reject them (found by fuzz_obs_json).
+  EXPECT_TRUE(Rejects("1e999"));
+  EXPECT_TRUE(Rejects("-1e999"));
+  EXPECT_TRUE(Rejects("[1, 1e309]"));
+  // The largest finite doubles still parse.
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse("1.7976931348623157e308", &doc));
+  EXPECT_TRUE(std::isfinite(doc.AsDouble()));
+  ASSERT_TRUE(JsonValue::Parse("-1.7976931348623157e308", &doc));
+  EXPECT_TRUE(std::isfinite(doc.AsDouble()));
+}
+
+TEST(JsonMalformedTest, SurrogateEscapesRejected) {
+  // Lone surrogates are not code points; UTF-8-encoding them would make the
+  // parser emit invalid UTF-8 (found by fuzz_obs_json).
+  EXPECT_TRUE(Rejects("\"\\ud800\""));
+  EXPECT_TRUE(Rejects("\"\\udbff\""));
+  EXPECT_TRUE(Rejects("\"\\udc00\""));
+  EXPECT_TRUE(Rejects("\"\\udfff\""));
+  // The code points flanking the surrogate range still parse.
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse("\"\\ud7ff\"", &doc));
+  ASSERT_TRUE(JsonValue::Parse("\"\\ue000\"", &doc));
+}
+
+}  // namespace
+}  // namespace past

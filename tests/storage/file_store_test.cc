@@ -58,7 +58,7 @@ TEST(FileStoreTest, GetAndHas) {
   StoredFile f = FileOfSize(100, 7);
   f.content = ToBytes("data");
   FileId id = f.cert.file_id;
-  store.Put(std::move(f));
+  ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
   EXPECT_TRUE(store.Has(id));
   const StoredFile* got = store.Get(id);
   ASSERT_NE(got, nullptr);
@@ -70,7 +70,7 @@ TEST(FileStoreTest, RemoveReleasesSpace) {
   FileStore store(1000);
   StoredFile f = FileOfSize(100, 1);
   FileId id = f.cert.file_id;
-  store.Put(std::move(f));
+  ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
   auto freed = store.Remove(id);
   ASSERT_TRUE(freed.has_value());
   EXPECT_EQ(*freed, 100u);
@@ -84,7 +84,7 @@ TEST(FileStoreTest, DivertedFlagPreserved) {
   f.diverted = true;
   f.diverted_from = NodeDescriptor{U128(1, 2), 9};
   FileId id = f.cert.file_id;
-  store.Put(std::move(f));
+  ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
   const StoredFile* got = store.Get(id);
   ASSERT_NE(got, nullptr);
   EXPECT_TRUE(got->diverted);
@@ -95,7 +95,7 @@ TEST(FileStoreTest, Pointers) {
   FileStore store(1000);
   FileId id = CertOfSize(1, 5).file_id;
   EXPECT_FALSE(store.GetPointer(id).has_value());
-  store.PutPointer(id, NodeDescriptor{U128(3, 4), 17});
+  EXPECT_EQ(store.PutPointer(id, NodeDescriptor{U128(3, 4), 17}), StatusCode::kOk);
   auto ptr = store.GetPointer(id);
   ASSERT_TRUE(ptr.has_value());
   EXPECT_EQ(ptr->addr, 17u);
@@ -106,14 +106,15 @@ TEST(FileStoreTest, Pointers) {
 
 TEST(FileStoreTest, PointersDoNotUseSpace) {
   FileStore store(1000);
-  store.PutPointer(CertOfSize(1, 5).file_id, NodeDescriptor{U128(3, 4), 17});
+  EXPECT_EQ(store.PutPointer(CertOfSize(1, 5).file_id, NodeDescriptor{U128(3, 4), 17}),
+            StatusCode::kOk);
   EXPECT_EQ(store.used(), 0u);
 }
 
 TEST(FileStoreTest, FileIdsEnumeration) {
   FileStore store(10000);
   for (uint64_t i = 0; i < 10; ++i) {
-    store.Put(FileOfSize(10, i));
+    ASSERT_EQ(store.Put(FileOfSize(10, i)), StatusCode::kOk);
   }
   EXPECT_EQ(store.FileIds().size(), 10u);
   EXPECT_EQ(store.file_count(), 10u);

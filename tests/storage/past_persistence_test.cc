@@ -108,8 +108,8 @@ TEST(PastPersistenceTest, PointersSurviveReboot) {
   Bytes raw(20, 0xcd);
   const FileId id = U160::FromBytes(ByteSpan(raw.data(), raw.size()));
   const NodeDescriptor holder{U128(7, 8), 3};
-  node->store().PutPointer(id, holder);
-  node->store().Sync();
+  ASSERT_EQ(node->store().PutPointer(id, holder), StatusCode::kOk);
+  ASSERT_EQ(node->store().Sync(), StatusCode::kOk);
 
   net.CrashNode(victim);
   PastNode* rebooted = net.RestartNode(victim);

@@ -1,6 +1,5 @@
 // Shared fixture helpers for PAST storage-layer tests.
-#ifndef TESTS_STORAGE_PAST_TEST_UTIL_H_
-#define TESTS_STORAGE_PAST_TEST_UTIL_H_
+#pragma once
 
 #include "src/storage/past_network.h"
 
@@ -20,4 +19,3 @@ inline PastNetworkOptions SmallNetOptions(uint64_t seed) {
 
 }  // namespace past
 
-#endif  // TESTS_STORAGE_PAST_TEST_UTIL_H_

@@ -119,7 +119,7 @@ TEST_P(BackendParityTest, PointerRoundTripAndRemoval) {
   auto store = MakeStore(1000);
   const FileId id = CertOfSize(1, 5).file_id;
   EXPECT_FALSE(store->GetPointer(id).has_value());
-  store->PutPointer(id, NodeDescriptor{U128(3, 4), 17});
+  EXPECT_EQ(store->PutPointer(id, NodeDescriptor{U128(3, 4), 17}), StatusCode::kOk);
   auto ptr = store->GetPointer(id);
   ASSERT_TRUE(ptr.has_value());
   EXPECT_EQ(ptr->addr, 17u);
@@ -133,7 +133,7 @@ TEST_P(BackendParityTest, RemoveReleasesSpace) {
   auto store = MakeStore(1000);
   StoredFile f = FileOfSize(100, 1);
   const FileId id = f.cert.file_id;
-  store->Put(std::move(f));
+  ASSERT_EQ(store->Put(std::move(f)), StatusCode::kOk);
   auto freed = store->Remove(id);
   ASSERT_TRUE(freed.has_value());
   EXPECT_EQ(*freed, 100u);
@@ -160,7 +160,8 @@ TEST(DiskBackendReopenTest, FileStoreAccountingSurvivesReopen) {
       ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
     }
     ASSERT_TRUE(store.Remove(CertOfSize(0, 3).file_id).has_value());
-    store.PutPointer(CertOfSize(0, 77).file_id, NodeDescriptor{U128(5, 6), 31});
+    ASSERT_EQ(store.PutPointer(CertOfSize(0, 77).file_id, NodeDescriptor{U128(5, 6), 31}),
+              StatusCode::kOk);
     ASSERT_EQ(store.Sync(), StatusCode::kOk);
   }
   auto backend = DiskBackend::Open(dir, {});

@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI entry point: configure, build, then run the correctness gates in order of
+# increasing cost — static lint first, fuzz smoke next, full suite last. Any
+# failure stops the run. Usage:
+#
+#   tools/check.sh            # release preset (build-release/)
+#   tools/check.sh asan       # ASan+UBSan preset (build-asan/)
+#
+# The asan run is the configuration the fuzz drivers are most valuable under:
+# a decoder overread that slips past the invariant checks still aborts.
+set -eu
+
+preset="${1:-release}"
+repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo"
+
+echo "== configure (preset: $preset)"
+cmake --preset "$preset"
+
+echo "== build"
+cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
+
+build_dir="build-$preset"
+
+echo "== lint gate (ctest -L lint)"
+ctest --test-dir "$build_dir" -L lint --output-on-failure
+
+echo "== fuzz smoke gate (ctest -L fuzz_smoke)"
+ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure
+
+echo "== full suite"
+ctest --test-dir "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --output-on-failure
+
+echo "== check.sh: all gates passed ($preset)"

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs an exp_* binary twice with identical arguments and requires the two
+# --json documents to be byte-identical. This is the runtime complement of
+# past_lint's nondeterminism rule: the lint bans the sources of wall-clock
+# and ambient randomness, this proves the seeded simulation actually replays.
+#
+# usage: determinism_check.sh <exp-binary> <out1.json> <out2.json>
+set -eu
+exe="$1"
+out1="$2"
+out2="$3"
+
+"$exe" --smoke --json "$out1" > /dev/null
+"$exe" --smoke --json "$out2" > /dev/null
+
+if ! cmp -s "$out1" "$out2"; then
+  echo "determinism_check: $exe produced different output across two runs" >&2
+  diff "$out1" "$out2" | head -20 >&2 || true
+  exit 1
+fi
+echo "determinism_check: $exe output is byte-identical across runs"

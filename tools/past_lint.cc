@@ -1,0 +1,460 @@
+// past_lint — repo-specific static checks, run as `ctest -L lint`.
+//
+// Walks src/, tests/, bench/, examples/ and tools/ under --root and enforces
+// the conventions DESIGN.md §8 documents:
+//
+//   nondeterminism   library code (src/ outside src/sim/) must not reach for
+//                    wall clocks or ambient randomness — simulations replay
+//                    bit-identically from a seed, and the determinism ctest
+//                    checks that at runtime. Timing clocks are allowed in
+//                    bench/ (throughput measurement) but ambient randomness
+//                    is banned everywhere.
+//   header-hygiene   headers start with a doc comment and use #pragma once
+//                    (no #ifndef guards).
+//   includes         quoted includes are repo-root-relative, resolve to real
+//                    files, are not duplicated, and a foo.cc with a sibling
+//                    foo.h includes it first.
+//   nodiscard        fallible declarations in src/ headers — bool-returning
+//                    Decode*/Encode*/Parse*/Verify* — carry [[nodiscard]],
+//                    and the type-level attributes on StatusCode / Result
+//                    stay in place.
+//   codec-pairing    every EncodeBody has a DecodeBody, every EncodeTo a
+//                    DecodeFrom, every payload Encode() a Decode(), per
+//                    header, so no wire struct can lose its parser.
+//
+// Exit status 0 when clean; 1 with one "file:line: [rule] message" line per
+// violation. A check is only as good as its scrubber: comments and string
+// literals are blanked before token matching, so prose may mention banned
+// identifiers freely.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct File {
+  std::string rel;                  // repo-root-relative path, '/'-separated
+  std::vector<std::string> lines;   // raw text
+  std::vector<std::string> code;    // comments and string bodies blanked
+};
+
+int g_violations = 0;
+
+void Report(const File& f, size_t line_index, const char* rule,
+            const std::string& message) {
+  std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.rel.c_str(), line_index + 1, rule,
+               message.c_str());
+  ++g_violations;
+}
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const File& f) { return HasSuffix(f.rel, ".h"); }
+
+// Blanks // and /* */ comments plus the contents of "..." and '...'
+// literals, preserving line structure so reported line numbers stay true.
+std::vector<std::string> ScrubbedLines(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string scrubbed;
+    scrubbed.reserve(line.size());
+    for (size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) {
+        break;  // rest of line is comment
+      }
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      char c = line[i];
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        scrubbed.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        if (i < line.size()) {
+          scrubbed.push_back(quote);
+          ++i;
+        }
+        continue;
+      }
+      scrubbed.push_back(c);
+      ++i;
+    }
+    out.push_back(std::move(scrubbed));
+  }
+  return out;
+}
+
+// Identifier-boundary search: `needle` must not be preceded or followed by an
+// identifier character, so "rand" does not match "operand".
+bool ContainsToken(const std::string& line, const std::string& needle,
+                   size_t* column) {
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  for (size_t pos = line.find(needle); pos != std::string::npos;
+       pos = line.find(needle, pos + 1)) {
+    bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+    size_t end = pos + needle.size();
+    bool right_ok = end >= line.size() || !is_ident(line[end]);
+    if (left_ok && right_ok) {
+      *column = pos;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- rule: nondeterminism ----------------------------------------------------
+
+void CheckNondeterminism(const File& f) {
+  // Ambient randomness has no place anywhere: everything draws from the
+  // seeded past::Rng so runs replay bit-identically.
+  static const char* kRandomness[] = {"std::rand", "srand", "random_device",
+                                      "rand", "rand_r", "getentropy"};
+  // Wall clocks are banned from library code; simulated time comes from the
+  // event queue. bench/ and tools/ may measure real elapsed time.
+  static const char* kClocks[] = {"system_clock", "steady_clock",
+                                  "high_resolution_clock", "gettimeofday",
+                                  "clock_gettime", "time(nullptr)", "time(NULL)"};
+  bool library = HasPrefix(f.rel, "src/") && !HasPrefix(f.rel, "src/sim/");
+  bool clocks_allowed = HasPrefix(f.rel, "bench/") || HasPrefix(f.rel, "tools/");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    size_t col;
+    for (const char* token : kRandomness) {
+      if (ContainsToken(f.code[i], token, &col)) {
+        Report(f, i, "nondeterminism",
+               std::string(token) + " is banned: draw from the seeded past::Rng");
+      }
+    }
+    if (library || !clocks_allowed) {
+      for (const char* token : kClocks) {
+        if (f.code[i].find(token) != std::string::npos) {
+          Report(f, i, "nondeterminism",
+                 std::string(token) +
+                     " in deterministic code: simulated time comes from the "
+                     "event queue (sim::EventQueue), real time only in bench/");
+        }
+      }
+    }
+  }
+}
+
+// --- rule: header-hygiene ----------------------------------------------------
+
+void CheckHeaderHygiene(const File& f) {
+  if (!IsHeader(f)) {
+    return;
+  }
+  if (f.lines.empty() || f.lines[0].rfind("//", 0) != 0) {
+    Report(f, 0, "header-hygiene",
+           "header must start with a // doc comment describing the component");
+  }
+  bool saw_pragma_once = false;
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    if (line.rfind("#pragma once", 0) == 0) {
+      saw_pragma_once = true;
+      continue;
+    }
+    if (line.rfind("#ifndef", 0) == 0 && HasSuffix(line, "_H_")) {
+      Report(f, i, "header-hygiene",
+             "include guard macro: use #pragma once instead");
+    }
+  }
+  if (!saw_pragma_once) {
+    Report(f, 0, "header-hygiene", "missing #pragma once");
+  }
+}
+
+// --- rule: includes ----------------------------------------------------------
+
+void CheckIncludes(const File& f, const fs::path& root) {
+  std::set<std::string> seen;
+  std::vector<std::string> quoted;   // in order of appearance
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    if (line.rfind("#include", 0) != 0) {
+      continue;
+    }
+    size_t open = line.find_first_of("\"<", 8);
+    if (open == std::string::npos) {
+      continue;
+    }
+    char close_char = line[open] == '"' ? '"' : '>';
+    size_t close = line.find(close_char, open + 1);
+    if (close == std::string::npos) {
+      Report(f, i, "includes", "unterminated include");
+      continue;
+    }
+    std::string target = line.substr(open + 1, close - open - 1);
+    if (!seen.insert(target).second) {
+      Report(f, i, "includes", "duplicate include of " + target);
+    }
+    if (close_char != '"') {
+      continue;  // system header
+    }
+    quoted.push_back(target);
+    if (!HasPrefix(target, "src/") && !HasPrefix(target, "tests/") &&
+        !HasPrefix(target, "bench/") && !HasPrefix(target, "tools/")) {
+      Report(f, i, "includes",
+             "quoted include must be repo-root-relative (src/..., tests/..., "
+             "bench/...): " + target);
+      continue;
+    }
+    if (!fs::exists(root / target)) {
+      Report(f, i, "includes", "include does not resolve to a file: " + target);
+    }
+  }
+  // foo.cc / foo.cpp must include its own header (src/.../foo.h) first, so
+  // every header is verified self-contained by its own translation unit.
+  bool is_source = HasSuffix(f.rel, ".cc") || HasSuffix(f.rel, ".cpp");
+  if (is_source) {
+    std::string stem = f.rel.substr(0, f.rel.find_last_of('.'));
+    std::string own_header = stem + ".h";
+    if (fs::exists(root / own_header)) {
+      if (quoted.empty() || quoted[0] != own_header) {
+        Report(f, 0, "includes",
+               "must include own header \"" + own_header + "\" first");
+      }
+    }
+  }
+}
+
+// --- rule: nodiscard ---------------------------------------------------------
+
+void CheckNodiscard(const File& f) {
+  if (!IsHeader(f) || !HasPrefix(f.rel, "src/")) {
+    return;
+  }
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    // Fallible bool-returning codec/verification declarations. The pattern is
+    // intentionally narrow: `bool <Name>(` where Name starts with one of the
+    // fallible verbs, declared (ends with ';' somewhere below) not invoked.
+    static const char* kVerbs[] = {"Decode", "Encode", "Parse", "Verify"};
+    for (const char* verb : kVerbs) {
+      size_t pos = line.find(std::string("bool ") + verb);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      // Must look like a declaration: "bool Name(" with an identifier tail.
+      size_t name_start = pos + 5;
+      size_t paren = line.find('(', name_start);
+      if (paren == std::string::npos) {
+        continue;
+      }
+      bool ident_only = true;
+      for (size_t j = name_start; j < paren; ++j) {
+        if (std::isalnum(static_cast<unsigned char>(line[j])) == 0 &&
+            line[j] != '_') {
+          ident_only = false;
+          break;
+        }
+      }
+      if (!ident_only) {
+        continue;
+      }
+      bool annotated = line.find("[[nodiscard]]") != std::string::npos ||
+                       (i > 0 && f.code[i - 1].find("[[nodiscard]]") !=
+                                     std::string::npos);
+      if (!annotated) {
+        Report(f, i, "nodiscard",
+               "fallible declaration must be [[nodiscard]]: " +
+                   line.substr(pos, paren - pos));
+      }
+      break;  // one report per line is enough
+    }
+  }
+  if (f.rel == "src/common/status.h") {
+    bool enum_attr = false, result_attr = false;
+    for (const std::string& line : f.code) {
+      if (line.find("enum class [[nodiscard]] StatusCode") != std::string::npos) {
+        enum_attr = true;
+      }
+      if (line.find("class [[nodiscard]] Result") != std::string::npos) {
+        result_attr = true;
+      }
+    }
+    if (!enum_attr) {
+      Report(f, 0, "nodiscard", "StatusCode must be a [[nodiscard]] enum");
+    }
+    if (!result_attr) {
+      Report(f, 0, "nodiscard", "Result<T> must be a [[nodiscard]] class");
+    }
+  }
+}
+
+// --- rule: codec-pairing -----------------------------------------------------
+
+size_t CountOccurrences(const File& f, const char* needle) {
+  size_t count = 0;
+  for (const std::string& line : f.code) {
+    size_t col;
+    for (size_t pos = 0; ContainsToken(line.substr(pos), needle, &col);) {
+      ++count;
+      pos += col + std::strlen(needle);
+      if (pos >= line.size()) {
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+void CheckCodecPairing(const File& f) {
+  if (!IsHeader(f) || !HasPrefix(f.rel, "src/")) {
+    return;
+  }
+  struct Pair {
+    const char* encode;
+    const char* decode;
+  };
+  static const Pair kPairs[] = {
+      {"void EncodeBody(", "static bool DecodeBody("},
+      {"void EncodeTo(", "static bool DecodeFrom("},
+      {"Bytes Encode() const", "static bool Decode("},
+  };
+  for (const Pair& p : kPairs) {
+    size_t enc = 0, dec = 0;
+    for (const std::string& line : f.code) {
+      if (line.find(p.encode) != std::string::npos) {
+        ++enc;
+      }
+      if (line.find(p.decode) != std::string::npos) {
+        ++dec;
+      }
+    }
+    if (enc != dec) {
+      std::ostringstream msg;
+      msg << enc << " `" << p.encode << "` declarations vs " << dec << " `"
+          << p.decode << "`: every encoder needs its decoder";
+      Report(f, 0, "codec-pairing", msg.str());
+    }
+  }
+}
+
+// --- driver ------------------------------------------------------------------
+
+bool WantFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg = ".";
+  std::string rule = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      rule = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: past_lint [--root <repo>] [--rule nondeterminism|"
+                   "header-hygiene|includes|nodiscard|codec-pairing|all]\n");
+      return 2;
+    }
+  }
+  static const char* kRules[] = {"nondeterminism", "header-hygiene", "includes",
+                                 "nodiscard", "codec-pairing"};
+  bool known = rule == "all";
+  for (const char* r : kRules) {
+    known = known || rule == r;
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown rule: %s\n", rule.c_str());
+    return 2;
+  }
+
+  const fs::path root = fs::absolute(root_arg);
+  std::vector<File> files;
+  for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+    fs::path base = root / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !WantFile(entry.path())) {
+        continue;
+      }
+      File f;
+      f.rel = fs::relative(entry.path(), root).generic_string();
+      std::ifstream in(entry.path());
+      std::string line;
+      while (std::getline(in, line)) {
+        f.lines.push_back(line);
+      }
+      f.code = ScrubbedLines(f.lines);
+      files.push_back(std::move(f));
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no sources found under %s\n", root.c_str());
+    return 2;
+  }
+
+  for (const File& f : files) {
+    if (rule == "all" || rule == "nondeterminism") {
+      CheckNondeterminism(f);
+    }
+    if (rule == "all" || rule == "header-hygiene") {
+      CheckHeaderHygiene(f);
+    }
+    if (rule == "all" || rule == "includes") {
+      CheckIncludes(f, root);
+    }
+    if (rule == "all" || rule == "nodiscard") {
+      CheckNodiscard(f);
+    }
+    if (rule == "all" || rule == "codec-pairing") {
+      CheckCodecPairing(f);
+    }
+  }
+  if (g_violations > 0) {
+    std::fprintf(stderr, "past_lint: %d violation(s)\n", g_violations);
+    return 1;
+  }
+  std::printf("past_lint: %zu files clean (%s)\n", files.size(), rule.c_str());
+  return 0;
+}
