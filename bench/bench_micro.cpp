@@ -28,6 +28,9 @@
 #include "src/pastry/leaf_set.h"
 #include "src/pastry/messages.h"
 #include "src/pastry/routing_table.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/sim/topology.h"
 #include "src/storage/cache.h"
 
 namespace past {
@@ -260,6 +263,120 @@ void BM_LogReplay(benchmark::State& state) {
                           static_cast<int64_t>(replayed));
 }
 BENCHMARK(BM_LogReplay)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// --- simulation hot paths (BENCH_sim.json baseline) --------------------------
+//
+// The discrete-event scheduler and the message network are the two inner
+// loops every experiment drives millions of times; these benchmarks pin
+// their per-operation cost so regressions show up in the BENCH_sim.json
+// trajectory.
+
+// Schedule + fire throughput: range(0) events per batch, drained after each
+// batch so the queue returns to steady state (slab fully recycled).
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  EventQueue queue;
+  const int batch = static_cast<int>(state.range(0));
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      queue.After(i % 128, [&fired] { ++fired; });
+    }
+    queue.RunAll();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(64)->Arg(4096);
+
+// Schedule + cancel: every event is cancelled before it can fire — the
+// pattern of per-hop ack timers, which are almost always cancelled.
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  EventQueue queue;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<EventQueue::EventId> ids(static_cast<size_t>(batch));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<size_t>(i)] = queue.After(1000 + i, [] {});
+    }
+    for (int i = 0; i < batch; ++i) {
+      queue.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    queue.RunAll();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(64)->Arg(4096);
+
+struct NullReceiver : NetReceiver {
+  uint64_t received = 0;
+  size_t bytes = 0;
+  void OnMessage(NodeAddr, ByteSpan wire) override {
+    ++received;
+    bytes += wire.size();
+  }
+};
+
+// Send() cost alone: the scheduling half of a message hop (latency sampling,
+// metric updates, closure construction). The queue is drained outside the
+// timed region.
+void BM_NetworkSend(benchmark::State& state) {
+  EventQueue queue;
+  Rng topo_rng(21);
+  Topology topo(TopologyKind::kSphere, 1000.0, &topo_rng);
+  Network net(&queue, &topo, NetworkConfig{}, 22);
+  NullReceiver receivers[2];
+  NodeAddr a = net.Register(&receivers[0]);
+  NodeAddr b = net.Register(&receivers[1]);
+  Rng payload_rng(23);
+  const Bytes payload = payload_rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  int in_flight = 0;
+  for (auto _ : state) {
+    net.Send(a, b, Bytes(payload));
+    if (++in_flight == 4096) {
+      state.PauseTiming();
+      queue.RunAll();
+      in_flight = 0;
+      state.ResumeTiming();
+    }
+  }
+  queue.RunAll();
+  benchmark::DoNotOptimize(receivers[1].received);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkSend)->Arg(64)->Arg(1024);
+
+// Full send -> deliver round trips in batches: what a routed hop costs the
+// simulator end to end.
+void BM_NetworkDeliver(benchmark::State& state) {
+  EventQueue queue;
+  Rng topo_rng(24);
+  Topology topo(TopologyKind::kSphere, 1000.0, &topo_rng);
+  Network net(&queue, &topo, NetworkConfig{}, 25);
+  NullReceiver receivers[8];
+  std::vector<NodeAddr> addrs;
+  for (auto& r : receivers) {
+    addrs.push_back(net.Register(&r));
+  }
+  Rng payload_rng(26);
+  const Bytes payload = payload_rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  const int batch = 1024;
+  size_t i = 0;
+  for (auto _ : state) {
+    for (int m = 0; m < batch; ++m) {
+      net.Send(addrs[i % addrs.size()], addrs[(i + 1) % addrs.size()],
+               Bytes(payload));
+      ++i;
+    }
+    queue.RunAll();
+  }
+  uint64_t total = 0;
+  for (const auto& r : receivers) {
+    total += r.received;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_NetworkDeliver)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
 // Console output plus a JSON row per run, written on Finish() in the same
 // {"experiment", "results"} shape the exp_* binaries use.

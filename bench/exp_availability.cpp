@@ -18,7 +18,17 @@ int main(int argc, char** argv) {
 
   std::printf("%6s %14s %16s %18s %16s\n", "k", "nodes killed", "avail (fresh)",
               "avail (healed)", "avg replicas");
-  for (uint32_t k : {2u, 3u, 5u}) {
+  const std::vector<uint32_t> ks = {2u, 3u, 5u};
+
+  struct TrialResult {
+    size_t files = 0;
+    int fresh_ok = 0;
+    int healed_ok = 0;
+    double replica_sum = 0;
+    JsonValue metrics;
+  };
+  auto run = [&](size_t index) -> TrialResult {
+    const uint32_t k = ks[index];
     PastNetworkOptions options;
     options.overlay.seed = 10'000 + k;
     options.overlay.pastry.keep_alive_period = 1 * kMicrosPerSecond;
@@ -54,33 +64,42 @@ int main(int argc, char** argv) {
       }
     }
 
+    TrialResult result;
+    result.files = files.size();
     // Fresh availability (no repair window yet).
-    int fresh_ok = 0;
     for (const FileId& id : files) {
-      fresh_ok += net.LookupSync(client, id).ok() ? 1 : 0;
+      result.fresh_ok += net.LookupSync(client, id).ok() ? 1 : 0;
     }
     // After recovery.
     net.Run(60 * kMicrosPerSecond);
-    int healed_ok = 0;
-    double replica_sum = 0;
     for (const FileId& id : files) {
-      healed_ok += net.LookupSync(client, id).ok() ? 1 : 0;
-      replica_sum += net.CountReplicas(id);
+      result.healed_ok += net.LookupSync(client, id).ok() ? 1 : 0;
+      result.replica_sum += net.CountReplicas(id);
     }
-    std::printf("%6u %14d %15.1f%% %17.1f%% %16.2f\n", k, to_kill,
-                100.0 * fresh_ok / static_cast<double>(files.size()),
-                100.0 * healed_ok / static_cast<double>(files.size()),
-                replica_sum / static_cast<double>(files.size()));
+    result.metrics = net.overlay().network().metrics().ToJson();
+    return result;
+  };
+  auto commit = [&](size_t index, TrialResult& r) {
+    const uint32_t k = ks[index];
+    std::printf("%6u %14d %15.1f%% %17.1f%% %16.2f\n", k, kToKill,
+                100.0 * r.fresh_ok / static_cast<double>(r.files),
+                100.0 * r.healed_ok / static_cast<double>(r.files),
+                r.replica_sum / static_cast<double>(r.files));
 
     JsonValue row = JsonValue::Object();
     row.Set("k", static_cast<int>(k));
-    row.Set("nodes_killed", to_kill);
-    row.Set("avail_fresh", fresh_ok / static_cast<double>(files.size()));
-    row.Set("avail_healed", healed_ok / static_cast<double>(files.size()));
-    row.Set("avg_replicas_healed", replica_sum / static_cast<double>(files.size()));
+    row.Set("nodes_killed", kToKill);
+    row.Set("avail_fresh", r.fresh_ok / static_cast<double>(r.files));
+    row.Set("avail_healed", r.healed_ok / static_cast<double>(r.files));
+    row.Set("avg_replicas_healed", r.replica_sum / static_cast<double>(r.files));
     json.AddRow("availability_vs_k", std::move(row));
-    json.SetMetrics(net.overlay().network().metrics());
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  RunTrials(trial_opts, ks.size(), run, commit);
+
   std::printf("\nExpected shape: higher k -> fresh availability closer to 100%%;\n");
   std::printf("after the repair window every file is back to k replicas.\n");
   return json.Finish() ? 0 : 1;

@@ -16,10 +16,10 @@ struct CacheRunResult {
   double cache_hit_rate = 0;      // lookups answered by any cache
   double avg_fetch_distance = 0;  // proximity(client, replier)
   double top_holder_load = 0;     // share of lookups served by busiest node
+  JsonValue metrics;              // registry snapshot from this run
 };
 
-CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke,
-                              ExpJson* json) {
+CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke) {
   PastNetworkOptions options;
   options.overlay.seed = seed;
   options.overlay.pastry.keep_alive_period = 0;
@@ -97,7 +97,7 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke,
     top = std::max(top, count);
   }
   result.top_holder_load = 100.0 * top / kLookups;
-  json->SetMetrics(net.overlay().network().metrics());
+  result.metrics = net.overlay().network().metrics().ToJson();
   return result;
 }
 
@@ -115,10 +115,14 @@ int main(int argc, char** argv) {
     const char* name;
     CachePolicy policy;
   };
-  for (const Row& row : {Row{"none", CachePolicy::kNone},
-                         Row{"LRU", CachePolicy::kLru},
-                         Row{"GD-S", CachePolicy::kGreedyDualSize}}) {
-    CacheRunResult r = RunCachePolicy(row.policy, 8001, args.smoke, &json);
+  const std::vector<Row> rows = {Row{"none", CachePolicy::kNone},
+                                 Row{"LRU", CachePolicy::kLru},
+                                 Row{"GD-S", CachePolicy::kGreedyDualSize}};
+  auto run = [&](size_t index) -> CacheRunResult {
+    return RunCachePolicy(rows[index].policy, 8001, args.smoke);
+  };
+  auto commit = [&](size_t index, CacheRunResult& r) {
+    const Row& row = rows[index];
     std::printf("%10s %13.1f%% %18.1f %19.1f%%\n", row.name, r.cache_hit_rate,
                 r.avg_fetch_distance, r.top_holder_load);
 
@@ -128,7 +132,11 @@ int main(int argc, char** argv) {
     jrow.Set("avg_fetch_distance", r.avg_fetch_distance);
     jrow.Set("top_holder_load", r.top_holder_load / 100.0);
     json.AddRow("cache_policies", std::move(jrow));
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  RunTrials(trial_opts, rows.size(), run, commit);
   std::printf("\nExpected shape: with caching on, a large share of lookups hit\n");
   std::printf("cached copies, the average client->replier proximity drops, and\n");
   std::printf("the load share of the busiest replica holder falls.\n");

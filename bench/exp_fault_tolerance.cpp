@@ -57,7 +57,16 @@ int main(int argc, char** argv) {
 
   std::printf("%12s %16s %16s %12s\n", "failed", "success (fresh)",
               "success (healed)", "avg hops");
-  for (double frac : {0.05, 0.10, 0.20}) {
+  const std::vector<double> crash_fracs = {0.05, 0.10, 0.20};
+
+  struct CrashResult {
+    int ok_fresh = 0;
+    int ok_healed = 0;
+    double hops_healed = 0;
+    JsonValue metrics;
+  };
+  auto run_crash = [&](size_t index) -> CrashResult {
+    const double frac = crash_fracs[index];
     OverlayOptions opts;
     opts.seed = 60 + static_cast<uint64_t>(frac * 100);
     opts.pastry.keep_alive_period = 1 * kMicrosPerSecond;
@@ -79,26 +88,37 @@ int main(int argc, char** argv) {
         ++killed;
       }
     }
+    CrashResult r;
     // Fresh: routed immediately after the crashes (per-hop acks must cope).
-    auto [ok_fresh, hops_fresh] =
+    double hops_fresh;
+    std::tie(r.ok_fresh, hops_fresh) =
         BatchLookups(&overlay, &apps, kCrashLookups, 20 * kMicrosPerSecond, &rng);
+    (void)hops_fresh;
     // Healed: after the repair protocols ran.
     overlay.Run(30 * kMicrosPerSecond);
-    auto [ok_healed, hops_healed] =
+    std::tie(r.ok_healed, r.hops_healed) =
         BatchLookups(&overlay, &apps, kCrashLookups, 20 * kMicrosPerSecond, &rng);
+    r.metrics = overlay.network().metrics().ToJson();
+    return r;
+  };
+  auto commit_crash = [&](size_t index, CrashResult& r) {
+    const double frac = crash_fracs[index];
     std::printf("%11.0f%% %15.1f%% %15.1f%% %12.2f\n", frac * 100,
-                100.0 * ok_fresh / kCrashLookups, 100.0 * ok_healed / kCrashLookups,
-                hops_healed);
-    (void)hops_fresh;
+                100.0 * r.ok_fresh / kCrashLookups,
+                100.0 * r.ok_healed / kCrashLookups, r.hops_healed);
 
     JsonValue row = JsonValue::Object();
     row.Set("failed_frac", frac);
-    row.Set("success_fresh", static_cast<double>(ok_fresh) / kCrashLookups);
-    row.Set("success_healed", static_cast<double>(ok_healed) / kCrashLookups);
-    row.Set("avg_hops_healed", hops_healed);
+    row.Set("success_fresh", static_cast<double>(r.ok_fresh) / kCrashLookups);
+    row.Set("success_healed", static_cast<double>(r.ok_healed) / kCrashLookups);
+    row.Set("avg_hops_healed", r.hops_healed);
     json.AddRow("crash_failures", std::move(row));
-    json.SetMetrics(overlay.network().metrics());
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  RunTrials(trial_opts, crash_fracs.size(), run_crash, commit_crash);
 
   const int kMalN = args.smoke ? 150 : 300;
   const int kQueries = args.smoke ? 40 : 150;
@@ -106,10 +126,15 @@ int main(int argc, char** argv) {
               "randomized routing lets a retried query evade bad nodes");
   std::printf("%12s %14s %22s %22s\n", "malicious", "retries", "deterministic",
               "randomized");
-  for (double frac : {0.1, 0.2}) {
-    // success[mode][retry_budget]
-    double success[2][3];
-    const int retry_budgets[3] = {1, 3, 8};
+  const std::vector<double> mal_fracs = {0.1, 0.2};
+  const int retry_budgets[3] = {1, 3, 8};
+
+  struct MalResult {
+    double success[2][3] = {};  // [mode][retry_budget]
+  };
+  auto run_mal = [&](size_t index) -> MalResult {
+    const double frac = mal_fracs[index];
+    MalResult r;
     for (int mode = 0; mode < 2; ++mode) {
       OverlayOptions opts;
       opts.seed = 77;
@@ -171,23 +196,29 @@ int main(int argc, char** argv) {
             for (const Query& q : queries) {
               ok += q.reached ? 1 : 0;
             }
-            success[mode][b] = 100.0 * ok / kQueries;
+            r.success[mode][b] = 100.0 * ok / kQueries;
           }
         }
       }
     }
+    return r;
+  };
+  auto commit_mal = [&](size_t index, MalResult& r) {
+    const double frac = mal_fracs[index];
     for (int b = 0; b < 3; ++b) {
-      std::printf("%11.0f%% %14d %21.1f%% %21.1f%%\n", frac * 100, retry_budgets[b],
-                  success[0][b], success[1][b]);
+      std::printf("%11.0f%% %14d %21.1f%% %21.1f%%\n", frac * 100,
+                  retry_budgets[b], r.success[0][b], r.success[1][b]);
 
       JsonValue row = JsonValue::Object();
       row.Set("malicious_frac", frac);
       row.Set("retries", retry_budgets[b]);
-      row.Set("success_deterministic", success[0][b] / 100.0);
-      row.Set("success_randomized", success[1][b] / 100.0);
+      row.Set("success_deterministic", r.success[0][b] / 100.0);
+      row.Set("success_randomized", r.success[1][b] / 100.0);
       json.AddRow("malicious_forwarders", std::move(row));
     }
-  }
+  };
+  RunTrials(trial_opts, mal_fracs.size(), run_mal, commit_mal);
+
   std::printf("\nWith retries, the randomized column should rise toward 100%%\n");
   std::printf("while deterministic routing keeps failing on the same path.\n");
   return json.Finish() ? 0 : 1;

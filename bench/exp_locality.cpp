@@ -43,26 +43,58 @@ int main(int argc, char** argv) {
   const int lookups = args.smoke ? 50 : 400;
   std::printf("%10s %8s %18s %18s\n", "topology", "N", "locality ON",
               "locality OFF");
+
+  struct Trial {
+    TopologyKind kind;
+    const char* name;
+    int n;
+  };
+  std::vector<Trial> trials;
   for (auto [kind, name] : {std::make_pair(TopologyKind::kSphere, "sphere"),
                             std::make_pair(TopologyKind::kPlane, "plane")}) {
     for (int n : sizes) {
-      ExpOverlay with(n, 900 + static_cast<uint64_t>(n), /*locality=*/true,
-                      /*randomized=*/false, kind);
-      ExpOverlay without(n, 900 + static_cast<uint64_t>(n), /*locality=*/false,
-                         /*randomized=*/false, kind);
-      double on = MeasureRatio(&with, lookups);
-      double off = MeasureRatio(&without, lookups);
-      std::printf("%10s %8d %17.2fx %17.2fx\n", name, n, on, off);
-
-      JsonValue row = JsonValue::Object();
-      row.Set("topology", name);
-      row.Set("n", n);
-      row.Set("ratio_locality_on", on);
-      row.Set("ratio_locality_off", off);
-      json.AddRow("distance_ratio", std::move(row));
-      json.SetMetrics(with.overlay->network().metrics());
+      trials.push_back({kind, name, n});
     }
   }
+
+  struct TrialResult {
+    double on = 0, off = 0;
+    JsonValue metrics;
+  };
+  auto run = [&](size_t index) -> TrialResult {
+    const Trial& t = trials[index];
+    ExpOverlay with(t.n, 900 + static_cast<uint64_t>(t.n), /*locality=*/true,
+                    /*randomized=*/false, t.kind);
+    ExpOverlay without(t.n, 900 + static_cast<uint64_t>(t.n), /*locality=*/false,
+                       /*randomized=*/false, t.kind);
+    TrialResult r;
+    r.on = MeasureRatio(&with, lookups);
+    r.off = MeasureRatio(&without, lookups);
+    r.metrics = with.overlay->network().metrics().ToJson();
+    return r;
+  };
+  auto commit = [&](size_t index, TrialResult& r) {
+    const Trial& t = trials[index];
+    std::printf("%10s %8d %17.2fx %17.2fx\n", t.name, t.n, r.on, r.off);
+
+    JsonValue row = JsonValue::Object();
+    row.Set("topology", t.name);
+    row.Set("n", t.n);
+    row.Set("ratio_locality_on", r.on);
+    row.Set("ratio_locality_off", r.off);
+    json.AddRow("distance_ratio", std::move(row));
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  std::vector<double> costs;
+  for (const Trial& t : trials) {
+    costs.push_back(static_cast<double>(t.n));
+  }
+  trial_opts.work_order = LargestFirstOrder(costs);
+  RunTrials(trial_opts, trials.size(), run, commit);
+
   std::printf("\nThe ON column should sit near the paper's ~1.5x; the OFF\n");
   std::printf("ablation (random bootstrap, no proximity-based table slots)\n");
   std::printf("shows why the heuristics matter.\n");

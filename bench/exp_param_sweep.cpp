@@ -16,7 +16,17 @@ int main(int argc, char** argv) {
 
   std::printf("%4s %12s %12s %14s %14s\n", "b", "avg hops", "bound", "avg RT size",
               "RT bound");
-  for (int b : {2, 4, 8}) {
+  const std::vector<int> widths = {2, 4, 8};
+
+  struct WidthResult {
+    double hops = 0;
+    int delivered = 0;
+    double rt = 0;
+    size_t overlay_size = 0;
+    JsonValue metrics;
+  };
+  auto run_width = [&](size_t index) -> WidthResult {
+    const int b = widths[index];
     OverlayOptions opts;
     opts.seed = 12000 + static_cast<uint64_t>(b);
     opts.pastry.b = b;
@@ -27,38 +37,46 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < overlay.size(); ++i) {
       overlay.node(i)->SetApp(&apps[i]);
     }
-    double hops = 0;
-    int delivered = 0;
+    WidthResult r;
     const int lookups = args.smoke ? 60 : 400;
     for (int t = 0; t < lookups; ++t) {
       overlay.RandomLiveNode()->Route(overlay.RandomKey(), 1, {});
       overlay.RunAll();
       for (auto& app : apps) {
         for (auto& ctx : app.delivered) {
-          hops += ctx.hops;
-          ++delivered;
+          r.hops += ctx.hops;
+          ++r.delivered;
         }
         app.delivered.clear();
       }
     }
-    double rt = 0;
     for (size_t i = 0; i < overlay.size(); ++i) {
-      rt += static_cast<double>(overlay.node(i)->routing_table().EntryCount());
+      r.rt += static_cast<double>(overlay.node(i)->routing_table().EntryCount());
     }
+    r.overlay_size = overlay.size();
+    r.metrics = overlay.network().metrics().ToJson();
+    return r;
+  };
+  auto commit_width = [&](size_t index, WidthResult& r) {
+    const int b = widths[index];
     double log2b_n =
         std::log(static_cast<double>(kSweepN)) / std::log(static_cast<double>(1 << b));
-    std::printf("%4d %12.2f %12.2f %14.1f %14.1f\n", b, hops / delivered,
-                std::ceil(log2b_n), rt / static_cast<double>(overlay.size()),
+    std::printf("%4d %12.2f %12.2f %14.1f %14.1f\n", b, r.hops / r.delivered,
+                std::ceil(log2b_n), r.rt / static_cast<double>(r.overlay_size),
                 ((1 << b) - 1) * std::ceil(log2b_n));
 
     JsonValue row = JsonValue::Object();
     row.Set("b", b);
-    row.Set("avg_hops", hops / delivered);
+    row.Set("avg_hops", r.hops / r.delivered);
     row.Set("hop_bound", std::ceil(log2b_n));
-    row.Set("avg_rt_entries", rt / static_cast<double>(overlay.size()));
+    row.Set("avg_rt_entries", r.rt / static_cast<double>(r.overlay_size));
     json.AddRow("digit_width", std::move(row));
-    json.SetMetrics(overlay.network().metrics());
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  RunTrials(trial_opts, widths.size(), run_width, commit_width);
 
   const int kLeafN = args.smoke ? 200 : 400;
   const int kLeafQueries = args.smoke ? 20 : 60;
@@ -68,8 +86,14 @@ int main(int argc, char** argv) {
 
   std::printf("%4s %12s %22s %22s\n", "l", "floor(l/2)", "kill l/2-1: success",
               "kill l/2+4: success");
-  for (int l : {8, 16, 32}) {
-    double success[2];
+  const std::vector<int> leaf_sizes = {8, 16, 32};
+
+  struct LeafResult {
+    double success[2] = {};
+  };
+  auto run_leaf = [&](size_t index) -> LeafResult {
+    const int l = leaf_sizes[index];
+    LeafResult r;
     for (int scenario = 0; scenario < 2; ++scenario) {
       OverlayOptions opts;
       opts.seed = 12100 + static_cast<uint64_t>(l);
@@ -108,16 +132,23 @@ int main(int argc, char** argv) {
         overlay.Run(20 * kMicrosPerSecond);
         ok += apps[expected->addr()].delivered.size() > before ? 1 : 0;
       }
-      success[scenario] = 100.0 * ok / queries;
+      r.success[scenario] = 100.0 * ok / queries;
     }
-    std::printf("%4d %12d %21.1f%% %21.1f%%\n", l, l / 2, success[0], success[1]);
+    return r;
+  };
+  auto commit_leaf = [&](size_t index, LeafResult& r) {
+    const int l = leaf_sizes[index];
+    std::printf("%4d %12d %21.1f%% %21.1f%%\n", l, l / 2, r.success[0],
+                r.success[1]);
 
     JsonValue row = JsonValue::Object();
     row.Set("l", l);
-    row.Set("success_below_bound", success[0] / 100.0);
-    row.Set("success_above_bound", success[1] / 100.0);
+    row.Set("success_below_bound", r.success[0] / 100.0);
+    row.Set("success_above_bound", r.success[1] / 100.0);
     json.AddRow("leaf_set_size", std::move(row));
-  }
+  };
+  RunTrials(trial_opts, leaf_sizes.size(), run_leaf, commit_leaf);
+
   std::printf("\nWithin the bound (left column) delivery keeps working via leaf\n");
   std::printf("sets and per-hop re-routing; beyond it (right column) success\n");
   std::printf("can degrade until the repair protocols rebuild the leaf sets.\n");

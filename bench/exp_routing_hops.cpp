@@ -5,6 +5,10 @@
 // "Pastry can route to the numerically closest node in less than
 // ceil(log_2b N) steps on average (b = 4)". Mirrors the hops-vs-N figure of
 // the Pastry evaluation (ref [11]).
+//
+// Trials (one per N, plus the fixed-N hop-distribution run) are independent
+// simulations and fan out across --threads workers; results commit in trial
+// order so the output is identical at any thread count.
 #include "bench/exp_util.h"
 
 int main(int argc, char** argv) {
@@ -16,81 +20,119 @@ int main(int argc, char** argv) {
               "avg hops < ceil(log_16 N); delivery always at closest node");
 
   const std::vector<int> sizes =
-      args.smoke ? std::vector<int>{64, 256} : std::vector<int>{256, 1024, 4096, 10000};
+      args.smoke ? std::vector<int>{64, 256}
+                 : std::vector<int>{256, 512, 1024, 2048, 4096, 6144, 8192, 10000};
+  const int dist_n = args.smoke ? 256 : 4096;
+  const int dist_lookups = args.smoke ? 100 : 1000;
+  constexpr size_t kHistBuckets = 10;
 
-  std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "lookups", "avg hops",
-              "max hops", "bound", "correct");
-  for (int n : sizes) {
-    ExpOverlay net(n, 42 + static_cast<uint64_t>(n));
-    const int lookups = args.smoke ? 100 : (n >= 4096 ? 500 : 1000);
+  struct TrialResult {
+    // hops-vs-N trials
+    int lookups = 0;
     double total_hops = 0;
     int max_hops = 0;
     int correct = 0;
-    for (int i = 0; i < lookups; ++i) {
-      U128 key = net.overlay->RandomKey();
-      PastryNode* expected = net.overlay->GloballyClosestLiveNode(key);
-      auto ctx = net.RouteOnce(key);
-      if (!ctx.has_value()) {
-        continue;
+    // distribution trial (the last one)
+    std::vector<int> histogram;
+    JsonValue metrics;
+  };
+
+  const size_t trial_count = sizes.size() + 1;  // + the distribution run
+  auto run = [&](size_t index) -> TrialResult {
+    TrialResult r;
+    if (index < sizes.size()) {
+      const int n = sizes[index];
+      ExpOverlay net(n, 42 + static_cast<uint64_t>(n));
+      r.lookups = args.smoke ? 100 : (n >= 4096 ? 500 : 1000);
+      for (int i = 0; i < r.lookups; ++i) {
+        U128 key = net.overlay->RandomKey();
+        PastryNode* expected = net.overlay->GloballyClosestLiveNode(key);
+        auto ctx = net.RouteOnce(key);
+        if (!ctx.has_value()) {
+          continue;
+        }
+        r.total_hops += ctx->hops;
+        r.max_hops = std::max(r.max_hops, static_cast<int>(ctx->hops));
+        if (net.overlay->node(ctx->path.back())->id() == expected->id()) {
+          ++r.correct;
+        }
       }
-      total_hops += ctx->hops;
-      max_hops = std::max(max_hops, static_cast<int>(ctx->hops));
-      if (net.overlay->node(ctx->path.back())->id() == expected->id()) {
-        ++correct;
+      return r;
+    }
+    // Hop-count distribution at a fixed N (the Pastry paper's figure 4
+    // analog).
+    ExpOverlay net(dist_n, 777);
+    r.histogram.assign(kHistBuckets, 0);
+    for (int i = 0; i < dist_lookups; ++i) {
+      auto ctx = net.RouteOnce(net.overlay->RandomKey());
+      if (ctx.has_value() && ctx->hops < r.histogram.size() * 1u) {
+        r.histogram[ctx->hops]++;
       }
     }
-    double bound = std::ceil(Log16(n));
-    std::printf("%8d %10d %10.2f %10d %10.0f %11.1f%%\n", n, lookups,
-                total_hops / lookups, max_hops, bound, 100.0 * correct / lookups);
+    // The registry holds the hop-count histogram, per-rule hop attribution,
+    // and message totals accumulated over the distribution run; snapshot it
+    // here, before the worker's simulation stack dies.
+    r.metrics = net.overlay->network().metrics().ToJson();
+    return r;
+  };
 
-    JsonValue row = JsonValue::Object();
-    row.Set("n", n);
-    row.Set("lookups", lookups);
-    row.Set("avg_hops", total_hops / lookups);
-    row.Set("max_hops", max_hops);
-    row.Set("bound", bound);
-    row.Set("correct_frac", static_cast<double>(correct) / lookups);
-    json.AddRow("hops_vs_n", std::move(row));
-  }
-
-  // Hop-count distribution at a fixed N (the Pastry paper's figure 4 analog).
-  const int dist_n = args.smoke ? 256 : 4096;
-  const int dist_lookups = args.smoke ? 100 : 1000;
-  std::printf("\nHop distribution, N=%d (expect mass at <= ceil(log_16 N) = %.0f):\n",
-              dist_n, std::ceil(Log16(dist_n)));
-  ExpOverlay net(dist_n, 777);
-  std::vector<int> histogram(10, 0);
-  for (int i = 0; i < dist_lookups; ++i) {
-    auto ctx = net.RouteOnce(net.overlay->RandomKey());
-    if (ctx.has_value() && ctx->hops < histogram.size() * 1u) {
-      histogram[ctx->hops]++;
+  auto commit = [&](size_t index, TrialResult& r) {
+    if (index == 0) {
+      std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "lookups", "avg hops",
+                  "max hops", "bound", "correct");
     }
-  }
-  for (int h = 0; h < 7; ++h) {
-    std::printf("  hops=%d : %5.1f%% %s\n", h,
-                100.0 * histogram[h] / dist_lookups,
-                std::string(static_cast<size_t>(60.0 * histogram[h] / dist_lookups),
-                            '#')
-                    .c_str());
-  }
+    if (index < sizes.size()) {
+      const int n = sizes[index];
+      double bound = std::ceil(Log16(n));
+      std::printf("%8d %10d %10.2f %10d %10.0f %11.1f%%\n", n, r.lookups,
+                  r.total_hops / r.lookups, r.max_hops, bound,
+                  100.0 * r.correct / r.lookups);
+      JsonValue row = JsonValue::Object();
+      row.Set("n", n);
+      row.Set("lookups", r.lookups);
+      row.Set("avg_hops", r.total_hops / r.lookups);
+      row.Set("max_hops", r.max_hops);
+      row.Set("bound", bound);
+      row.Set("correct_frac", static_cast<double>(r.correct) / r.lookups);
+      json.AddRow("hops_vs_n", std::move(row));
+      return;
+    }
+    std::printf(
+        "\nHop distribution, N=%d (expect mass at <= ceil(log_16 N) = %.0f):\n",
+        dist_n, std::ceil(Log16(dist_n)));
+    for (int h = 0; h < 7; ++h) {
+      std::printf(
+          "  hops=%d : %5.1f%% %s\n", h, 100.0 * r.histogram[h] / dist_lookups,
+          std::string(static_cast<size_t>(60.0 * r.histogram[h] / dist_lookups),
+                      '#')
+              .c_str());
+    }
+    JsonValue dist = JsonValue::Object();
+    dist.Set("n", dist_n);
+    dist.Set("lookups", dist_lookups);
+    JsonValue hist = JsonValue::Array();
+    for (size_t h = 0; h < r.histogram.size(); ++h) {
+      JsonValue bucket = JsonValue::Object();
+      bucket.Set("hops", static_cast<int>(h));
+      bucket.Set("count", r.histogram[h]);
+      hist.Append(std::move(bucket));
+    }
+    dist.Set("histogram", std::move(hist));
+    json.Set("hop_distribution", std::move(dist));
+    json.SetMetricsJson(std::move(r.metrics));
+  };
 
-  // Machine-readable summary of the final overlay: the registry already holds
-  // the hop-count histogram, per-rule hop attribution, and message totals
-  // accumulated over the distribution run.
-  const MetricsRegistry& metrics = net.overlay->network().metrics();
-  JsonValue dist = JsonValue::Object();
-  dist.Set("n", dist_n);
-  dist.Set("lookups", dist_lookups);
-  JsonValue hist = JsonValue::Array();
-  for (size_t h = 0; h < histogram.size(); ++h) {
-    JsonValue bucket = JsonValue::Object();
-    bucket.Set("hops", static_cast<int>(h));
-    bucket.Set("count", histogram[h]);
-    hist.Append(std::move(bucket));
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  // Overlay construction dominates trial cost; run the big overlays first so
+  // the pool drains evenly.
+  std::vector<double> costs;
+  for (int n : sizes) {
+    costs.push_back(static_cast<double>(n));
   }
-  dist.Set("histogram", std::move(hist));
-  json.Set("hop_distribution", std::move(dist));
-  json.SetMetrics(metrics);
+  costs.push_back(static_cast<double>(dist_n));
+  trial_opts.work_order = LargestFirstOrder(costs);
+  RunTrials(trial_opts, trial_count, run, commit);
 
   return json.Finish() ? 0 : 1;
 }

@@ -21,10 +21,11 @@ struct RunResult {
   double reject_rate = 0;
   double avg_size_accepted = 0;
   double avg_size_rejected = 0;
+  JsonValue metrics;
 };
 
 RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
-                    double t_div, uint64_t seed, bool smoke, ExpJson* json) {
+                    double t_div, uint64_t seed, bool smoke) {
   PastNetworkOptions options;
   options.overlay.seed = seed;
   options.overlay.pastry.keep_alive_period = 0;
@@ -90,7 +91,7 @@ RunResult RunPolicy(bool replica_diversion, int file_retries, double t_pri,
   result.reject_rate = 100.0 * rejected / (accepted + rejected);
   result.avg_size_accepted = accepted > 0 ? static_cast<double>(accepted_bytes) / accepted : 0;
   result.avg_size_rejected = rejected > 0 ? static_cast<double>(rejected_bytes) / rejected : 0;
-  json->SetMetrics(net.overlay().network().metrics());
+  result.metrics = net.overlay().network().metrics().ToJson();
   return result;
 }
 
@@ -109,10 +110,18 @@ int main(int argc, char** argv) {
     bool replica;
     int retries;
   };
-  for (const PolicyRow& p : {PolicyRow{"none", false, 0},
-                             PolicyRow{"replica", true, 0},
-                             PolicyRow{"replica+file", true, 3}}) {
-    RunResult r = RunPolicy(p.replica, p.retries, 0.1, 0.05, 7001, args.smoke, &json);
+  const std::vector<PolicyRow> policies = {PolicyRow{"none", false, 0},
+                                           PolicyRow{"replica", true, 0},
+                                           PolicyRow{"replica+file", true, 3}};
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+
+  auto run_policy = [&](size_t index) -> RunResult {
+    const PolicyRow& p = policies[index];
+    return RunPolicy(p.replica, p.retries, 0.1, 0.05, 7001, args.smoke);
+  };
+  auto commit_policy = [&](size_t index, RunResult& r) {
+    const PolicyRow& p = policies[index];
     std::printf("%16s %8.2f %8.2f %11.1f%% %11.1f%% %14.0f %14.0f\n", p.name, 0.1,
                 0.05, 100.0 * r.utilization, r.reject_rate, r.avg_size_accepted,
                 r.avg_size_rejected);
@@ -124,23 +133,32 @@ int main(int argc, char** argv) {
     row.Set("avg_size_accepted", r.avg_size_accepted);
     row.Set("avg_size_rejected", r.avg_size_rejected);
     json.AddRow("policies", std::move(row));
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+  RunTrials(trial_opts, policies.size(), run_policy, commit_policy);
 
   std::printf("\nThreshold sweep (policy = replica+file):\n");
   std::printf("%8s %8s %12s %12s\n", "t_pri", "t_div", "utilization", "rejected");
-  for (double t_pri : {0.05, 0.1, 0.2, 0.5}) {
-    double t_div = t_pri / 2;
-    RunResult r = RunPolicy(true, 3, t_pri, t_div, 7002, args.smoke, &json);
-    std::printf("%8.2f %8.2f %11.1f%% %11.1f%%\n", t_pri, t_div,
+  const std::vector<double> t_pris = {0.05, 0.1, 0.2, 0.5};
+  auto run_sweep = [&](size_t index) -> RunResult {
+    const double t_pri = t_pris[index];
+    return RunPolicy(true, 3, t_pri, t_pri / 2, 7002, args.smoke);
+  };
+  auto commit_sweep = [&](size_t index, RunResult& r) {
+    const double t_pri = t_pris[index];
+    std::printf("%8.2f %8.2f %11.1f%% %11.1f%%\n", t_pri, t_pri / 2,
                 100.0 * r.utilization, r.reject_rate);
 
     JsonValue row = JsonValue::Object();
     row.Set("t_pri", t_pri);
-    row.Set("t_div", t_div);
+    row.Set("t_div", t_pri / 2);
     row.Set("utilization", r.utilization);
     row.Set("reject_rate", r.reject_rate / 100.0);
     json.AddRow("threshold_sweep", std::move(row));
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+  RunTrials(trial_opts, t_pris.size(), run_sweep, commit_sweep);
+
   std::printf("\nExpected shape (SOSP ref [12]): the full scheme reaches >95%%\n");
   std::printf("utilization with few rejections; without diversion the system\n");
   std::printf("strands capacity on small/unlucky nodes; rejected files are on\n");

@@ -17,34 +17,53 @@ int main(int argc, char** argv) {
               "RT bound", "avg rows", "log16 N", "leaf+nb");
   const std::vector<int> sizes =
       args.smoke ? std::vector<int>{128, 256} : std::vector<int>{256, 1024, 4096, 10000};
-  for (int n : sizes) {
-    ExpOverlay net(n, 100 + static_cast<uint64_t>(n));
+
+  struct TrialResult {
     double rt_sum = 0, rows_sum = 0, leaf_nb_sum = 0;
     size_t rt_max = 0;
+    JsonValue metrics;
+  };
+
+  auto run = [&](size_t index) -> TrialResult {
+    const int n = sizes[index];
+    ExpOverlay net(n, 100 + static_cast<uint64_t>(n));
+    TrialResult r;
     for (size_t i = 0; i < net.overlay->size(); ++i) {
       PastryNode* node = net.overlay->node(i);
-      rt_sum += static_cast<double>(node->routing_table().EntryCount());
-      rt_max = std::max(rt_max, node->routing_table().EntryCount());
-      rows_sum += node->routing_table().PopulatedRows();
-      leaf_nb_sum += static_cast<double>(node->leaf_set().size() +
-                                         node->neighborhood_set().size());
+      r.rt_sum += static_cast<double>(node->routing_table().EntryCount());
+      r.rt_max = std::max(r.rt_max, node->routing_table().EntryCount());
+      r.rows_sum += node->routing_table().PopulatedRows();
+      r.leaf_nb_sum += static_cast<double>(node->leaf_set().size() +
+                                           node->neighborhood_set().size());
     }
+    r.metrics = net.overlay->network().metrics().ToJson();
+    return r;
+  };
+  auto commit = [&](size_t index, TrialResult& r) {
+    const int n = sizes[index];
     double bound = (config.cols() - 1) * std::ceil(Log16(n));
     std::printf("%8d %12.1f %12zu %12.0f %10.2f %10.2f %12.1f\n", n,
-                rt_sum / static_cast<double>(n), rt_max, bound,
-                rows_sum / static_cast<double>(n), Log16(n),
-                leaf_nb_sum / static_cast<double>(n));
+                r.rt_sum / static_cast<double>(n), r.rt_max, bound,
+                r.rows_sum / static_cast<double>(n), Log16(n),
+                r.leaf_nb_sum / static_cast<double>(n));
 
     JsonValue row = JsonValue::Object();
     row.Set("n", n);
-    row.Set("avg_rt_entries", rt_sum / static_cast<double>(n));
-    row.Set("max_rt_entries", static_cast<uint64_t>(rt_max));
+    row.Set("avg_rt_entries", r.rt_sum / static_cast<double>(n));
+    row.Set("max_rt_entries", static_cast<uint64_t>(r.rt_max));
     row.Set("rt_bound", bound);
-    row.Set("avg_populated_rows", rows_sum / static_cast<double>(n));
-    row.Set("avg_leaf_plus_neighborhood", leaf_nb_sum / static_cast<double>(n));
+    row.Set("avg_populated_rows", r.rows_sum / static_cast<double>(n));
+    row.Set("avg_leaf_plus_neighborhood", r.leaf_nb_sum / static_cast<double>(n));
     json.AddRow("state_vs_n", std::move(row));
-    json.SetMetrics(net.overlay->network().metrics());
-  }
+    json.SetMetricsJson(std::move(r.metrics));
+  };
+
+  TrialOptions trial_opts;
+  trial_opts.threads = args.threads;
+  std::vector<double> costs(sizes.begin(), sizes.end());
+  trial_opts.work_order = LargestFirstOrder(costs);
+  RunTrials(trial_opts, sizes.size(), run, commit);
+
   std::printf("\nTotal state bound incl. leaf set: (2^b-1)*ceil(log_16 N) + 2l\n");
   std::printf("e.g. N=10000: %.0f + %d = %.0f entries\n",
               15 * std::ceil(Log16(10000)), 2 * config.leaf_set_size,

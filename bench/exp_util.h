@@ -11,14 +11,24 @@
 //   --smoke         shrink the workload to seconds (used by the bench_smoke
 //                   ctest); results are structurally complete but not
 //                   statistically meaningful
+//   --threads <n>   fan independent trials across n worker threads
+//                   (default: hardware_concurrency; 1 = fully sequential).
+//                   Output is byte-identical regardless of n.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "src/obs/json.h"
@@ -28,10 +38,20 @@
 
 namespace past {
 
+// Resolves a --threads argument: 0 means "use every hardware thread".
+inline int ResolveThreads(int threads) {
+  if (threads > 0) {
+    return threads;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
 // Command-line contract shared by every exp_* binary.
 struct ExpArgs {
   std::string json_path;  // empty: no JSON output
   bool smoke = false;
+  int threads = 0;  // 0 = hardware_concurrency
 
   static ExpArgs Parse(int argc, char** argv) {
     ExpArgs args;
@@ -40,14 +60,118 @@ struct ExpArgs {
         args.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--smoke") == 0) {
         args.smoke = true;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = std::atoi(argv[++i]);
+        if (args.threads < 0) {
+          std::fprintf(stderr, "--threads must be >= 0\n");
+          std::exit(2);
+        }
       } else {
-        std::fprintf(stderr, "usage: %s [--json <path>] [--smoke]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--json <path>] [--smoke] [--threads <n>]\n",
+                     argv[0]);
         std::exit(2);
       }
     }
     return args;
   }
 };
+
+// Execution policy for RunTrials().
+struct TrialOptions {
+  int threads = 1;  // 0 = hardware_concurrency
+  // Optional execution-order permutation of [0, count) — e.g. largest trial
+  // first to minimize makespan. Commit order is always ascending trial
+  // index, so the permutation cannot affect output.
+  std::vector<size_t> work_order;
+};
+
+// Fans `count` independent trials across a worker pool and commits results
+// strictly in trial-index order, making stdout and --json output
+// byte-identical to a sequential run.
+//
+// Contract:
+//   - run(index) executes on a worker thread (or inline when threads == 1).
+//     It must build its own fully isolated simulation stack — EventQueue,
+//     Topology, Network, MetricsRegistry all live inside Overlay /
+//     PastNetwork instances constructed inside the callback — and must not
+//     print or touch any shared mutable state.
+//   - commit(index, result) executes on the calling thread, in ascending
+//     index order; all printing and ExpJson recording belongs here.
+//
+// With threads == 1 (or a single trial) this degenerates to a plain inline
+// loop: no pool, no buffering — exactly the pre-parallel behavior.
+template <typename RunFn, typename CommitFn>
+void RunTrials(const TrialOptions& options, size_t count, RunFn run,
+               CommitFn commit) {
+  using Result = std::invoke_result_t<RunFn&, size_t>;
+  const int threads = ResolveThreads(options.threads);
+  if (threads == 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      Result r = run(i);
+      commit(i, r);
+    }
+    return;
+  }
+
+  std::vector<size_t> order = options.work_order;
+  if (order.empty()) {
+    order.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      order[i] = i;
+    }
+  }
+
+  std::vector<std::optional<Result>> done(count);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) {
+        return;
+      }
+      size_t index = order[slot];
+      Result r = run(index);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done[index].emplace(std::move(r));
+      }
+      cv.notify_one();
+    }
+  };
+  std::vector<std::thread> pool;
+  size_t n_workers = std::min(static_cast<size_t>(threads), count);
+  pool.reserve(n_workers);
+  for (size_t t = 0; t < n_workers; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done[i].has_value(); });
+    Result r = std::move(*done[i]);
+    done[i].reset();
+    lock.unlock();
+    commit(i, r);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+}
+
+// Convenience: descending-cost execution order for trials whose relative
+// costs are known up front (largest first minimizes makespan).
+inline std::vector<size_t> LargestFirstOrder(const std::vector<double>& costs) {
+  std::vector<size_t> order(costs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&costs](size_t a, size_t b) {
+    return costs[a] > costs[b];
+  });
+  return order;
+}
 
 // Accumulates an experiment's machine-readable output and writes it on
 // Finish(). With no --json flag every call is a cheap no-op, so experiment
@@ -90,6 +214,16 @@ class ExpJson {
       return;
     }
     root_.Set("metrics", metrics.ToJson());
+  }
+
+  // Same, but from an already-dumped snapshot — used by parallel trials,
+  // where the registry dies with the worker's simulation stack and only the
+  // JSON dump travels back to the committing thread.
+  void SetMetricsJson(JsonValue metrics) {
+    if (!enabled()) {
+      return;
+    }
+    root_.Set("metrics", std::move(metrics));
   }
 
   // Writes the document. Returns false (and prints to stderr) on I/O error.

@@ -7,6 +7,9 @@
 namespace past {
 namespace {
 
+// Process-wide log level: atomic, and only the stderr stream depends on it,
+// never simulation results, so parallel trials stay isolated.
+// lint:allow-global-state diagnostic verbosity only, atomic
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 }  // namespace

@@ -157,6 +157,7 @@ class PosixEnv : public Env {
 }  // namespace
 
 Env* Env::Default() {
+  // lint:allow-global-state stateless singleton of syscall wrappers
   static PosixEnv env;
   return &env;
 }

@@ -53,7 +53,7 @@ uint64_t PastryNode::NextSeq() {
   return (static_cast<uint64_t>(addr_) << 32) | (++seq_counter_ & 0xffffffffULL);
 }
 
-void PastryNode::SendWire(NodeAddr to, Bytes wire, bool join_traffic,
+void PastryNode::SendWire(NodeAddr to, SharedBytes wire, bool join_traffic,
                           bool maintenance) {
   ++stats_.msgs_sent;
   obs_.msgs_sent->Inc();
@@ -511,8 +511,10 @@ void PastryNode::FinalizeJoin() {
                               return a.id == b.id;
                             }),
                 targets.end());
+  // One encode, one buffer, shared by every recipient's in-flight message.
+  SharedBytes announce_wire(EncodeMessage(announce));
   for (const auto& d : targets) {
-    SendMsg(d.addr, announce, /*join_traffic=*/true);
+    SendWire(d.addr, announce_wire, /*join_traffic=*/true, /*maintenance=*/false);
   }
   last_leaf_members_ = leaf_.Members();
   ScheduleKeepAlive();
@@ -540,6 +542,11 @@ void PastryNode::KeepAliveTick() {
   const SimTime now = queue_->Now();
   std::vector<NodeDescriptor> members = leaf_.Members();
   std::vector<NodeDescriptor> suspects;
+  // The keep-alive body is identical for every leaf member: encode it once
+  // and share the buffer across all recipients.
+  KeepAliveMsg ka;
+  ka.sender = descriptor();
+  SharedBytes ka_wire(EncodeMessage(ka));
   for (const auto& d : members) {
     auto it = last_heard_.find(d.id);
     if (it == last_heard_.end()) {
@@ -548,9 +555,7 @@ void PastryNode::KeepAliveTick() {
       suspects.push_back(d);
       continue;
     }
-    KeepAliveMsg ka;
-    ka.sender = descriptor();
-    SendMsg(d.addr, ka, /*join_traffic=*/false, /*maintenance=*/true);
+    SendWire(d.addr, ka_wire, /*join_traffic=*/false, /*maintenance=*/true);
   }
   for (const auto& d : suspects) {
     HandleNodeFailure(d);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/shared_bytes.h"
 #include "src/obs/metrics.h"
 #include "src/obs/route_trace.h"
 #include "src/pastry/leaf_set.h"
@@ -203,11 +204,15 @@ class PastryNode : public NetReceiver {
   bool IsQuarantined(const NodeId& id);
   void ClearQuarantine(const NodeId& id) { death_list_.erase(id); }
 
-  void SendWire(NodeAddr to, Bytes wire, bool join_traffic, bool maintenance);
+  // Multi-recipient sends (arrival announce, keep-alives) encode once and
+  // pass the same SharedBytes to every recipient; the network's in-flight
+  // closures all share that one buffer.
+  void SendWire(NodeAddr to, SharedBytes wire, bool join_traffic,
+                bool maintenance);
   template <typename M>
   void SendMsg(NodeAddr to, const M& msg, bool join_traffic = false,
                bool maintenance = false) {
-    SendWire(to, EncodeMessage(msg), join_traffic, maintenance);
+    SendWire(to, SharedBytes(EncodeMessage(msg)), join_traffic, maintenance);
   }
 
   uint64_t NextSeq();

@@ -4,43 +4,123 @@
 
 namespace past {
 
-EventQueue::EventId EventQueue::At(SimTime when, std::function<void()> fn) {
-  PAST_CHECK_MSG(when >= now_, "cannot schedule events in the past");
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  ++live_count_;
-  return id;
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  PAST_CHECK_MSG(slots_.size() < kNoSlot, "event pool exhausted");
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
-EventQueue::EventId EventQueue::After(SimTime delay, std::function<void()> fn) {
+void EventQueue::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // invalidates every outstanding id for this slot
+  slot.live = false;
+  slot.fn.Reset();
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventQueue::EventId EventQueue::At(SimTime when, EventFn fn) {
+  PAST_CHECK_MSG(when >= now_, "cannot schedule events in the past");
+  uint32_t index = AllocSlot();
+  Slot& slot = slots_[index];
+  slot.when = when;
+  slot.seq = next_seq_++;
+  slot.live = true;
+  slot.fn = std::move(fn);
+  heap_.push_back(index);
+  SiftUp(heap_.size() - 1);
+  ++live_count_;
+  return (static_cast<EventId>(slot.generation) << 32) | index;
+}
+
+EventQueue::EventId EventQueue::After(SimTime delay, EventFn fn) {
   PAST_CHECK(delay >= 0);
   return At(now_ + delay, std::move(fn));
 }
 
 void EventQueue::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) {
+  uint32_t index = static_cast<uint32_t>(id & 0xffffffff);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) {
     return;
   }
-  // Mark cancelled; the entry is discarded when it reaches the heap top.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted && live_count_ > 0) {
-    --live_count_;
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || !slot.live) {
+    return;  // already fired, already cancelled, or a recycled/stale id
+  }
+  // Lazy cancel: drop the callback now (releasing its captures) and leave the
+  // heap entry to be discarded when it reaches the top.
+  slot.live = false;
+  slot.fn.Reset();
+  --live_count_;
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    size_t parent = (pos - 1) / 2;
+    if (!Earlier(moving, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  uint32_t moving = heap_[pos];
+  const size_t size = heap_.size();
+  while (true) {
+    size_t child = 2 * pos + 1;
+    if (child >= size) {
+      break;
+    }
+    if (child + 1 < size && Earlier(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!Earlier(heap_[child], moving)) {
+      break;
+    }
+    heap_[pos] = heap_[child];
+    pos = child;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::PopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
   }
 }
 
 bool EventQueue::PopAndRunOne() {
   while (!heap_.empty()) {
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    auto it = cancelled_.find(top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+    uint32_t index = heap_[0];
+    Slot& slot = slots_[index];
+    if (!slot.live) {
+      // Cancelled; discard without advancing the clock.
+      PopTop();
+      ReleaseSlot(index);
       continue;
     }
-    now_ = top.when;
+    now_ = slot.when;
+    EventFn fn = std::move(slot.fn);
+    PopTop();
+    // Release before invoking: the slot (and its id's generation) is dead the
+    // moment the event fires, so Cancel() from inside the callback is a no-op
+    // and the slot is immediately reusable for events the callback schedules.
+    ReleaseSlot(index);
     --live_count_;
-    top.fn();
+    fn();
     return true;
   }
   return false;
@@ -49,13 +129,13 @@ bool EventQueue::PopAndRunOne() {
 size_t EventQueue::RunUntil(SimTime deadline) {
   size_t executed = 0;
   while (!heap_.empty()) {
-    // Skip cancelled entries at the top without advancing time.
-    if (cancelled_.count(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
+    uint32_t index = heap_[0];
+    if (!slots_[index].live) {
+      PopTop();
+      ReleaseSlot(index);
       continue;
     }
-    if (heap_.top().when > deadline) {
+    if (slots_[index].when > deadline) {
       break;
     }
     if (PopAndRunOne()) {

@@ -1,6 +1,5 @@
 #include "src/sim/network.h"
 
-#include <memory>
 #include <utility>
 
 #include "src/common/check.h"
@@ -16,6 +15,7 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
   dropped_loss_ = metrics_.GetCounter("net.dropped_loss");
   dropped_down_ = metrics_.GetCounter("net.dropped_down");
   bytes_sent_ = metrics_.GetCounter("net.bytes_sent");
+  self_sends_ = metrics_.GetCounter("net.self_sends");
   msg_bytes_ = metrics_.GetHistogram(
       "net.msg_bytes", {64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576});
   queue_depth_ = metrics_.GetGauge("sim.queue_depth");
@@ -50,28 +50,41 @@ SimTime Network::SampleLatency(NodeAddr from, NodeAddr to) {
   return latency < 1 ? 1 : latency;
 }
 
-void Network::Send(NodeAddr from, NodeAddr to, Bytes wire) {
+void Network::Send(NodeAddr from, NodeAddr to, SharedBytes wire) {
   PAST_CHECK(from < endpoints_.size() && to < endpoints_.size());
   sent_->Inc();
   bytes_sent_->Inc(wire.size());
   msg_bytes_->Observe(static_cast<double>(wire.size()));
-  queue_depth_->Set(static_cast<double>(queue_->PendingCount()));
-  if (config_.loss_rate > 0.0 && rng_.Bernoulli(config_.loss_rate)) {
-    dropped_loss_->Inc();
-    return;
+  if (++sends_since_depth_sample_ >= kQueueDepthSampleInterval) {
+    sends_since_depth_sample_ = 0;
+    queue_depth_->Set(static_cast<double>(queue_->PendingCount()));
   }
-  SimTime latency = SampleLatency(from, to);
-  // The payload is owned by the closure; shared_ptr keeps the closure
-  // copyable for std::function.
-  auto payload = std::make_shared<Bytes>(std::move(wire));
-  queue_->After(latency, [this, from, to, payload] {
+  SimTime latency;
+  if (to == from) {
+    // Loopback: zero distance, so no proximity lookup, no jitter draw, and no
+    // loss — the message never touches the wire. Keeping the RNG untouched
+    // means loopback traffic cannot perturb the latency/loss stream of real
+    // sends.
+    self_sends_->Inc();
+    latency = config_.base_latency < 1 ? 1 : config_.base_latency;
+  } else {
+    if (config_.loss_rate > 0.0 && rng_.Bernoulli(config_.loss_rate)) {
+      dropped_loss_->Inc();
+      return;
+    }
+    latency = SampleLatency(from, to);
+  }
+  // Zero-copy: the closure holds a refcounted handle onto the caller's
+  // buffer. EventFn stores move-only callables inline, so neither the
+  // payload nor the closure is heap-allocated here.
+  queue_->After(latency, [this, from, to, wire = std::move(wire)] {
     Endpoint& dest = endpoints_[to];
     if (!dest.up) {
       dropped_down_->Inc();
       return;
     }
     delivered_->Inc();
-    dest.receiver->OnMessage(from, ByteSpan(payload->data(), payload->size()));
+    dest.receiver->OnMessage(from, wire.span());
   });
 }
 
@@ -82,6 +95,7 @@ Network::Stats Network::stats() const {
   s.dropped_loss = dropped_loss_->value();
   s.dropped_down = dropped_down_->value();
   s.bytes_sent = bytes_sent_->value();
+  s.self_sends = self_sends_->value();
   return s;
 }
 
@@ -91,6 +105,7 @@ void Network::ResetStats() {
   dropped_loss_->Reset();
   dropped_down_->Reset();
   bytes_sent_->Reset();
+  self_sends_->Reset();
   msg_bytes_->Reset();
 }
 

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
+#include "src/common/shared_bytes.h"
 #include "src/obs/metrics.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/topology.h"
@@ -53,8 +55,15 @@ class Network {
   void SetUp(NodeAddr addr, bool up);
   bool IsUp(NodeAddr addr) const;
 
-  // Queues `wire` for delivery. Copies the bytes.
-  void Send(NodeAddr from, NodeAddr to, Bytes wire);
+  // Queues `wire` for delivery. Zero-copy: the in-flight closure holds a
+  // handle onto the caller's buffer, so sending one SharedBytes to many
+  // recipients shares a single allocation. Self-sends (to == from) are
+  // short-circuited to the zero-distance latency (base_latency) and consume
+  // no RNG draws and no loss check — loopback does not traverse the wire.
+  void Send(NodeAddr from, NodeAddr to, SharedBytes wire);
+  void Send(NodeAddr from, NodeAddr to, Bytes wire) {
+    Send(from, to, SharedBytes(std::move(wire)));
+  }
 
   // The scalar proximity metric between two registered endpoints.
   double Proximity(NodeAddr a, NodeAddr b) const;
@@ -77,6 +86,7 @@ class Network {
     uint64_t dropped_loss = 0;
     uint64_t dropped_down = 0;
     uint64_t bytes_sent = 0;
+    uint64_t self_sends = 0;
   };
   Stats stats() const;
   void ResetStats();
@@ -90,11 +100,17 @@ class Network {
 
   SimTime SampleLatency(NodeAddr from, NodeAddr to);
 
+  // The queue-depth gauge is refreshed once per this many sends instead of on
+  // every send: PendingCount() is cheap but the gauge store was measurable on
+  // the hot path, and a sampled depth is just as useful for dashboards.
+  static constexpr uint64_t kQueueDepthSampleInterval = 64;
+
   EventQueue* queue_;
   Topology* topology_;
   NetworkConfig config_;
   Rng rng_;
   std::vector<Endpoint> endpoints_;
+  uint64_t sends_since_depth_sample_ = 0;
 
   MetricsRegistry metrics_;
   // Cached instrument handles for the send/deliver hot path.
@@ -103,6 +119,7 @@ class Network {
   Counter* dropped_loss_;
   Counter* dropped_down_;
   Counter* bytes_sent_;
+  Counter* self_sends_;
   Histogram* msg_bytes_;
   Gauge* queue_depth_;
 };

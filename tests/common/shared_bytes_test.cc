@@ -1,0 +1,65 @@
+#include "src/common/shared_bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace past {
+namespace {
+
+TEST(SharedBytesTest, DefaultIsEmpty) {
+  SharedBytes s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.data(), nullptr);
+  EXPECT_TRUE(s.span().empty());
+  EXPECT_EQ(s.use_count(), 0);
+}
+
+TEST(SharedBytesTest, WrapsMovedInBytesWithoutCopy) {
+  Bytes payload{1, 2, 3, 4};
+  const uint8_t* raw = payload.data();
+  SharedBytes s(std::move(payload));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.data(), raw);  // the vector's storage was moved, not copied
+  EXPECT_EQ(s.use_count(), 1);
+}
+
+TEST(SharedBytesTest, CopiesShareOneBuffer) {
+  SharedBytes s(Bytes{9, 8, 7});
+  SharedBytes t = s;
+  SharedBytes u = t;
+  EXPECT_EQ(s.use_count(), 3);
+  EXPECT_EQ(t.data(), s.data());
+  EXPECT_EQ(u.data(), s.data());
+}
+
+TEST(SharedBytesTest, BufferOutlivesOriginalHandle) {
+  SharedBytes copy;
+  {
+    SharedBytes original(Bytes{42});
+    copy = original;
+    EXPECT_EQ(copy.use_count(), 2);
+  }
+  EXPECT_EQ(copy.use_count(), 1);
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.span()[0], 42);
+}
+
+TEST(SharedBytesTest, CopyFromSpanAllocatesFreshBuffer) {
+  Bytes source{5, 5, 5};
+  SharedBytes s = SharedBytes::Copy(ByteSpan(source.data(), source.size()));
+  source[0] = 0;  // the copy must be unaffected
+  EXPECT_EQ(s.span()[0], 5);
+  EXPECT_NE(s.data(), source.data());
+}
+
+TEST(SharedBytesTest, MoveLeavesSourceEmpty) {
+  SharedBytes s(Bytes{1});
+  SharedBytes t = std::move(s);
+  EXPECT_EQ(t.use_count(), 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace past

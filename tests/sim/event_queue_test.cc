@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/common/rng.h"
+
 namespace past {
 namespace {
 
@@ -115,6 +119,171 @@ TEST(EventQueueTest, RunAllRespectsEventCap) {
   std::function<void()> forever = [&] { q.After(1, forever); };
   q.After(1, forever);
   EXPECT_EQ(q.RunAll(100), 100u);
+}
+
+// Regression: cancelling an already-fired id used to insert a tombstone that
+// was never erased and double-decrement the live count, so Empty() could
+// report true while events were still pending.
+TEST(EventQueueTest, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.At(10, [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  q.Cancel(id);  // id already fired: must not touch any live state
+  q.At(20, [&] { ++fired; });
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.Empty());
+}
+
+// Regression: a stale id whose slot has been recycled must not cancel the new
+// occupant (the generation tag distinguishes incarnations).
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  int fired = 0;
+  auto old_id = q.At(10, [&] { ++fired; });
+  q.RunAll();
+  // The next event reuses the freed slot.
+  auto new_id = q.At(20, [&] { ++fired; });
+  EXPECT_NE(old_id, new_id);
+  q.Cancel(old_id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RepeatedCancelDecrementsOnce) {
+  EventQueue q;
+  int fired = 0;
+  auto a = q.At(10, [&] { ++fired; });
+  q.At(20, [&] { ++fired; });
+  q.Cancel(a);
+  q.Cancel(a);
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelFromInsideOwnCallbackIsNoOp) {
+  EventQueue q;
+  EventQueue::EventId self_id = 0;
+  int fired = 0;
+  self_id = q.At(10, [&] {
+    ++fired;
+    q.Cancel(self_id);  // own id is already dead while the callback runs
+    q.At(20, [&] { ++fired; });
+  });
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelReleasesCapturesImmediately) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  auto id = q.At(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  q.Cancel(id);
+  // The callback (and its captured copy) must be destroyed at cancel time,
+  // not when the dead heap entry eventually surfaces.
+  EXPECT_EQ(token.use_count(), 1);
+  q.RunAll();
+}
+
+TEST(EventQueueTest, MoveOnlyCallablesAreSupported) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  q.At(5, [p = std::move(payload), &result] { result = *p + 1; });
+  q.RunAll();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueueTest, LargeCapturesFallBackToHeapStorage) {
+  EventQueue q;
+  // 128 bytes of captured state: far beyond EventFn's inline buffer.
+  struct Big {
+    int64_t values[16] = {};
+  } big;
+  big.values[15] = 99;
+  int64_t seen = 0;
+  q.At(5, [big, &seen] { seen = big.values[15]; });
+  q.RunAll();
+  EXPECT_EQ(seen, 99);
+}
+
+// A steady-state schedule/fire workload must recycle pooled slots instead of
+// growing the slab.
+TEST(EventQueueTest, SlabPlateausInSteadyState) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    q.After(3, [&fired] { ++fired; });
+    q.After(1, [&fired] { ++fired; });
+    q.RunAll();
+  }
+  EXPECT_EQ(fired, 20'000);
+  EXPECT_LE(q.SlabSize(), 4u);
+}
+
+// Cancelled events must also recycle: repeated schedule+cancel cannot grow
+// auxiliary state without bound (the old tombstone-set design did).
+TEST(EventQueueTest, CancelledSlotsAreRecycled) {
+  EventQueue q;
+  for (int round = 0; round < 1'000; ++round) {
+    auto a = q.After(10, [] {});
+    auto b = q.After(20, [] {});
+    q.Cancel(a);
+    q.Cancel(b);
+    q.RunUntil(q.Now() + 30);
+    EXPECT_TRUE(q.Empty());
+  }
+  EXPECT_LE(q.SlabSize(), 4u);
+}
+
+// Randomized schedule/cancel/fire interleavings: every scheduled event either
+// fires exactly once or was cancelled exactly once, and the pool's live count
+// matches ground truth throughout. Run under -DPAST_SANITIZE=ON in CI.
+TEST(EventQueueTest, PoolStressRandomInterleavings) {
+  Rng rng(20260806);
+  EventQueue q;
+  uint64_t fired = 0;
+  uint64_t scheduled = 0;
+  uint64_t cancelled = 0;
+  std::vector<EventQueue::EventId> pending;
+  for (int step = 0; step < 20'000; ++step) {
+    uint64_t action = rng.UniformU64(10);
+    if (action < 5) {
+      SimTime delay = static_cast<SimTime>(rng.UniformU64(50));
+      pending.push_back(q.After(delay, [&fired] { ++fired; }));
+      ++scheduled;
+    } else if (action < 7 && !pending.empty()) {
+      size_t pick = rng.UniformU64(pending.size());
+      // May be live, fired, or already cancelled — all must be safe, and
+      // only a live cancel may change PendingCount.
+      size_t before = q.PendingCount();
+      q.Cancel(pending[pick]);
+      size_t after = q.PendingCount();
+      ASSERT_LE(before - after, 1u);
+      cancelled += before - after;
+    } else if (action < 9) {
+      q.RunUntil(q.Now() + static_cast<SimTime>(rng.UniformU64(25)));
+    } else {
+      q.RunAll();
+    }
+  }
+  q.RunAll();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_EQ(fired + cancelled, scheduled);
+  // Generation reuse: the slab stays bounded by the peak in-flight count,
+  // not the 10k+ events scheduled.
+  EXPECT_LT(q.SlabSize(), 1'000u);
 }
 
 TEST(EventQueueDeathTest, SchedulingInPastAborts) {

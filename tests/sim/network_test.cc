@@ -143,6 +143,94 @@ TEST_F(NetworkTest, SelfSendDelivers) {
   EXPECT_EQ(a.received[0].from, addr_a);
 }
 
+// Self-sends are loopback: zero-distance latency, never lost, and pinned
+// metric counts (counted as sent + delivered + self_sends, nothing else).
+TEST_F(NetworkTest, SelfSendMetricCountsArePinned) {
+  NetworkConfig config;
+  config.loss_rate = 1.0;  // every wire message is lost...
+  Network net = MakeNetwork(config);
+  Recorder a, b;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Send(addr_a, addr_a, Bytes{1, 2});  // ...but loopback never is
+  net.Send(addr_a, addr_b, Bytes{3});
+  queue_.RunAll();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_TRUE(b.received.empty());
+  Network::Stats s = net.stats();
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_EQ(s.self_sends, 1u);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.dropped_loss, 1u);
+  EXPECT_EQ(s.dropped_down, 0u);
+  EXPECT_EQ(s.bytes_sent, 3u);
+}
+
+TEST_F(NetworkTest, SelfSendUsesBaseLatencyOnly) {
+  NetworkConfig config;
+  config.base_latency = 250;
+  config.latency_per_unit = 1e9;  // would be astronomical if distance counted
+  config.jitter_frac = 0.5;
+  Network net = MakeNetwork(config);
+  Recorder a;
+  NodeAddr addr_a = net.Register(&a);
+  net.Send(addr_a, addr_a, Bytes{1});
+  queue_.RunAll();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(queue_.Now(), 250);
+}
+
+// Loopback traffic must not perturb the latency/loss RNG stream of real
+// sends: a wire send behaves identically whether or not self-sends preceded
+// it.
+TEST(NetworkSelfSendTest, SelfSendsConsumeNoRng) {
+  NetworkConfig config;
+  config.jitter_frac = 0.5;
+  SimTime arrival[2] = {0, 0};
+  int idx = 0;
+  for (int self_sends : {0, 100}) {
+    Rng rng(9);
+    EventQueue queue;
+    Topology topo(TopologyKind::kPlane, 100.0, &rng);
+    Network net(&queue, &topo, config, 42);
+    Recorder a, b;
+    NodeAddr addr_a = net.Register(&a);
+    NodeAddr addr_b = net.Register(&b);
+    for (int i = 0; i < self_sends; ++i) {
+      net.Send(addr_a, addr_a, Bytes{1});
+    }
+    net.Send(addr_a, addr_b, Bytes{2});
+    queue.RunAll();
+    ASSERT_EQ(b.received.size(), 1u);
+    // The a->b delivery is the last event (self-sends land at base latency).
+    arrival[idx++] = queue.Now();
+  }
+  EXPECT_EQ(arrival[0], arrival[1]);
+}
+
+// Zero-copy delivery: all in-flight closures and the caller share one buffer.
+TEST_F(NetworkTest, MultiRecipientSendsShareOneBuffer) {
+  Network net = MakeNetwork({});
+  Recorder a, b, c;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  NodeAddr addr_c = net.Register(&c);
+  SharedBytes wire(Bytes{5, 6, 7});
+  EXPECT_EQ(wire.use_count(), 1);
+  net.Send(addr_a, addr_b, wire);
+  net.Send(addr_a, addr_c, wire);
+  net.Send(addr_a, addr_a, wire);
+  // Caller's handle + three in-flight closures, zero buffer copies.
+  EXPECT_EQ(wire.use_count(), 4);
+  queue_.RunAll();
+  EXPECT_EQ(wire.use_count(), 1);
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(c.received.size(), 1u);
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(b.received[0].data, (Bytes{5, 6, 7}));
+  EXPECT_EQ(c.received[0].data, (Bytes{5, 6, 7}));
+}
+
 TEST_F(NetworkTest, ManyEndpointsDistinctAddresses) {
   Network net = MakeNetwork({});
   std::vector<std::unique_ptr<Recorder>> receivers;

@@ -5,9 +5,12 @@
 #
 #   tools/check.sh            # release preset (build-release/)
 #   tools/check.sh asan       # ASan+UBSan preset (build-asan/)
+#   tools/check.sh tsan       # ThreadSanitizer preset (build-tsan/)
 #
 # The asan run is the configuration the fuzz drivers are most valuable under:
-# a decoder overread that slips past the invariant checks still aborts.
+# a decoder overread that slips past the invariant checks still aborts. The
+# tsan run exists for the parallel TrialRunner (bench/exp_util.h): the
+# parallel_determinism ctests drive exp binaries at --threads 4 under it.
 set -eu
 
 preset="${1:-release}"

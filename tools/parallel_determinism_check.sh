@@ -1,0 +1,33 @@
+#!/bin/sh
+# Runs an exp_* binary at --threads 1 and --threads 4 and requires BOTH the
+# stdout and the --json document to be byte-identical. This is the acceptance
+# contract of the TrialRunner: trials execute on a worker pool in whatever
+# order the scheduler picks, but results commit in trial-index order, so
+# output must not depend on the thread count.
+#
+# usage: parallel_determinism_check.sh <exp-binary> <out-dir> <tag>
+set -eu
+exe="$1"
+dir="$2"
+tag="$3"
+
+json="$dir/PDET_${tag}.json"
+
+"$exe" --smoke --threads 1 --json "$json" > "$dir/PDET_${tag}_t1.txt"
+mv "$json" "$dir/PDET_${tag}_t1.json"
+"$exe" --smoke --threads 4 --json "$json" > "$dir/PDET_${tag}_t4.txt"
+mv "$json" "$dir/PDET_${tag}_t4.json"
+
+ok=0
+if ! cmp -s "$dir/PDET_${tag}_t1.json" "$dir/PDET_${tag}_t4.json"; then
+  echo "parallel_determinism_check: $exe JSON differs between --threads 1 and --threads 4" >&2
+  diff "$dir/PDET_${tag}_t1.json" "$dir/PDET_${tag}_t4.json" | head -20 >&2 || true
+  ok=1
+fi
+if ! cmp -s "$dir/PDET_${tag}_t1.txt" "$dir/PDET_${tag}_t4.txt"; then
+  echo "parallel_determinism_check: $exe stdout differs between --threads 1 and --threads 4" >&2
+  diff "$dir/PDET_${tag}_t1.txt" "$dir/PDET_${tag}_t4.txt" | head -20 >&2 || true
+  ok=1
+fi
+[ "$ok" -eq 0 ] || exit 1
+echo "parallel_determinism_check: $exe output is byte-identical at --threads 1 and 4"

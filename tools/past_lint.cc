@@ -21,6 +21,10 @@
 //   codec-pairing    every EncodeBody has a DecodeBody, every EncodeTo a
 //                    DecodeFrom, every payload Encode() a Decode(), per
 //                    header, so no wire struct can lose its parser.
+//   global-state     src/ must not hold mutable namespace-scope or static
+//                    state: the parallel TrialRunner relies on sim stacks
+//                    being fully isolated per trial. Deliberate exceptions
+//                    carry `// lint:allow-global-state <reason>`.
 //
 // Exit status 0 when clean; 1 with one "file:line: [rule] message" line per
 // violation. A check is only as good as its scrubber: comments and string
@@ -325,21 +329,6 @@ void CheckNodiscard(const File& f) {
 
 // --- rule: codec-pairing -----------------------------------------------------
 
-size_t CountOccurrences(const File& f, const char* needle) {
-  size_t count = 0;
-  for (const std::string& line : f.code) {
-    size_t col;
-    for (size_t pos = 0; ContainsToken(line.substr(pos), needle, &col);) {
-      ++count;
-      pos += col + std::strlen(needle);
-      if (pos >= line.size()) {
-        break;
-      }
-    }
-  }
-  return count;
-}
-
 void CheckCodecPairing(const File& f) {
   if (!IsHeader(f) || !HasPrefix(f.rel, "src/")) {
     return;
@@ -372,6 +361,103 @@ void CheckCodecPairing(const File& f) {
   }
 }
 
+// --- rule: global-state ------------------------------------------------------
+//
+// Mutable namespace-scope or static-local state in src/ breaks trial
+// isolation: the parallel TrialRunner (bench/exp_util.h) runs independent sim
+// stacks on worker threads, which is only sound when every piece of library
+// state lives inside objects owned by one trial. Constants (const/constexpr)
+// are fine. A deliberate exception carries a
+// `// lint:allow-global-state <reason>` comment on the same line.
+
+bool ContainsAnyToken(const std::string& line, const char* const* tokens,
+                      size_t count) {
+  size_t col;
+  for (size_t i = 0; i < count; ++i) {
+    if (ContainsToken(line, tokens[i], &col)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckGlobalState(const File& f) {
+  if (!HasPrefix(f.rel, "src/")) {
+    return;
+  }
+  // Keywords that mean a namespace-scope line is not a mutable variable
+  // definition: type/alias/template machinery, or const-qualified data.
+  static const char* kNotAVariable[] = {
+      "namespace", "using",  "typedef",   "class",     "struct",
+      "enum",      "union",  "template",  "friend",    "static_assert",
+      "operator",  "concept"};
+  static const char* kImmutable[] = {"const", "constexpr", "constinit"};
+
+  // Track brace nesting, remembering which braces were opened by `namespace`
+  // (or `extern "C"`). When every open brace is a namespace brace we are at
+  // namespace scope; otherwise we are inside a function/class body.
+  std::vector<char> brace_is_namespace;
+  std::string window;  // text since the last `;`, `{` or `}`
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool namespace_scope = true;
+    for (char ns : brace_is_namespace) {
+      if (!ns) {
+        namespace_scope = false;
+        break;
+      }
+    }
+
+    std::string trimmed = line;
+    size_t start = trimmed.find_first_not_of(" \t");
+    trimmed = start == std::string::npos ? "" : trimmed.substr(start);
+    bool suppressed =
+        f.lines[i].find("lint:allow-global-state") != std::string::npos ||
+        (i > 0 &&
+         f.lines[i - 1].find("lint:allow-global-state") != std::string::npos);
+    bool decl_like = !trimmed.empty() && trimmed[0] != '#' &&
+                     trimmed.find(';') != std::string::npos &&
+                     trimmed.find('(') == std::string::npos &&
+                     trimmed.find(')') == std::string::npos &&
+                     !ContainsAnyToken(trimmed, kImmutable, 3);
+    if (!suppressed && decl_like) {
+      bool starts_ident =
+          std::isalpha(static_cast<unsigned char>(trimmed[0])) != 0 ||
+          trimmed[0] == '_' || trimmed[0] == ':';
+      if (namespace_scope && starts_ident &&
+          !ContainsAnyToken(trimmed, kNotAVariable, 12)) {
+        Report(f, i, "global-state",
+               "mutable namespace-scope state breaks trial isolation; make it "
+               "per-instance or annotate lint:allow-global-state: " + trimmed);
+      } else if (!namespace_scope && HasPrefix(trimmed, "static ")) {
+        Report(f, i, "global-state",
+               "mutable static breaks trial isolation; make it per-instance "
+               "or annotate lint:allow-global-state: " + trimmed);
+      }
+    }
+
+    for (char c : line) {
+      if (c == '{') {
+        size_t col;
+        bool is_ns = ContainsToken(window, "namespace", &col) ||
+                     ContainsToken(window, "extern", &col);
+        brace_is_namespace.push_back(is_ns ? 1 : 0);
+        window.clear();
+      } else if (c == '}') {
+        if (!brace_is_namespace.empty()) {
+          brace_is_namespace.pop_back();
+        }
+        window.clear();
+      } else if (c == ';') {
+        window.clear();
+      } else {
+        window.push_back(c);
+      }
+    }
+    window.push_back(' ');  // token boundary at the line break
+  }
+}
+
 // --- driver ------------------------------------------------------------------
 
 bool WantFile(const fs::path& p) {
@@ -392,12 +478,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: past_lint [--root <repo>] [--rule nondeterminism|"
-                   "header-hygiene|includes|nodiscard|codec-pairing|all]\n");
+                   "header-hygiene|includes|nodiscard|codec-pairing|"
+                   "global-state|all]\n");
       return 2;
     }
   }
   static const char* kRules[] = {"nondeterminism", "header-hygiene", "includes",
-                                 "nodiscard", "codec-pairing"};
+                                 "nodiscard", "codec-pairing", "global-state"};
   bool known = rule == "all";
   for (const char* r : kRules) {
     known = known || rule == r;
@@ -449,6 +536,9 @@ int main(int argc, char** argv) {
     }
     if (rule == "all" || rule == "codec-pairing") {
       CheckCodecPairing(f);
+    }
+    if (rule == "all" || rule == "global-state") {
+      CheckGlobalState(f);
     }
   }
   if (g_violations > 0) {
