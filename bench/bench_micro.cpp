@@ -32,6 +32,7 @@
 #include "src/sim/network.h"
 #include "src/sim/topology.h"
 #include "src/storage/cache.h"
+#include "src/storage/verify_cache.h"
 
 namespace past {
 namespace {
@@ -120,6 +121,46 @@ void BM_RsaVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RsaVerify)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// The two ModExp paths head to head: the Montgomery dispatch against the
+// schoolbook reference, same signing-shaped workload (full-width base and
+// exponent, odd modulus).
+void BM_ModExp(benchmark::State& state) {
+  Rng rng(8);
+  const int bits = static_cast<int>(state.range(0));
+  RsaKeyPair kp = RsaKeyPair::Generate(bits, &rng);
+  BigNum base = BigNum::FromBytes(rng.RandomBytes(static_cast<size_t>(bits) / 8 - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigNum::ModExp(base, kp.d, kp.pub.n));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_ModExpReference(benchmark::State& state) {
+  Rng rng(8);
+  const int bits = static_cast<int>(state.range(0));
+  RsaKeyPair kp = RsaKeyPair::Generate(bits, &rng);
+  BigNum base = BigNum::FromBytes(rng.RandomBytes(static_cast<size_t>(bits) / 8 - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigNum::ModExpReference(base, kp.d, kp.pub.n));
+  }
+}
+BENCHMARK(BM_ModExpReference)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// Steady-state verify through the memo cache (everything hits): the cost of
+// a repeated certificate check after the first verification paid for it.
+void BM_VerifyCacheHit(benchmark::State& state) {
+  Rng rng(9);
+  RsaKeyPair kp = RsaKeyPair::Generate(static_cast<int>(state.range(0)), &rng);
+  Bytes msg = rng.RandomBytes(256);
+  Bytes sig = RsaSignMessage(kp, msg);
+  VerifyCache cache(64, nullptr);
+  PAST_CHECK(cache.VerifyMessage(kp.pub, msg, sig));  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.VerifyMessage(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_VerifyCacheHit)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 void BM_U128Digits(benchmark::State& state) {
   Rng rng(7);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/crypto/montgomery.h"
 
 namespace past {
 
@@ -44,6 +45,23 @@ Bytes BigNum::ToBytes(size_t width) const {
     uint32_t limb = limbs_[i / 4];
     out[n - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
   }
+  return out;
+}
+
+std::vector<uint32_t> BigNum::ToLimbs(size_t width) const {
+  if (width == 0) {
+    return limbs_;
+  }
+  PAST_CHECK_MSG(limbs_.size() <= width, "value does not fit in requested width");
+  std::vector<uint32_t> out = limbs_;
+  out.resize(width, 0);
+  return out;
+}
+
+BigNum BigNum::FromLimbs(const std::vector<uint32_t>& limbs) {
+  BigNum out;
+  out.limbs_ = limbs;
+  out.Trim();
   return out;
 }
 
@@ -369,6 +387,15 @@ BigNum BigNum::ShiftRight(int bits) const {
 }
 
 BigNum BigNum::ModExp(const BigNum& base, const BigNum& exponent, const BigNum& modulus) {
+  PAST_CHECK(!modulus.IsZero());
+  if (modulus.IsOdd() && modulus.BitLength() > 1) {
+    return MontgomeryContext(modulus).ModExp(base, exponent);
+  }
+  return ModExpReference(base, exponent, modulus);
+}
+
+BigNum BigNum::ModExpReference(const BigNum& base, const BigNum& exponent,
+                               const BigNum& modulus) {
   PAST_CHECK(!modulus.IsZero());
   BigNum result = FromU64(1).Mod(modulus);
   BigNum b = base.Mod(modulus);

@@ -1,9 +1,11 @@
 // Arbitrary-precision unsigned integers, from scratch.
 //
 // Just enough number theory for the smartcard substrate: schoolbook
-// arithmetic, binary long division, square-and-multiply modular
-// exponentiation, extended Euclid for modular inverses, and Miller-Rabin
-// primality testing for RSA key generation. Little-endian 32-bit limbs.
+// arithmetic, binary long division, modular exponentiation (Montgomery CIOS
+// fast path for odd moduli, square-and-multiply reference kept as the
+// differential-test oracle), extended Euclid for modular inverses, and
+// Miller-Rabin primality testing for RSA key generation. Little-endian
+// 32-bit limbs.
 #pragma once
 
 #include <compare>
@@ -24,6 +26,13 @@ class BigNum {
   // width > 0 (the value must fit), else emits the minimal encoding.
   static BigNum FromBytes(ByteSpan bytes);
   Bytes ToBytes(size_t width = 0) const;
+
+  // Raw little-endian 32-bit limb export/import, for the Montgomery kernel
+  // (src/crypto/montgomery.h). ToLimbs pads with zero limbs to `width` limbs
+  // if width > 0 (the value must fit), else emits exactly the significant
+  // limbs. FromLimbs accepts leading zero limbs and trims them.
+  std::vector<uint32_t> ToLimbs(size_t width) const;
+  static BigNum FromLimbs(const std::vector<uint32_t>& limbs);
 
   bool IsZero() const { return limbs_.empty(); }
   bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
@@ -49,8 +58,15 @@ class BigNum {
   BigNum ShiftLeft(int bits) const;
   BigNum ShiftRight(int bits) const;
 
-  // (base^exponent) mod modulus; modulus must be non-zero.
+  // (base^exponent) mod modulus; modulus must be non-zero. Odd moduli > 1
+  // take the Montgomery fast path (src/crypto/montgomery.h); everything else
+  // falls back to the reference implementation. Both produce identical
+  // results.
   static BigNum ModExp(const BigNum& base, const BigNum& exponent, const BigNum& modulus);
+  // Square-and-multiply with a full division per step. Slow; kept as the
+  // differential-test oracle for the Montgomery path.
+  static BigNum ModExpReference(const BigNum& base, const BigNum& exponent,
+                                const BigNum& modulus);
   // Multiplicative inverse of a modulo m, if gcd(a, m) == 1. Returns false
   // otherwise.
   static bool ModInverse(const BigNum& a, const BigNum& m, BigNum* inverse);

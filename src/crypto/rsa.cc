@@ -21,6 +21,13 @@ Bytes PadDigest(ByteSpan digest, size_t modulus_bytes) {
 
 }  // namespace
 
+const MontgomeryContext& RsaPublicKey::MontContext() const {
+  if (!mont_ || !(mont_->modulus() == n)) {
+    mont_ = std::make_shared<const MontgomeryContext>(n);
+  }
+  return *mont_;
+}
+
 Bytes RsaPublicKey::Encode() const {
   Writer w;
   w.Blob(n.ToBytes());
@@ -36,7 +43,20 @@ bool RsaPublicKey::Decode(ByteSpan data, RsaPublicKey* out) {
   }
   out->n = BigNum::FromBytes(n_bytes);
   out->e = BigNum::FromBytes(e_bytes);
-  return true;
+  // A zero modulus or exponent can never verify anything and would trip
+  // PAST_CHECK(!modulus.IsZero()) inside ModExp; reject it here so malformed
+  // wire input fails cleanly.
+  return !out->n.IsZero() && !out->e.IsZero();
+}
+
+void RsaKeyPair::PopulateCrt(BigNum prime_p, BigNum prime_q) {
+  PAST_CHECK(prime_p.Mul(prime_q) == pub.n);
+  const BigNum one = BigNum::FromU64(1);
+  dp = d.Mod(prime_p.Sub(one));
+  dq = d.Mod(prime_q.Sub(one));
+  PAST_CHECK(BigNum::ModInverse(prime_q, prime_p, &qinv));
+  p = std::move(prime_p);
+  q = std::move(prime_q);
 }
 
 RsaKeyPair RsaKeyPair::Generate(int modulus_bits, Rng* rng) {
@@ -58,20 +78,38 @@ RsaKeyPair RsaKeyPair::Generate(int modulus_bits, Rng* rng) {
     pair.pub.n = std::move(n);
     pair.pub.e = e;
     pair.d = std::move(d);
+    pair.PopulateCrt(std::move(p), std::move(q));
     return pair;
   }
 }
 
 Bytes RsaSignDigest(const RsaKeyPair& key, ByteSpan digest) {
-  size_t modulus_bytes = key.pub.n.ToBytes().size();
+  size_t modulus_bytes = (static_cast<size_t>(key.pub.n.BitLength()) + 7) / 8;
   Bytes padded = PadDigest(digest, modulus_bytes);
   BigNum m = BigNum::FromBytes(padded);
-  BigNum s = BigNum::ModExp(m, key.d, key.pub.n);
+  BigNum s;
+  if (key.HasCrt()) {
+    // Garner recombination: s = m2 + q * (qinv * (m1 - m2) mod p). Exactly
+    // equal to m^d mod n, so signatures are byte-identical to the plain path.
+    BigNum m1 = BigNum::ModExp(m, key.dp, key.p);
+    BigNum m2 = BigNum::ModExp(m, key.dq, key.q);
+    BigNum m2p = m2.Mod(key.p);
+    BigNum diff = m1 >= m2p ? m1.Sub(m2p) : m1.Add(key.p).Sub(m2p);
+    BigNum h = key.qinv.Mul(diff).Mod(key.p);
+    s = m2.Add(h.Mul(key.q));
+  } else {
+    s = BigNum::ModExp(m, key.d, key.pub.n);
+  }
   return s.ToBytes(modulus_bytes);
 }
 
 bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signature) {
-  size_t modulus_bytes = key.n.ToBytes().size();
+  // Guard hand-built keys too, not just decoded ones: a zero modulus or
+  // exponent must fail verification, not abort inside ModExp.
+  if (key.n.IsZero() || key.e.IsZero()) {
+    return false;
+  }
+  size_t modulus_bytes = (static_cast<size_t>(key.n.BitLength()) + 7) / 8;
   if (signature.size() != modulus_bytes || digest.size() + 11 > modulus_bytes) {
     return false;
   }
@@ -79,7 +117,8 @@ bool RsaVerifyDigest(const RsaPublicKey& key, ByteSpan digest, ByteSpan signatur
   if (s >= key.n) {
     return false;
   }
-  BigNum m = BigNum::ModExp(s, key.e, key.n);
+  BigNum m = key.n.IsOdd() ? key.MontContext().ModExp(s, key.e)
+                           : BigNum::ModExp(s, key.e, key.n);
   Bytes recovered = m.ToBytes(modulus_bytes);
   Bytes expected = PadDigest(digest, modulus_bytes);
   return ConstantTimeEqual(recovered, expected);

@@ -6,11 +6,13 @@
 // PKCS#1-style padding, sign, verify) is the real one.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/crypto/bignum.h"
+#include "src/crypto/montgomery.h"
 
 namespace past {
 
@@ -18,19 +20,51 @@ struct RsaPublicKey {
   BigNum n;  // modulus
   BigNum e;  // public exponent
 
+  // Montgomery context for n, built on first use and shared by copies of
+  // this key. Revalidated against the current modulus on every call, so
+  // assigning a new n never serves a stale context. Not safe for concurrent
+  // first use of one key object from multiple threads (the simulator
+  // verifies on a single thread per trial).
+  const MontgomeryContext& MontContext() const;
+
   // Deterministic byte encoding (length-prefixed n, e). NodeIds and
-  // pseudonyms are hashes of this encoding.
+  // pseudonyms are hashes of this encoding. Decode rejects malformed wire
+  // input (truncated blobs, trailing bytes, n = 0, e = 0) rather than
+  // letting a zero modulus reach ModExp.
   Bytes Encode() const;
   [[nodiscard]] static bool Decode(ByteSpan data, RsaPublicKey* out);
 
-  bool operator==(const RsaPublicKey& other) const = default;
+  // Equality is over the key material only; the cached context is derived
+  // state.
+  bool operator==(const RsaPublicKey& other) const {
+    return n == other.n && e == other.e;
+  }
+
+ private:
+  mutable std::shared_ptr<const MontgomeryContext> mont_;
 };
 
 struct RsaKeyPair {
   RsaPublicKey pub;
   BigNum d;  // private exponent
 
-  // Generates a fresh key pair with a modulus of `modulus_bits`.
+  // CRT components for fast signing: two half-width exponentiations plus
+  // Garner recombination instead of one full-width exponentiation. Empty on
+  // externally-built pairs; RsaSignDigest falls back to the plain d path
+  // then (same signature bytes either way).
+  BigNum p;     // first prime factor of n
+  BigNum q;     // second prime factor of n
+  BigNum dp;    // d mod (p - 1)
+  BigNum dq;    // d mod (q - 1)
+  BigNum qinv;  // q^-1 mod p
+
+  bool HasCrt() const { return !p.IsZero(); }
+  // Derives dp/dq/qinv from the prime factors (prime_p * prime_q must equal
+  // pub.n and d must already be set).
+  void PopulateCrt(BigNum prime_p, BigNum prime_q);
+
+  // Generates a fresh key pair with a modulus of `modulus_bits`, CRT
+  // components included.
   static RsaKeyPair Generate(int modulus_bits, Rng* rng);
 };
 

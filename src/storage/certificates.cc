@@ -1,8 +1,21 @@
 #include "src/storage/certificates.h"
 
 #include "src/crypto/sha256.h"
+#include "src/storage/verify_cache.h"
 
 namespace past {
+namespace {
+
+// Route through the memo cache when one is supplied, else verify directly.
+bool CheckSignature(VerifyCache* cache, const RsaPublicKey& key, ByteSpan message,
+                    ByteSpan signature) {
+  if (cache != nullptr) {
+    return cache->VerifyMessage(key, message, signature);
+  }
+  return RsaVerifyMessage(key, message, signature);
+}
+
+}  // namespace
 
 // --- CardIdentity ------------------------------------------------------------
 
@@ -19,8 +32,9 @@ bool CardIdentity::DecodeFrom(Reader* r, CardIdentity* out) {
   return r->Blob(&out->broker_signature);
 }
 
-bool CardIdentity::VerifyIssuedBy(const RsaPublicKey& broker) const {
-  return RsaVerifyMessage(broker, public_key.Encode(), broker_signature);
+bool CardIdentity::VerifyIssuedBy(const RsaPublicKey& broker,
+                                  VerifyCache* cache) const {
+  return CheckSignature(cache, broker, public_key.Encode(), broker_signature);
 }
 
 // --- FileCertificate ----------------------------------------------------------
@@ -55,11 +69,11 @@ bool FileCertificate::DecodeFrom(Reader* r, FileCertificate* out) {
          CardIdentity::DecodeFrom(r, &out->owner) && r->Blob(&out->signature);
 }
 
-bool FileCertificate::Verify(const RsaPublicKey& broker) const {
-  if (!owner.VerifyIssuedBy(broker)) {
+bool FileCertificate::Verify(const RsaPublicKey& broker, VerifyCache* cache) const {
+  if (!owner.VerifyIssuedBy(broker, cache)) {
     return false;
   }
-  return RsaVerifyMessage(owner.public_key, SignedBytes(), signature);
+  return CheckSignature(cache, owner.public_key, SignedBytes(), signature);
 }
 
 bool FileCertificate::MatchesContent(ByteSpan content) const {
@@ -92,11 +106,11 @@ bool StoreReceipt::DecodeFrom(Reader* r, StoreReceipt* out) {
          r->I64(&out->timestamp) && r->Bool(&out->diverted) && r->Blob(&out->signature);
 }
 
-bool StoreReceipt::Verify(const RsaPublicKey& broker) const {
-  if (!node_card.VerifyIssuedBy(broker)) {
+bool StoreReceipt::Verify(const RsaPublicKey& broker, VerifyCache* cache) const {
+  if (!node_card.VerifyIssuedBy(broker, cache)) {
     return false;
   }
-  return RsaVerifyMessage(node_card.public_key, SignedBytes(), signature);
+  return CheckSignature(cache, node_card.public_key, SignedBytes(), signature);
 }
 
 // --- ReclaimCertificate ---------------------------------------------------------
@@ -121,11 +135,11 @@ bool ReclaimCertificate::DecodeFrom(Reader* r, ReclaimCertificate* out) {
          r->I64(&out->date) && r->Blob(&out->signature);
 }
 
-bool ReclaimCertificate::Verify(const RsaPublicKey& broker) const {
-  if (!owner.VerifyIssuedBy(broker)) {
+bool ReclaimCertificate::Verify(const RsaPublicKey& broker, VerifyCache* cache) const {
+  if (!owner.VerifyIssuedBy(broker, cache)) {
     return false;
   }
-  return RsaVerifyMessage(owner.public_key, SignedBytes(), signature);
+  return CheckSignature(cache, owner.public_key, SignedBytes(), signature);
 }
 
 // --- ReclaimReceipt --------------------------------------------------------------
@@ -153,11 +167,11 @@ bool ReclaimReceipt::DecodeFrom(Reader* r, ReclaimReceipt* out) {
          r->Blob(&out->signature);
 }
 
-bool ReclaimReceipt::Verify(const RsaPublicKey& broker) const {
-  if (!node_card.VerifyIssuedBy(broker)) {
+bool ReclaimReceipt::Verify(const RsaPublicKey& broker, VerifyCache* cache) const {
+  if (!node_card.VerifyIssuedBy(broker, cache)) {
     return false;
   }
-  return RsaVerifyMessage(node_card.public_key, SignedBytes(), signature);
+  return CheckSignature(cache, node_card.public_key, SignedBytes(), signature);
 }
 
 }  // namespace past

@@ -16,8 +16,15 @@
 
 namespace past {
 
+class VerifyCache;
+
 // A smartcard's public key plus the broker's certification signature over it.
 // Knowing the broker's public key, anyone can check that a card is genuine.
+//
+// All Verify methods below take an optional VerifyCache: when non-null, the
+// two RSA verifications per certificate (broker-over-card, card-over-payload)
+// are memoized there, so a node re-checking the same certificate or the same
+// card identity pays one SHA-1 instead of two modular exponentiations.
 struct CardIdentity {
   RsaPublicKey public_key;
   Bytes broker_signature;
@@ -26,7 +33,8 @@ struct CardIdentity {
   [[nodiscard]] static bool DecodeFrom(Reader* r, CardIdentity* out);
 
   // Did `broker` certify this card?
-  [[nodiscard]] bool VerifyIssuedBy(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool VerifyIssuedBy(const RsaPublicKey& broker,
+                                    VerifyCache* cache = nullptr) const;
 
   // The nodeId / pseudonym derived from this card.
   NodeId DerivedNodeId() const { return NodeIdFromPublicKey(public_key.Encode()); }
@@ -52,7 +60,8 @@ struct FileCertificate {
   [[nodiscard]] static bool DecodeFrom(Reader* r, FileCertificate* out);
 
   // Signature valid and card certified by `broker`.
-  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker,
+                            VerifyCache* cache = nullptr) const;
   // Does `content` match content_hash?
   [[nodiscard]] bool MatchesContent(ByteSpan content) const;
 };
@@ -69,7 +78,8 @@ struct StoreReceipt {
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
   [[nodiscard]] static bool DecodeFrom(Reader* r, StoreReceipt* out);
-  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker,
+                            VerifyCache* cache = nullptr) const;
 };
 
 // Authorizes reclaiming the storage of a file; only the owner's card can
@@ -83,7 +93,8 @@ struct ReclaimCertificate {
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
   [[nodiscard]] static bool DecodeFrom(Reader* r, ReclaimCertificate* out);
-  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker,
+                            VerifyCache* cache = nullptr) const;
 };
 
 // Issued by a storage node that reclaimed a replica; presented by the client
@@ -98,7 +109,8 @@ struct ReclaimReceipt {
   Bytes SignedBytes() const;
   void EncodeTo(Writer* w) const;
   [[nodiscard]] static bool DecodeFrom(Reader* r, ReclaimReceipt* out);
-  [[nodiscard]] bool Verify(const RsaPublicKey& broker) const;
+  [[nodiscard]] bool Verify(const RsaPublicKey& broker,
+                            VerifyCache* cache = nullptr) const;
 };
 
 }  // namespace past

@@ -54,7 +54,8 @@ PastNode::PastNode(PastryNode* overlay, std::unique_ptr<Smartcard> card,
       store_(card_->contributed_storage(),
              MakeBackend(config, overlay->id(), &overlay->net()->metrics()),
              &overlay->net()->metrics()),
-      cache_(config.cache_policy, &overlay->net()->metrics()) {
+      cache_(config.cache_policy, &overlay->net()->metrics()),
+      verify_cache_(config.verify_cache_entries, &overlay->net()->metrics()) {
   PAST_CHECK(overlay_ != nullptr);
   PAST_CHECK(card_ != nullptr);
   broker_key_ = card_->broker_key();
@@ -70,7 +71,8 @@ PastNode::PastNode(PastryNode* overlay, RsaPublicKey broker_key,
       config_(config),
       rng_(seed),
       store_(0, &overlay->net()->metrics()),
-      cache_(config.cache_policy, &overlay->net()->metrics()) {
+      cache_(config.cache_policy, &overlay->net()->metrics()),
+      verify_cache_(config.verify_cache_entries, &overlay->net()->metrics()) {
   PAST_CHECK(overlay_ != nullptr);
   overlay_->SetApp(this);
   ResolveInstruments();
@@ -223,7 +225,7 @@ void PastNode::HandleStoreReceipt(const StoreReceipt& receipt) {
     return;  // late or duplicate receipt
   }
   PendingInsert& state = it->second;
-  if (config_.verify_crypto && !receipt.Verify(broker_key_)) {
+  if (config_.verify_crypto && !receipt.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     return;
@@ -310,7 +312,7 @@ void PastNode::HandleLookupReply(const LookupReplyPayload& reply) {
   if (it == pending_lookups_.end()) {
     return;  // duplicate answer from another replica
   }
-  if (config_.verify_crypto && !reply.cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !reply.cert.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     return;
@@ -381,7 +383,7 @@ void PastNode::HandleReclaimReceipt(const ReclaimReceipt& receipt) {
   if (it == pending_reclaims_.end()) {
     return;  // receipts from the remaining replicas
   }
-  if (config_.verify_crypto && !receipt.Verify(broker_key_)) {
+  if (config_.verify_crypto && !receipt.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     return;
@@ -469,7 +471,7 @@ void PastNode::HandleInsertAtRoot(const DeliverContext& ctx,
                                   const InsertRequestPayload& req) {
   ++stats_.inserts_rooted;
   obs_.inserts_rooted->Inc();
-  if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !req.cert.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     StoreNackPayload nack;
@@ -511,7 +513,7 @@ void PastNode::HandleStoreReplica(const StoreReplicaPayload& req) {
     return;
   }
 
-  if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !req.cert.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     send_nack(StatusCode::kVerificationFailed);
@@ -621,7 +623,7 @@ void PastNode::HandleDivertStore(const NodeDescriptor& from,
   result.client = req.client;
   result.accepted = false;
   if (card_ != nullptr &&
-      (!config_.verify_crypto || req.cert.Verify(broker_key_)) &&
+      (!config_.verify_crypto || req.cert.Verify(broker_key_, &verify_cache_)) &&
       config_.honest && !store_.Has(id) &&
       config_.policy.AcceptDiverted(req.cert.file_size, primary_free())) {
     StorePrimary(req.cert, req.content, /*diverted=*/true, req.primary);
@@ -784,7 +786,7 @@ void PastNode::HandleFetchReply(const FetchReplyPayload& reply) {
   if (store_.Has(id)) {
     return;
   }
-  if (config_.verify_crypto && !reply.cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !reply.cert.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     return;
@@ -818,7 +820,7 @@ void PastNode::HandleReclaimAtRoot(const ReclaimRequestPayload& req) {
 
 void PastNode::HandleReclaimReplica(const ReclaimRequestPayload& req) {
   const FileId id = req.cert.file_id;
-  if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !req.cert.Verify(broker_key_, &verify_cache_)) {
     ++stats_.bad_certificates;
     obs_.bad_certificates->Inc();
     return;
@@ -856,7 +858,7 @@ void PastNode::MaybeCache(const FileCertificate& cert, const Bytes& content) {
       cache_.Contains(cert.file_id)) {
     return;
   }
-  if (config_.verify_crypto && !cert.Verify(broker_key_)) {
+  if (config_.verify_crypto && !cert.Verify(broker_key_, &verify_cache_)) {
     return;
   }
   const uint64_t available =
@@ -958,7 +960,7 @@ void PastNode::Deliver(const DeliverContext& ctx, ByteSpan payload) {
     case PastOp::kReclaimRequest: {
       ReclaimRequestPayload req;
       if (ReclaimRequestPayload::Decode(payload, &req)) {
-        if (config_.verify_crypto && !req.cert.Verify(broker_key_)) {
+        if (config_.verify_crypto && !req.cert.Verify(broker_key_, &verify_cache_)) {
           ++stats_.bad_certificates;
           obs_.bad_certificates->Inc();
           break;

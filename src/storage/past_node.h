@@ -29,6 +29,7 @@
 #include "src/storage/file_store.h"
 #include "src/storage/messages.h"
 #include "src/storage/smartcard.h"
+#include "src/storage/verify_cache.h"
 
 namespace past {
 
@@ -57,6 +58,10 @@ struct PastConfig {
   // Full signature verification on every certificate/receipt. Turning it off
   // (placement-only experiments) changes no placement decision.
   bool verify_crypto = true;
+
+  // Bound on the per-node verified-signature memo cache (see VerifyCache);
+  // 0 disables memoization so every certificate check re-runs RSA.
+  size_t verify_cache_entries = 4096;
 
   // A dishonest node returns store receipts without storing (the freeloader
   // the paper's random audits are designed to expose).
@@ -141,6 +146,7 @@ class PastNode : public PastryApp {
   const FileStore& store() const { return store_; }
   FileStore& store() { return store_; }
   const Cache& file_cache() const { return cache_; }
+  const VerifyCache& verify_cache() const { return verify_cache_; }
   const PastConfig& config() const { return config_; }
 
   // Certificates of files this client successfully inserted.
@@ -275,6 +281,9 @@ class PastNode : public PastryApp {
   Rng rng_;
   FileStore store_;
   Cache cache_;
+  // Memo cache for certificate/receipt verification. Per node, so a restart
+  // (new PastNode) starts empty and never serves results from a prior life.
+  VerifyCache verify_cache_;
 
   std::unordered_map<U160, PendingInsert, U160Hash> pending_inserts_;
   std::unordered_map<U160, PendingLookup, U160Hash> pending_lookups_;

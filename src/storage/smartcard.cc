@@ -123,6 +123,8 @@ Broker::Broker(uint64_t seed, const BrokerOptions& options)
     PooledModulus pm;
     pm.n = p.Mul(q);
     pm.phi = p.Sub(BigNum::FromU64(1)).Mul(q.Sub(BigNum::FromU64(1)));
+    pm.p = std::move(p);
+    pm.q = std::move(q);
     pool_.push_back(std::move(pm));
   }
 }
@@ -148,6 +150,7 @@ RsaKeyPair Broker::MakeCardKey() {
     pair.pub.n = pm.n;
     pair.pub.e = std::move(e);
     pair.d = std::move(d);
+    pair.PopulateCrt(pm.p, pm.q);
     return pair;
   }
 }

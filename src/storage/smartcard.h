@@ -62,18 +62,23 @@ class Smartcard {
   StoreReceipt IssueStoreReceipt(const FileId& file_id, bool diverted, int64_t ts);
   ReclaimReceipt IssueReclaimReceipt(const FileId& file_id, uint64_t bytes, int64_t ts);
 
-  // --- verification helpers (delegate to the certificate types) -------------------
-  [[nodiscard]] bool VerifyFileCertificate(const FileCertificate& cert) const {
-    return cert.Verify(broker_key_);
+  // --- verification helpers (delegate to the certificate types; pass a
+  // VerifyCache to memoize the underlying RSA checks) ------------------------------
+  [[nodiscard]] bool VerifyFileCertificate(const FileCertificate& cert,
+                                           VerifyCache* cache = nullptr) const {
+    return cert.Verify(broker_key_, cache);
   }
-  [[nodiscard]] bool VerifyStoreReceipt(const StoreReceipt& receipt) const {
-    return receipt.Verify(broker_key_);
+  [[nodiscard]] bool VerifyStoreReceipt(const StoreReceipt& receipt,
+                                        VerifyCache* cache = nullptr) const {
+    return receipt.Verify(broker_key_, cache);
   }
-  [[nodiscard]] bool VerifyReclaimCertificate(const ReclaimCertificate& cert) const {
-    return cert.Verify(broker_key_);
+  [[nodiscard]] bool VerifyReclaimCertificate(const ReclaimCertificate& cert,
+                                              VerifyCache* cache = nullptr) const {
+    return cert.Verify(broker_key_, cache);
   }
-  [[nodiscard]] bool VerifyReclaimReceipt(const ReclaimReceipt& receipt) const {
-    return receipt.Verify(broker_key_);
+  [[nodiscard]] bool VerifyReclaimReceipt(const ReclaimReceipt& receipt,
+                                          VerifyCache* cache = nullptr) const {
+    return receipt.Verify(broker_key_, cache);
   }
 
  private:
@@ -121,6 +126,9 @@ class Broker {
   struct PooledModulus {
     BigNum n;
     BigNum phi;
+    // Prime factors, kept so pooled cards get CRT signing components too.
+    BigNum p;
+    BigNum q;
   };
 
   RsaKeyPair MakeCardKey();

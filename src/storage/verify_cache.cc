@@ -1,0 +1,71 @@
+#include "src/storage/verify_cache.h"
+
+#include "src/crypto/sha1.h"
+
+namespace past {
+
+VerifyCache::VerifyCache(size_t max_entries, MetricsRegistry* metrics)
+    : max_entries_(max_entries) {
+  if (metrics != nullptr) {
+    verify_total_ = metrics->GetCounter("crypto.verify_total");
+    hits_ = metrics->GetCounter("crypto.verify_cache_hit");
+    misses_ = metrics->GetCounter("crypto.verify_cache_miss");
+  }
+}
+
+U160 VerifyCache::KeyFor(const RsaPublicKey& key, ByteSpan message,
+                         ByteSpan signature) {
+  Sha1 h;
+  const Bytes key_bytes = key.Encode();
+  // Length-prefix each part so (m, s) and (m', s') with m‖s == m'‖s' cannot
+  // collide by concatenation.
+  const auto feed = [&h](ByteSpan part) {
+    const uint64_t n = part.size();
+    uint8_t len[8];
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<uint8_t>(n >> (8 * i));
+    }
+    h.Update(ByteSpan(len, sizeof(len)));
+    h.Update(part);
+  };
+  feed(message);
+  feed(signature);
+  feed(ByteSpan(key_bytes.data(), key_bytes.size()));
+  const auto digest = h.Finish();
+  return U160::FromBytes(ByteSpan(digest.data(), digest.size()));
+}
+
+bool VerifyCache::VerifyMessage(const RsaPublicKey& key, ByteSpan message,
+                                ByteSpan signature) {
+  if (verify_total_ != nullptr) {
+    verify_total_->Inc();
+  }
+  if (max_entries_ == 0) {
+    return RsaVerifyMessage(key, message, signature);
+  }
+  const U160 memo_key = KeyFor(key, message, signature);
+  if (const auto it = entries_.find(memo_key); it != entries_.end()) {
+    if (hits_ != nullptr) {
+      hits_->Inc();
+    }
+    return it->second;
+  }
+  if (misses_ != nullptr) {
+    misses_->Inc();
+  }
+  const bool ok = RsaVerifyMessage(key, message, signature);
+  if (entries_.size() >= max_entries_) {
+    entries_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  fifo_.push_back(memo_key);
+  entries_.emplace(memo_key, ok);
+  return ok;
+}
+
+void VerifyCache::Clear() {
+  entries_.clear();
+  fifo_.clear();
+}
+
+}  // namespace past

@@ -1,0 +1,60 @@
+// VerifyCache — bounded memo cache of RSA signature verification results.
+//
+// The same certificates and card identities are verified over and over as a
+// file's replicas spread, as lookups return the certificate to clients, and
+// as maintenance re-checks stored replicas. An RSA verify costs microseconds;
+// a memo lookup costs one SHA-1 over the inputs plus a hash-map probe. The
+// cache keys on SHA-1 over the length-prefixed triple
+// (message ‖ signature ‖ encoded public key), so any change to any input
+// yields a different key, and it stores the boolean outcome — failed
+// verifications are memoized too, which keeps repeated garbage cheap.
+//
+// Entries are evicted FIFO once `max_entries` is reached (verification
+// results never go stale, so recency tracking buys nothing over insertion
+// order). Each PastNode owns its own cache, so a restarted node starts
+// empty and never serves memoized results across an identity change.
+//
+// Reports "crypto.verify_total", "crypto.verify_cache_hit", and
+// "crypto.verify_cache_miss" counters when built with a MetricsRegistry.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "src/common/bytes.h"
+#include "src/common/u160.h"
+#include "src/crypto/rsa.h"
+#include "src/obs/metrics.h"
+
+namespace past {
+
+class VerifyCache {
+ public:
+  // `max_entries` bounds the memo table; 0 disables memoization (every call
+  // verifies, counters still tick). `metrics` may be null.
+  explicit VerifyCache(size_t max_entries, MetricsRegistry* metrics);
+
+  VerifyCache(const VerifyCache&) = delete;
+  VerifyCache& operator=(const VerifyCache&) = delete;
+
+  // RsaVerifyMessage(key, message, signature), memoized.
+  [[nodiscard]] bool VerifyMessage(const RsaPublicKey& key, ByteSpan message,
+                                   ByteSpan signature);
+
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  static U160 KeyFor(const RsaPublicKey& key, ByteSpan message, ByteSpan signature);
+
+  size_t max_entries_;
+  std::unordered_map<U160, bool, U160Hash> entries_;
+  std::deque<U160> fifo_;  // insertion order, oldest first
+
+  Counter* verify_total_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+};
+
+}  // namespace past

@@ -1,0 +1,192 @@
+// Differential suite holding the crypto fast paths equal to their reference
+// implementations:
+//
+//  * BigNum::ModExp (Montgomery CIOS under the hood for odd moduli) against
+//    BigNum::ModExpReference, across modulus widths that hit every kernel
+//    (the unrolled k = 2/4/8 cases and the generic fallback), bases at and
+//    above the modulus, and degenerate exponents;
+//  * CRT signing (RsaSignDigest with p/q/dp/dq/qinv) against the plain
+//    m^d mod n path, which must produce byte-identical signatures;
+//  * fixed known-answer vectors, so a bug that breaks both paths the same
+//    way still fails.
+//
+// Registered as the standalone `crypto_differential` ctest (LABELS
+// crypto_diff) so tools/check.sh runs it as an explicit gate, including
+// under the asan preset.
+#include "src/crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/crypto/rsa.h"
+
+namespace past {
+namespace {
+
+BigNum FromHex(const std::string& hex) {
+  Bytes raw;
+  EXPECT_TRUE(HexDecode(hex, &raw));
+  return BigNum::FromBytes(raw);
+}
+
+// A random value of exactly `bits` bits (top bit set).
+BigNum RandomBits(int bits, Rng* rng) {
+  if (bits <= 0) {
+    return BigNum();
+  }
+  Bytes raw((static_cast<size_t>(bits) + 7) / 8);
+  for (auto& b : raw) {
+    b = static_cast<uint8_t>(rng->NextU64());
+  }
+  raw[0] |= static_cast<uint8_t>(1u << ((bits - 1) % 8));
+  raw[0] &= static_cast<uint8_t>(0xFF >> (7 - (bits - 1) % 8));
+  return BigNum::FromBytes(raw);
+}
+
+BigNum RandomOdd(int bits, Rng* rng) {
+  BigNum v = RandomBits(bits, rng);
+  return v.IsOdd() ? v : v.Add(BigNum::FromU64(1));
+}
+
+class ModExpDifferentialTest : public ::testing::Test {
+ protected:
+  void ExpectEqualPaths(const BigNum& base, const BigNum& exp, const BigNum& mod) {
+    EXPECT_EQ(BigNum::ModExp(base, exp, mod), BigNum::ModExpReference(base, exp, mod))
+        << "base bits=" << base.BitLength() << " exp bits=" << exp.BitLength()
+        << " mod bits=" << mod.BitLength();
+  }
+
+  Rng rng_{20260806};
+};
+
+TEST_F(ModExpDifferentialTest, RandomOddModuliAllKernelWidths) {
+  // 65..128 bits exercise the k=2 kernel, 129..256 k=4, 257..512 k=8; the
+  // in-between widths (129, 191, 320...) also stress partial top words, and
+  // 513/576 fall through to the generic kernel.
+  for (int mod_bits : {33, 64, 65, 127, 128, 129, 160, 191, 192, 256, 257,
+                       320, 384, 512, 513, 576}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      BigNum mod = RandomOdd(mod_bits, &rng_);
+      BigNum base = RandomBits(mod_bits - (rep % 3), &rng_);
+      BigNum exp = RandomBits(1 + (rep * mod_bits) / 4, &rng_);
+      ExpectEqualPaths(base, exp, mod);
+    }
+  }
+}
+
+TEST_F(ModExpDifferentialTest, BaseAtAndAboveModulus) {
+  for (int mod_bits : {64, 128, 192, 512}) {
+    BigNum mod = RandomOdd(mod_bits, &rng_);
+    BigNum exp = BigNum::FromU64(65537);
+    ExpectEqualPaths(mod, exp, mod);                          // base == modulus
+    ExpectEqualPaths(mod.Add(BigNum::FromU64(1)), exp, mod);  // base == modulus + 1
+    ExpectEqualPaths(RandomBits(mod_bits + 40, &rng_), exp, mod);
+    ExpectEqualPaths(mod.Mul(mod), exp, mod);                 // base == modulus^2
+  }
+}
+
+TEST_F(ModExpDifferentialTest, DegenerateExponents) {
+  for (int mod_bits : {33, 128, 512}) {
+    BigNum mod = RandomOdd(mod_bits, &rng_);
+    BigNum base = RandomBits(mod_bits - 1, &rng_);
+    ExpectEqualPaths(base, BigNum(), mod);               // exponent 0 -> 1
+    ExpectEqualPaths(base, BigNum::FromU64(1), mod);     // exponent 1 -> base mod n
+    ExpectEqualPaths(BigNum(), RandomBits(40, &rng_), mod);            // base 0
+    ExpectEqualPaths(BigNum::FromU64(1), RandomBits(40, &rng_), mod);  // base 1
+  }
+}
+
+TEST_F(ModExpDifferentialTest, EdgeModuli) {
+  // The smallest odd modulus Montgomery accepts, and the exponent widths
+  // right at the small-exponent/window crossover.
+  BigNum three = BigNum::FromU64(3);
+  ExpectEqualPaths(BigNum::FromU64(2), BigNum::FromU64(1000), three);
+  BigNum mod = RandomOdd(256, &rng_);
+  BigNum base = RandomBits(255, &rng_);
+  for (int exp_bits : {23, 24, 25, 26}) {
+    ExpectEqualPaths(base, RandomBits(exp_bits, &rng_), mod);
+  }
+}
+
+TEST_F(ModExpDifferentialTest, EvenModuliUseReferencePath) {
+  for (int mod_bits : {34, 130, 514}) {
+    BigNum mod = RandomBits(mod_bits, &rng_);
+    if (mod.IsOdd()) {
+      mod = mod.Add(BigNum::FromU64(1));
+    }
+    ExpectEqualPaths(RandomBits(mod_bits - 1, &rng_), BigNum::FromU64(65537), mod);
+  }
+}
+
+// Fixed vectors (computed with an independent bignum implementation) catch a
+// systematic error that corrupts ModExp and ModExpReference identically.
+TEST(ModExpKat, PublicExponent512BitOddModulus) {
+  BigNum n = FromHex(
+      "b6f675cc81e74ef5e8e25d940ed904759531985d5d9dc9f81818e811892f902b"
+      "d23f0824128b2f330c5c7fd0a6a3a4506513270e269e0d37f2a74de452e6b439");
+  BigNum b = FromHex(
+      "a170b33839263059f28c105d1fb17c2390c192cfd3ac94af0f21ddb66cad4a26"
+      "8d116ece1738f7d93d9c172411e20b8f6b0d549b6f03675a1600a35a099950d8");
+  BigNum want = FromHex(
+      "311d1a6b2f2532878c56eabe2a716efb3b113b182e0f2d22d9997cc936253a2d"
+      "bd0a20cbec9b4922bc7778a4e1471d37277c72025df80edbdf1e2ec6d6c2c9aa");
+  EXPECT_EQ(BigNum::ModExp(b, BigNum::FromU64(65537), n), want);
+  EXPECT_EQ(BigNum::ModExpReference(b, BigNum::FromU64(65537), n), want);
+}
+
+TEST(ModExpKat, LargeExponent192BitOddModulus) {
+  BigNum n = FromHex("95e60af593bd04cf0fd630f1f29d0da9953f48f1a09f76b5");
+  BigNum b = FromHex("0becd7b03898d190f9ebdacc0cb1e29c658cda14");
+  BigNum e = FromHex("24ede6a46b4cb2424a23d5962217beaddbc496cb8e81973e");
+  BigNum want = FromHex("24945dfe2d6066dfbfd8079c2950d950fdc78e1e2c2b4fb8");
+  EXPECT_EQ(BigNum::ModExp(b, e, n), want);
+  EXPECT_EQ(BigNum::ModExpReference(b, e, n), want);
+}
+
+TEST(ModExpKat, EvenModulus) {
+  BigNum n = FromHex("cef8aa38922766581e27a1c08a6a63ec");
+  BigNum b = FromHex("2e44158bae97ba94d0eda82f8f6d0558");
+  BigNum want = FromHex("4c7345922d67e52584162ba3fd547730");
+  EXPECT_EQ(BigNum::ModExp(b, BigNum::FromU64(65537), n), want);
+}
+
+// CRT signing must be indistinguishable, byte for byte, from the plain
+// private-exponent path — the simulator's JSON determinism depends on it.
+TEST(CrtDifferential, SignaturesByteIdenticalAcrossSizesAndDigests) {
+  Rng rng(977);
+  for (int bits : {256, 384, 512}) {
+    RsaKeyPair crt = RsaKeyPair::Generate(bits, &rng);
+    ASSERT_TRUE(crt.HasCrt());
+    RsaKeyPair plain;
+    plain.pub = crt.pub;
+    plain.d = crt.d;
+    for (int i = 0; i < 16; ++i) {
+      Bytes digest(20);
+      for (auto& byte : digest) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      Bytes a = RsaSignDigest(crt, digest);
+      Bytes b = RsaSignDigest(plain, digest);
+      EXPECT_EQ(a, b) << "bits=" << bits << " digest " << i;
+      EXPECT_TRUE(RsaVerifyDigest(crt.pub, digest, a));
+    }
+  }
+}
+
+TEST(CrtDifferential, PopulateCrtMatchesGeneratedComponents) {
+  Rng rng(978);
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng);
+  RsaKeyPair rebuilt;
+  rebuilt.pub = kp.pub;
+  rebuilt.d = kp.d;
+  rebuilt.PopulateCrt(kp.p, kp.q);
+  EXPECT_EQ(rebuilt.dp, kp.dp);
+  EXPECT_EQ(rebuilt.dq, kp.dq);
+  EXPECT_EQ(rebuilt.qinv, kp.qinv);
+  Bytes digest(20, 0x5a);
+  EXPECT_EQ(RsaSignDigest(rebuilt, digest), RsaSignDigest(kp, digest));
+}
+
+}  // namespace
+}  // namespace past

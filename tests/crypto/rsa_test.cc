@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/serializer.h"
 #include "src/crypto/sha1.h"
 
 namespace past {
@@ -98,6 +99,73 @@ TEST_F(RsaTest, DistinctKeysPerGeneration) {
   RsaKeyPair a = RsaKeyPair::Generate(256, &rng_);
   RsaKeyPair b = RsaKeyPair::Generate(256, &rng_);
   EXPECT_FALSE(a.pub == b.pub);
+}
+
+// A well-framed encoding whose modulus or exponent is zero must be rejected
+// at Decode time: such a key can never verify anything, and letting it
+// through would abort inside ModExp instead of failing cleanly.
+TEST_F(RsaTest, PublicKeyDecodeRejectsZeroModulus) {
+  Writer w;
+  w.Blob(Bytes{});  // n = 0 encodes as an empty blob
+  w.Blob(BigNum::FromU64(65537).ToBytes());
+  RsaPublicKey decoded;
+  EXPECT_FALSE(RsaPublicKey::Decode(w.Take(), &decoded));
+}
+
+TEST_F(RsaTest, PublicKeyDecodeRejectsZeroExponent) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Writer w;
+  w.Blob(kp.pub.n.ToBytes());
+  w.Blob(Bytes{});  // e = 0
+  RsaPublicKey decoded;
+  EXPECT_FALSE(RsaPublicKey::Decode(w.Take(), &decoded));
+}
+
+TEST_F(RsaTest, PublicKeyDecodeRejectsTrailingBytes) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes encoded = kp.pub.Encode();
+  encoded.push_back(0x00);
+  RsaPublicKey decoded;
+  EXPECT_FALSE(RsaPublicKey::Decode(encoded, &decoded));
+}
+
+// RFC 8017 requires the signature representative to be < n; a forger could
+// otherwise shift s by multiples of n without changing s^e mod n.
+TEST_F(RsaTest, SignatureNotBelowModulusRejected) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("payload");
+  size_t width = RsaSignMessage(kp, msg).size();
+  Bytes sig_n = kp.pub.n.ToBytes(width);  // s == n
+  EXPECT_FALSE(RsaVerifyMessage(kp.pub, msg, sig_n));
+  Bytes sig_max(width, 0xFF);             // s far above n
+  EXPECT_FALSE(RsaVerifyMessage(kp.pub, msg, sig_max));
+}
+
+TEST_F(RsaTest, HandBuiltZeroKeyFailsVerification) {
+  RsaKeyPair kp = RsaKeyPair::Generate(256, &rng_);
+  Bytes msg = ToBytes("payload");
+  Bytes sig = RsaSignMessage(kp, msg);
+  RsaPublicKey zero_n;
+  zero_n.e = kp.pub.e;
+  EXPECT_FALSE(RsaVerifyMessage(zero_n, msg, sig));
+  RsaPublicKey zero_e;
+  zero_e.n = kp.pub.n;
+  EXPECT_FALSE(RsaVerifyMessage(zero_e, msg, sig));
+}
+
+// The CRT path is a pure speedup: a pair with the CRT components stripped
+// must produce the exact same signature bytes through the plain-d path.
+TEST_F(RsaTest, CrtSignatureMatchesPlainPath) {
+  for (int bits : {256, 384, 512}) {
+    RsaKeyPair kp = RsaKeyPair::Generate(bits, &rng_);
+    ASSERT_TRUE(kp.HasCrt());
+    RsaKeyPair plain;
+    plain.pub = kp.pub;
+    plain.d = kp.d;
+    ASSERT_FALSE(plain.HasCrt());
+    Bytes msg = ToBytes("crt signatures must be byte-identical");
+    EXPECT_EQ(RsaSignMessage(kp, msg), RsaSignMessage(plain, msg)) << bits;
+  }
 }
 
 }  // namespace

@@ -110,6 +110,18 @@ TEST(FuzzCorpusStorage, TruncatedCertificateRejected) {
       ByteSpan(raw.data() + 1, raw.size() - 1), &payload));
 }
 
+TEST(FuzzCorpusStorage, ZeroModulusKeyRejected) {
+  // A well-framed StoreReceipt whose embedded card key has n = 0: the key
+  // decoder must reject it (a zero modulus can never verify and would abort
+  // inside ModExp), which must fail the whole payload.
+  Bytes raw = ReadFile(CorpusDir() / "fuzz_storage_messages" /
+                       "storage_zero_modulus_key.bin");
+  ASSERT_GT(raw.size(), 1u);
+  StoreReceiptPayload payload;
+  EXPECT_FALSE(StoreReceiptPayload::Decode(
+      ByteSpan(raw.data() + 1, raw.size() - 1), &payload));
+}
+
 TEST(FuzzCorpusStorage, AbsurdBlobLengthRejected) {
   Bytes raw = ReadFile(CorpusDir() / "fuzz_storage_messages" /
                        "storage_lookup_reply_absurd_blob.bin");

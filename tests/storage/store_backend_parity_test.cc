@@ -23,6 +23,10 @@ FileCertificate CertOfSize(uint64_t size, uint64_t tag) {
   cert.file_id = U160::FromBytes(raw);
   cert.file_size = size;
   cert.replication_factor = 3;
+  // A syntactically valid (nonzero) key: the disk backend re-decodes stored
+  // certificates on reopen, and the key decoder rejects n = 0 / e = 0.
+  cert.owner.public_key.n = BigNum::FromU64(0xD00000000000000DULL);
+  cert.owner.public_key.e = BigNum::FromU64(65537);
   return cert;
 }
 
