@@ -25,6 +25,10 @@
 #include "src/crypto/sha256.h"
 #include "src/diskstore/disk_store.h"
 #include "src/obs/json.h"
+#include "src/obs/log_histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 #include "src/pastry/leaf_set.h"
 #include "src/pastry/messages.h"
 #include "src/pastry/routing_table.h"
@@ -418,6 +422,89 @@ void BM_NetworkDeliver(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
 }
 BENCHMARK(BM_NetworkDeliver)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// --- observability primitives -----------------------------------------------
+// The tracing and quantile instruments sit on every client-op and hop path;
+// these benchmarks pin both the armed cost and the disabled fast path so the
+// "cheap enough to stay on" claim is checked by BENCH_obs.json, not asserted.
+
+// One client-op span as the storage layer records it: start, one annotation,
+// end. range(0)=0 measures the disabled branch-and-return path (the cost
+// every untraced run pays), range(0)=1 the armed path.
+void BM_SpanOverhead(benchmark::State& state) {
+  Tracer tracer;
+  tracer.Enable(state.range(0) != 0);
+  int64_t now = 0;
+  for (auto _ : state) {
+    uint64_t id = tracer.StartSpan("past.insert", now, 7);
+    tracer.Annotate(id, "status", "ok");
+    tracer.EndSpan(id, now + 100);
+    now += 101;
+    if (tracer.size() >= (1u << 16)) {
+      state.PauseTiming();
+      tracer.Clear();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(tracer.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1);
+
+// One latency sample: frexp + a handful of integer ops, no allocation once
+// the bucket window covers the value range.
+void BM_LogHistogramObserve(benchmark::State& state) {
+  Rng rng(27);
+  std::vector<double> values(4096);
+  for (double& v : values) {
+    v = 1.0 + rng.UniformDouble() * 1e6;  // ~20 octaves, like latencies
+  }
+  LogHistogram hist;
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Observe(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogHistogramObserve);
+
+// One timeseries row over a representative column set (two counters, a
+// gauge, a quantile histogram): the per-tick cost of the churn experiment's
+// sampler.
+void BM_TimeSeriesSample(benchmark::State& state) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("net.sent")->Inc(12345);
+  metrics.GetCounter("past.demotions")->Inc(67);
+  metrics.GetGauge("sim.queue_depth")->Set(42.0);
+  LogHistogram* lat = metrics.GetLogHistogram("past.lookup.latency_us");
+  Rng rng(28);
+  for (int i = 0; i < 10000; ++i) {
+    lat->Observe(1.0 + rng.UniformDouble() * 1e5);
+  }
+  TimeSeriesSampler sampler(&metrics, 1000);
+  sampler.Track("net.sent");
+  sampler.Track("past.demotions");
+  sampler.Track("sim.queue_depth");
+  sampler.Track("past.lookup.latency_us");
+  int64_t now = 0;
+  for (auto _ : state) {
+    sampler.Sample(now);
+    now += 1000;
+    if (sampler.rows() >= (1u << 14)) {
+      state.PauseTiming();
+      sampler = TimeSeriesSampler(&metrics, 1000);
+      sampler.Track("net.sent");
+      sampler.Track("past.demotions");
+      sampler.Track("sim.queue_depth");
+      sampler.Track("past.lookup.latency_us");
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(sampler.rows());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesSample)->Unit(benchmark::kMicrosecond);
 
 // Console output plus a JSON row per run, written on Finish() in the same
 // {"experiment", "results"} shape the exp_* binaries use.

@@ -17,9 +17,12 @@ struct CacheRunResult {
   double avg_fetch_distance = 0;  // proximity(client, replier)
   double top_holder_load = 0;     // share of lookups served by busiest node
   JsonValue metrics;              // registry snapshot from this run
+  JsonValue spans;                // span dump when --trace-out is given
+  uint64_t spans_dropped = 0;
 };
 
-CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke) {
+CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke,
+                              bool want_spans) {
   PastNetworkOptions options;
   options.overlay.seed = seed;
   options.overlay.pastry.keep_alive_period = 0;
@@ -41,6 +44,11 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke) {
 
   PastNetwork net(options);
   net.Build(kNodes);
+  if (want_spans) {
+    // Full op tracing: every insert/lookup below opens a "past.*" span and
+    // its overlay hops appear as child "pastry.hop" spans.
+    net.overlay().network().tracer().Enable();
+  }
   Rng rng(seed ^ 0x1234);
 
   FileSizeModel sizes;  // median ~4 KiB, max 16 KiB
@@ -98,6 +106,10 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke) {
   }
   result.top_holder_load = 100.0 * top / kLookups;
   result.metrics = net.overlay().network().metrics().ToJson();
+  if (want_spans) {
+    result.spans = net.overlay().network().tracer().SpansJson();
+    result.spans_dropped = net.overlay().network().tracer().dropped();
+  }
   return result;
 }
 
@@ -106,6 +118,7 @@ CacheRunResult RunCachePolicy(CachePolicy policy, uint64_t seed, bool smoke) {
 int main(int argc, char** argv) {
   ExpArgs args = ExpArgs::Parse(argc, argv);
   ExpJson json(args, "caching");
+  ExpTrace span_out(args, "caching");
   PrintHeader("E8: caching policies under Zipf(1.0) lookups",
               "caching balances query load and cuts fetch distance");
 
@@ -119,7 +132,10 @@ int main(int argc, char** argv) {
                                  Row{"LRU", CachePolicy::kLru},
                                  Row{"GD-S", CachePolicy::kGreedyDualSize}};
   auto run = [&](size_t index) -> CacheRunResult {
-    return RunCachePolicy(rows[index].policy, 8001, args.smoke);
+    // Only the last trial (GD-S, the headline configuration) is traced, so
+    // the span dump describes one coherent simulation.
+    const bool want_spans = span_out.enabled() && index == rows.size() - 1;
+    return RunCachePolicy(rows[index].policy, 8001, args.smoke, want_spans);
   };
   auto commit = [&](size_t index, CacheRunResult& r) {
     const Row& row = rows[index];
@@ -133,6 +149,9 @@ int main(int argc, char** argv) {
     jrow.Set("top_holder_load", r.top_holder_load / 100.0);
     json.AddRow("cache_policies", std::move(jrow));
     json.SetMetricsJson(std::move(r.metrics));
+    if (index == rows.size() - 1) {
+      span_out.SetSpansJson(std::move(r.spans), r.spans_dropped);
+    }
   };
   TrialOptions trial_opts;
   trial_opts.threads = args.threads;
@@ -140,5 +159,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: with caching on, a large share of lookups hit\n");
   std::printf("cached copies, the average client->replier proximity drops, and\n");
   std::printf("the load share of the busiest replica holder falls.\n");
-  return json.Finish() ? 0 : 1;
+  return json.Finish() && span_out.Finish() ? 0 : 1;
 }

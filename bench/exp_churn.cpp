@@ -6,6 +6,7 @@
 // downtimes while clients keep reading a fixed file set; the table tracks
 // availability, replica counts, and maintenance traffic over simulated time.
 #include "bench/exp_util.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/churn.h"
 
 int main(int argc, char** argv) {
@@ -59,6 +60,19 @@ int main(int argc, char** argv) {
   }
   churn.Start();
 
+  // Sample overlay health every 10 simulated seconds; the series lands in
+  // the JSON as results.timeseries so past_stats (or a notebook) can plot
+  // the run's trajectory, not just the per-epoch table.
+  TimeSeriesSampler sampler(&net.overlay().network().metrics(),
+                            10 * kMicrosPerSecond);
+  sampler.Track("net.sent");
+  sampler.Track("pastry.failures_detected");
+  sampler.Track("past.maintenance_fetches");
+  sampler.Track("past.demotions");
+  sampler.Track("past.lookup.latency_us");
+  sampler.Track("sim.queue_depth");
+  sampler.Start(&net.queue());
+
   std::printf("%10s %8s %14s %14s %14s\n", "time", "live", "availability",
               "avg replicas", "churn events");
   const int kEpochs = args.smoke ? 2 : 6;
@@ -89,6 +103,8 @@ int main(int argc, char** argv) {
     json.AddRow("epochs", std::move(row));
   }
   churn.Stop();
+  sampler.Stop(&net.queue());
+  json.Set("timeseries", sampler.ToJson());
   json.SetMetrics(net.overlay().network().metrics());
   std::printf("\nExpected shape: ~%d%% of nodes are up at any instant\n",
               static_cast<int>(100.0 * 300 / 360));

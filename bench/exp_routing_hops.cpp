@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace past;
   ExpArgs args = ExpArgs::Parse(argc, argv);
   ExpJson json(args, "routing_hops");
+  ExpTrace trace(args, "routing_hops");
 
   PrintHeader("E1: average routing hops vs N (b=4, l=32)",
               "avg hops < ceil(log_16 N); delivery always at closest node");
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
     // distribution trial (the last one)
     std::vector<int> histogram;
     JsonValue metrics;
+    JsonValue spans;  // span dump when --trace-out armed the tracer
+    uint64_t spans_dropped = 0;
   };
 
   const size_t trial_count = sizes.size() + 1;  // + the distribution run
@@ -62,6 +65,12 @@ int main(int argc, char** argv) {
     // Hop-count distribution at a fixed N (the Pastry paper's figure 4
     // analog).
     ExpOverlay net(dist_n, 777);
+    if (trace.enabled()) {
+      // Trace the distribution run: every hop of every lookup becomes a
+      // "pastry.hop" span. Arming the tracer changes no simulation decision,
+      // so traced and untraced runs stay byte-identical in --json output.
+      net.overlay->network().tracer().Enable();
+    }
     r.histogram.assign(kHistBuckets, 0);
     for (int i = 0; i < dist_lookups; ++i) {
       auto ctx = net.RouteOnce(net.overlay->RandomKey());
@@ -73,6 +82,10 @@ int main(int argc, char** argv) {
     // and message totals accumulated over the distribution run; snapshot it
     // here, before the worker's simulation stack dies.
     r.metrics = net.overlay->network().metrics().ToJson();
+    if (trace.enabled()) {
+      r.spans = net.overlay->network().tracer().SpansJson();
+      r.spans_dropped = net.overlay->network().tracer().dropped();
+    }
     return r;
   };
 
@@ -120,6 +133,7 @@ int main(int argc, char** argv) {
     dist.Set("histogram", std::move(hist));
     json.Set("hop_distribution", std::move(dist));
     json.SetMetricsJson(std::move(r.metrics));
+    trace.SetSpansJson(std::move(r.spans), r.spans_dropped);
   };
 
   TrialOptions trial_opts;
@@ -134,5 +148,5 @@ int main(int argc, char** argv) {
   trial_opts.work_order = LargestFirstOrder(costs);
   RunTrials(trial_opts, trial_count, run, commit);
 
-  return json.Finish() ? 0 : 1;
+  return json.Finish() && trace.Finish() ? 0 : 1;
 }

@@ -14,6 +14,11 @@
 //   --threads <n>   fan independent trials across n worker threads
 //                   (default: hardware_concurrency; 1 = fully sequential).
 //                   Output is byte-identical regardless of n.
+//   --trace-out <path>  write the operation-span trace of the run's
+//                   representative simulation as {"experiment", "spans",
+//                   "dropped"}; tools/past_stats --chrome converts it to
+//                   Chrome trace-event JSON. Binaries without span sources
+//                   reject the flag.
 #pragma once
 
 #include <algorithm>
@@ -33,6 +38,7 @@
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/pastry/overlay.h"
 #include "src/storage/past_network.h"
 
@@ -49,7 +55,8 @@ inline int ResolveThreads(int threads) {
 
 // Command-line contract shared by every exp_* binary.
 struct ExpArgs {
-  std::string json_path;  // empty: no JSON output
+  std::string json_path;   // empty: no JSON output
+  std::string trace_path;  // empty: tracing off
   bool smoke = false;
   int threads = 0;  // 0 = hardware_concurrency
 
@@ -58,6 +65,8 @@ struct ExpArgs {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        args.trace_path = argv[++i];
       } else if (std::strcmp(argv[i], "--smoke") == 0) {
         args.smoke = true;
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -68,7 +77,8 @@ struct ExpArgs {
         }
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--json <path>] [--smoke] [--threads <n>]\n",
+                     "usage: %s [--json <path>] [--trace-out <path>] [--smoke]"
+                     " [--threads <n>]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -254,6 +264,61 @@ class ExpJson {
 
   std::string path_;
   JsonValue root_;
+};
+
+// Writes a --trace-out span dump: {"experiment", "spans": [...], "dropped"}.
+// Like ExpJson, a no-op when the flag was not given, and the spans can come
+// either from a live Tracer or from an already-dumped JSON array (parallel
+// trials ship the dump back to the committing thread).
+class ExpTrace {
+ public:
+  ExpTrace(const ExpArgs& args, const char* experiment)
+      : path_(args.trace_path), experiment_(experiment),
+        spans_(JsonValue::Array()) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void SetSpans(const Tracer& tracer) {
+    if (enabled()) {
+      spans_ = tracer.SpansJson();
+      dropped_ = tracer.dropped();
+    }
+  }
+  void SetSpansJson(JsonValue spans, uint64_t dropped) {
+    if (enabled()) {
+      spans_ = std::move(spans);
+      dropped_ = dropped;
+    }
+  }
+
+  bool Finish() {
+    if (!enabled()) {
+      return true;
+    }
+    JsonValue root = JsonValue::Object();
+    root.Set("experiment", experiment_);
+    root.Set("spans", std::move(spans_));
+    root.Set("dropped", dropped_);
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    out << root.Dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed writing %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  const char* experiment_;
+  JsonValue spans_;
+  uint64_t dropped_ = 0;
 };
 
 // Records deliveries for routing experiments.

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/prof.h"
 
 namespace past {
 
@@ -18,6 +19,10 @@ DiskStore::DiskStore(std::string dir, const DiskStoreOptions& options)
     m_recovery_replayed_ = options_.metrics->GetCounter("disk.recovery_replayed");
     m_torn_tails_ = options_.metrics->GetCounter("disk.torn_tails");
     m_segments_ = options_.metrics->GetGauge("disk.segments");
+#if defined(PAST_PROF)
+    m_append_us_ = options_.metrics->GetLogHistogram("disk.append_us");
+    m_fsync_us_ = options_.metrics->GetLogHistogram("disk.fsync_us");
+#endif
   }
 }
 
@@ -262,7 +267,11 @@ StatusCode DiskStore::Append(RecordType type, const U160& key, ByteSpan value) {
   entry.value_offset = active_size_ + kRecordPrefixSize + kRecordBodyMinSize;
   entry.value_len = static_cast<uint32_t>(value.size());
   entry.record_len = static_cast<uint32_t>(record.size());
-  StatusCode status = active_file_->Append(ByteSpan(record.data(), record.size()));
+  StatusCode status;
+  {
+    PAST_PROF_SCOPE(m_append_us_);
+    status = active_file_->Append(ByteSpan(record.data(), record.size()));
+  }
   if (status != StatusCode::kOk) {
     return status;
   }
@@ -290,7 +299,11 @@ StatusCode DiskStore::Sync() {
   if (active_file_ == nullptr) {
     return StatusCode::kOk;
   }
-  StatusCode status = active_file_->Sync();
+  StatusCode status;
+  {
+    PAST_PROF_SCOPE(m_fsync_us_);
+    status = active_file_->Sync();
+  }
   ++stats_.syncs;
   appends_since_sync_ = 0;
   if (m_fsyncs_ != nullptr) {

@@ -147,6 +147,10 @@ class DiskStore {
   Counter* m_recovery_replayed_ = nullptr;
   Counter* m_torn_tails_ = nullptr;
   Gauge* m_segments_ = nullptr;
+  // Wall-clock I/O timing, resolved only in PAST_PROF builds (null otherwise)
+  // so default builds' metric dumps stay byte-identical.
+  LogHistogram* m_append_us_ = nullptr;
+  LogHistogram* m_fsync_us_ = nullptr;
 };
 
 }  // namespace past

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 
@@ -15,6 +16,12 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) {
+    // One NaN folded into sum_ would turn the whole run's mean into NaN;
+    // count the rejection so the dump still shows something went wrong.
+    ++invalid_;
+    return;
+  }
   size_t i = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
   ++buckets_[i];
@@ -25,6 +32,7 @@ void Histogram::Observe(double value) {
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
+  invalid_ = 0;
   sum_ = 0.0;
 }
 
@@ -43,6 +51,7 @@ JsonValue Histogram::ToJson() const {
 
   JsonValue out = JsonValue::Object();
   out.Set("count", count_);
+  out.Set("invalid", invalid_);
   out.Set("sum", sum_);
   out.Set("mean", mean());
   out.Set("buckets", std::move(buckets));
@@ -76,6 +85,17 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+LogHistogram* MetricsRegistry::GetLogHistogram(std::string_view name,
+                                               int sub_buckets) {
+  auto it = log_histograms_.find(name);
+  if (it == log_histograms_.end()) {
+    it = log_histograms_
+             .emplace(std::string(name), std::make_unique<LogHistogram>(sub_buckets))
+             .first;
+  }
+  return it->second.get();
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
@@ -91,6 +111,11 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const LogHistogram* MetricsRegistry::FindLogHistogram(std::string_view name) const {
+  auto it = log_histograms_.find(name);
+  return it == log_histograms_.end() ? nullptr : it->second.get();
+}
+
 void MetricsRegistry::ResetAll() {
   for (auto& [name, c] : counters_) {
     c->Reset();
@@ -99,6 +124,9 @@ void MetricsRegistry::ResetAll() {
     g->Reset();
   }
   for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+  for (auto& [name, h] : log_histograms_) {
     h->Reset();
   }
 }
@@ -116,10 +144,15 @@ JsonValue MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     histograms.Set(name, h->ToJson());
   }
+  JsonValue log_histograms = JsonValue::Object();
+  for (const auto& [name, h] : log_histograms_) {
+    log_histograms.Set(name, h->ToJson());
+  }
   JsonValue out = JsonValue::Object();
   out.Set("counters", std::move(counters));
   out.Set("gauges", std::move(gauges));
   out.Set("histograms", std::move(histograms));
+  out.Set("log_histograms", std::move(log_histograms));
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/obs/json.h"
+#include "src/obs/log_histogram.h"
 
 namespace past {
 
@@ -58,6 +59,9 @@ class Gauge {
 // Fixed upper-bound buckets plus an implicit overflow bucket; also tracks
 // count and sum so dumps can report means. A sample lands in the first
 // bucket whose bound is >= the value (bounds are inclusive upper edges).
+// Non-finite samples (NaN, +/-inf) would poison `sum` — and through it the
+// mean of the whole run — so they are rejected into the `invalid` counter
+// instead of being observed.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -65,6 +69,7 @@ class Histogram {
   void Observe(double value);
 
   uint64_t count() const { return count_; }
+  uint64_t invalid() const { return invalid_; }
   double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
   const std::vector<double>& bounds() const { return bounds_; }
@@ -79,6 +84,7 @@ class Histogram {
   std::vector<double> bounds_;    // ascending upper edges
   std::vector<uint64_t> buckets_; // bounds_.size() + 1 (overflow last)
   uint64_t count_ = 0;
+  uint64_t invalid_ = 0;          // rejected non-finite samples
   double sum_ = 0.0;
 };
 
@@ -95,16 +101,22 @@ class MetricsRegistry {
   // An existing histogram keeps its original bounds; `bounds` must be
   // non-empty and strictly ascending.
   Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+  // Log-bucketed quantile histogram; an existing one keeps its original
+  // sub-bucket resolution.
+  LogHistogram* GetLogHistogram(std::string_view name,
+                                int sub_buckets = LogHistogram::kDefaultSubBuckets);
 
   // Lookup without creation; nullptr when absent.
   const Counter* FindCounter(std::string_view name) const;
   const Gauge* FindGauge(std::string_view name) const;
   const Histogram* FindHistogram(std::string_view name) const;
+  const LogHistogram* FindLogHistogram(std::string_view name) const;
 
   // Zeroes every instrument (registrations survive; pointers stay valid).
   void ResetAll();
 
-  // {"counters": {...}, "gauges": {...}, "histograms": {...}}, names sorted.
+  // {"counters": {...}, "gauges": {...}, "histograms": {...},
+  //  "log_histograms": {...}}, names sorted.
   JsonValue ToJson() const;
   std::string DumpJson(int indent = 2) const { return ToJson().Dump(indent); }
 
@@ -112,6 +124,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>> log_histograms_;
 };
 
 }  // namespace past

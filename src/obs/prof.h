@@ -1,0 +1,61 @@
+// PAST_PROF_SCOPE — opt-in scoped wall-clock profiling into a LogHistogram.
+//
+// Configure with -DPAST_PROF=ON to compile the hooks in; by default the macro
+// expands to nothing and the instrumented hot paths (EventQueue dispatch,
+// DiskStore append/fsync) carry zero overhead — not even a branch.
+//
+// This is the one sanctioned use of a wall clock in src/: profiling real
+// elapsed time is inherently nondeterministic, so profiled builds are for
+// performance work only. The deterministic ctests (and all recorded
+// experiment output) run with PAST_PROF off; the prof.* / disk.*_us
+// instruments are registered only when profiling is enabled, so default
+// builds emit byte-identical JSON with or without this header included.
+#pragma once
+
+#include "src/obs/log_histogram.h"
+
+#if defined(PAST_PROF)
+
+#include <chrono>  // lint:allow-nondeterminism opt-in profiling clock
+
+namespace past {
+
+// Observes the scope's elapsed wall time in microseconds (fractional) into
+// the given LogHistogram; a null histogram disables the scope at runtime.
+class ProfScope {
+ public:
+  explicit ProfScope(LogHistogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();  // lint:allow-nondeterminism
+    }
+  }
+  ~ProfScope() {
+    if (hist_ != nullptr) {
+      auto elapsed =
+          std::chrono::steady_clock::now() - start_;  // lint:allow-nondeterminism
+      hist_->Observe(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  LogHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;  // lint:allow-nondeterminism
+};
+
+}  // namespace past
+
+#define PAST_PROF_CONCAT_INNER(a, b) a##b
+#define PAST_PROF_CONCAT(a, b) PAST_PROF_CONCAT_INNER(a, b)
+#define PAST_PROF_SCOPE(hist) \
+  ::past::ProfScope PAST_PROF_CONCAT(past_prof_scope_, __LINE__)(hist)
+
+#else  // !PAST_PROF
+
+#define PAST_PROF_SCOPE(hist) \
+  do {                        \
+  } while (false)
+
+#endif  // PAST_PROF

@@ -23,6 +23,7 @@ JsonValue RouteTrace::ToJson() const {
     hop.Set("node", static_cast<uint64_t>(h.node));
     hop.Set("rule", RouteRuleName(h.rule));
     hop.Set("distance", h.distance);
+    hop.Set("time_us", h.when);
     hop_list.Append(std::move(hop));
   }
   JsonValue out = JsonValue::Object();

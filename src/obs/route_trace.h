@@ -31,9 +31,12 @@ struct RouteHop {
   uint32_t node = 0;       // NodeAddr of the node that chose this hop
   RouteRule rule = RouteRule::kLeafSet;
   double distance = 0.0;   // proximity distance of the hop taken
+  int64_t when = 0;        // sim-time (us) the hop was taken, stamped by the
+                           // decider — aligns hop traces with span timelines
 
   bool operator==(const RouteHop& o) const {
-    return node == o.node && rule == o.rule && distance == o.distance;
+    return node == o.node && rule == o.rule && distance == o.distance &&
+           when == o.when;
   }
 };
 
@@ -41,8 +44,8 @@ struct RouteTrace {
   uint64_t trace_id = 0;        // the message seq: unique per (source, message)
   std::vector<RouteHop> hops;   // one record per overlay hop, in order
 
-  // [{"node": .., "rule": "leaf_set", "distance": ..}, ...] wrapped with the
-  // trace id: {"trace_id": .., "hops": [...]}.
+  // [{"node": .., "rule": "leaf_set", "distance": .., "time_us": ..}, ...]
+  // wrapped with the trace id: {"trace_id": .., "hops": [...]}.
   JsonValue ToJson() const;
 };
 

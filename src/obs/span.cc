@@ -1,0 +1,103 @@
+#include "src/obs/span.h"
+
+namespace past {
+
+JsonValue Span::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", id);
+  out.Set("parent", parent);
+  out.Set("trace_id", trace_id);
+  out.Set("name", name);
+  out.Set("node", static_cast<uint64_t>(node));
+  out.Set("start_us", start);
+  out.Set("end_us", end);
+  JsonValue ann = JsonValue::Object();
+  for (const auto& [key, value] : annotations) {
+    ann.Set(key, value);
+  }
+  out.Set("annotations", std::move(ann));
+  return out;
+}
+
+Span* Tracer::Alloc(std::string name, int64_t start, uint32_t node,
+                    uint64_t parent, uint64_t trace_id) {
+  if (!enabled_) {
+    return nullptr;
+  }
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return nullptr;
+  }
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.trace_id = trace_id;
+  s.name = std::move(name);
+  s.node = node;
+  s.start = start;
+  s.end = start;
+  spans_.push_back(std::move(s));
+  return &spans_.back();
+}
+
+uint64_t Tracer::StartSpan(std::string name, int64_t start, uint32_t node,
+                           uint64_t parent, uint64_t trace_id) {
+  Span* s = Alloc(std::move(name), start, node, parent, trace_id);
+  if (s == nullptr) {
+    return 0;
+  }
+  open_.emplace(s->id, spans_.size() - 1);
+  return s->id;
+}
+
+void Tracer::EndSpan(uint64_t id, int64_t end) {
+  auto it = open_.find(id);
+  if (it == open_.end()) {
+    return;
+  }
+  spans_[it->second].end = end;
+  open_.erase(it);
+}
+
+void Tracer::Annotate(uint64_t id, std::string key, std::string value) {
+  // Ids are dense and record-ordered, so id i lives at spans_[i - 1]. This
+  // works for closed spans too (RecordSpan + Annotate is a common pair).
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  spans_[id - 1].annotations.emplace_back(std::move(key), std::move(value));
+}
+
+uint64_t Tracer::RecordSpan(std::string name, int64_t start, int64_t end,
+                            uint32_t node, uint64_t parent, uint64_t trace_id) {
+  Span* s = Alloc(std::move(name), start, node, parent, trace_id);
+  if (s == nullptr) {
+    return 0;
+  }
+  s->end = end;
+  return s->id;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+JsonValue Tracer::SpansJson() const {
+  JsonValue out = JsonValue::Array();
+  for (const Span& s : spans_) {
+    out.Append(s.ToJson());
+  }
+  return out;
+}
+
+JsonValue Tracer::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("spans", SpansJson());
+  out.Set("dropped", dropped_);
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,88 @@
+// Operation tracing: Span records and the per-network Tracer collecting them.
+//
+// A Span is one timed unit of work on the simulation's virtual clock: a PAST
+// client operation (insert/lookup/reclaim), a maintenance pass, or a single
+// overlay hop of a routed message. Spans form trees: a client op span is the
+// parent of the hop spans its routed request produces on remote nodes, glued
+// together by the parent span id that RouteMsg carries on the wire.
+//
+// The Tracer is owned by the simulated Network (one per simulation stack) and
+// is disabled by default: every record call is a branch-and-return until an
+// experiment arms it via --trace-out. Span ids are sequential in record
+// order, and all timestamps are sim-time microseconds, so a trace is
+// byte-identical across runs and thread counts. A capacity cap bounds memory
+// on long runs; overflow is counted, never silently dropped.
+//
+// Export: ToJson() emits the schema tools/past_stats converts to Chrome
+// trace-event JSON (viewable in Perfetto / chrome://tracing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace past {
+
+struct Span {
+  uint64_t id = 0;        // sequential, 1-based; 0 is "no span"
+  uint64_t parent = 0;    // parent span id, 0 for roots
+  uint64_t trace_id = 0;  // correlates spans of one logical operation
+  std::string name;       // dotted-lowercase, e.g. "past.insert", "pastry.hop"
+  uint32_t node = 0;      // NodeAddr that recorded the span
+  int64_t start = 0;      // sim-time microseconds
+  int64_t end = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  // {"id", "parent", "trace_id", "name", "node", "start_us", "end_us",
+  //  "annotations": {...}}
+  JsonValue ToJson() const;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
+  bool enabled() const { return enabled_; }
+  void Enable(bool on = true) { enabled_ = on; }
+  void SetCapacity(size_t max_spans) { capacity_ = max_spans; }
+
+  // Opens a span; returns its id, or 0 when the tracer is disabled or full
+  // (every other call is a no-op for id 0, so call sites need no branches).
+  uint64_t StartSpan(std::string name, int64_t start, uint32_t node,
+                     uint64_t parent = 0, uint64_t trace_id = 0);
+  void EndSpan(uint64_t id, int64_t end);
+  void Annotate(uint64_t id, std::string key, std::string value);
+
+  // Records an already-finished span (e.g. a hop interval reconstructed on
+  // the receiving node). Returns the span id, 0 when disabled or full.
+  uint64_t RecordSpan(std::string name, int64_t start, int64_t end, uint32_t node,
+                      uint64_t parent = 0, uint64_t trace_id = 0);
+
+  size_t size() const { return spans_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  void Clear();
+
+  // The span collection as a JSON array, in record order.
+  JsonValue SpansJson() const;
+  // {"spans": [...], "dropped": n}
+  JsonValue ToJson() const;
+
+ private:
+  Span* Alloc(std::string name, int64_t start, uint32_t node, uint64_t parent,
+              uint64_t trace_id);
+
+  bool enabled_ = false;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+  std::vector<Span> spans_;
+  std::unordered_map<uint64_t, size_t> open_;  // id -> index of unfinished span
+};
+
+}  // namespace past

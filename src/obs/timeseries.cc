@@ -1,0 +1,50 @@
+#include "src/obs/timeseries.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/log_histogram.h"
+
+namespace past {
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* metrics,
+                                     int64_t interval_us)
+    : metrics_(metrics), interval_us_(interval_us) {
+  PAST_CHECK(metrics != nullptr);
+  PAST_CHECK_MSG(interval_us > 0, "sampling interval must be positive");
+}
+
+void TimeSeriesSampler::Track(std::string name) {
+  names_.push_back(std::move(name));
+}
+
+void TimeSeriesSampler::Sample(int64_t now) {
+  JsonValue row = JsonValue::Object();
+  row.Set("t_us", now);
+  for (const std::string& name : names_) {
+    if (const Counter* c = metrics_->FindCounter(name)) {
+      row.Set(name, c->value());
+    } else if (const Gauge* g = metrics_->FindGauge(name)) {
+      row.Set(name, g->value());
+    } else if (const LogHistogram* h = metrics_->FindLogHistogram(name)) {
+      JsonValue q = JsonValue::Object();
+      q.Set("count", h->count());
+      q.Set("p50", h->p50());
+      q.Set("p99", h->p99());
+      row.Set(name, std::move(q));
+    } else {
+      row.Set(name, JsonValue());
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+JsonValue TimeSeriesSampler::ToJson() const {
+  JsonValue out = JsonValue::Array();
+  for (const JsonValue& row : rows_) {
+    out.Append(row);
+  }
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,80 @@
+// TimeSeriesSampler — periodic snapshots of selected instruments.
+//
+// End-state metric dumps cannot show how a churn or failure experiment
+// *evolved*; this sampler records a row of selected instrument values at a
+// fixed sim-time interval, producing the "timeseries" array experiments
+// embed in their JSON output. Tracked names resolve against the registry at
+// sample time (counter, gauge, or log-histogram — whichever matches), so a
+// sampler can be armed before the layer that registers the instrument.
+//
+// Scheduling is templated on the queue type rather than depending on
+// src/sim, keeping the obs -> sim layering acyclic: Start(q) arms a
+// self-rescheduling timer via q->After() and Stop(q) cancels it. Stop before
+// draining a queue with RunAll(), or the sampler reschedules forever.
+// Sampling on the virtual clock is deterministic by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace past {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(const MetricsRegistry* metrics, int64_t interval_us);
+
+  // Adds an instrument to every future row (insertion order is row order).
+  void Track(std::string name);
+
+  // Records one row at time `now`. Counters and gauges emit their scalar
+  // value; log-histograms emit {"count", "p50", "p99"}; unresolved names
+  // emit null (the column stays, so rows are structurally uniform).
+  void Sample(int64_t now);
+
+  template <typename Queue>
+  void Start(Queue* queue) {
+    running_ = true;
+    Arm(queue);
+  }
+
+  template <typename Queue>
+  void Stop(Queue* queue) {
+    running_ = false;
+    if (timer_ != 0) {
+      queue->Cancel(timer_);
+      timer_ = 0;
+    }
+  }
+
+  int64_t interval_us() const { return interval_us_; }
+  size_t rows() const { return rows_.size(); }
+
+  // The "timeseries" array: [{"t_us": .., "<name>": ..}, ...].
+  JsonValue ToJson() const;
+
+ private:
+  template <typename Queue>
+  void Arm(Queue* queue) {
+    timer_ = queue->After(interval_us_, [this, queue] {
+      timer_ = 0;
+      if (!running_) {
+        return;
+      }
+      Sample(queue->Now());
+      Arm(queue);
+    });
+  }
+
+  const MetricsRegistry* metrics_;
+  int64_t interval_us_;
+  std::vector<std::string> names_;
+  std::vector<JsonValue> rows_;
+  bool running_ = false;
+  uint64_t timer_ = 0;
+};
+
+}  // namespace past

@@ -56,6 +56,7 @@ void RouteMsg::EncodeBody(Writer* w) const {
   EncodeDescriptor(w, source);
   w->U32(app_type);
   w->U64(seq);
+  w->U64(parent_span);
   w->U16(hops);
   w->U8(replica_k);
   w->F64(distance);
@@ -68,14 +69,15 @@ void RouteMsg::EncodeBody(Writer* w) const {
     w->U32(h.node);
     w->U8(static_cast<uint8_t>(h.rule));
     w->F64(h.distance);
+    w->I64(h.when);
   }
   w->Blob(payload);
 }
 
 bool RouteMsg::DecodeBody(Reader* r, RouteMsg* m) {
   if (!r->Id128(&m->key) || !DecodeDescriptor(r, &m->source) || !r->U32(&m->app_type) ||
-      !r->U64(&m->seq) || !r->U16(&m->hops) || !r->U8(&m->replica_k) ||
-      !r->F64(&m->distance)) {
+      !r->U64(&m->seq) || !r->U64(&m->parent_span) || !r->U16(&m->hops) ||
+      !r->U8(&m->replica_k) || !r->F64(&m->distance)) {
     return false;
   }
   uint32_t path_len;
@@ -89,14 +91,15 @@ bool RouteMsg::DecodeBody(Reader* r, RouteMsg* m) {
     }
   }
   uint32_t trace_len;
-  // Each hop record is 13 bytes; reject absurd counts before allocating.
-  if (!r->U32(&trace_len) || static_cast<size_t>(trace_len) * 13 > r->remaining()) {
+  // Each hop record is 21 bytes; reject absurd counts before allocating.
+  if (!r->U32(&trace_len) || static_cast<size_t>(trace_len) * 21 > r->remaining()) {
     return false;
   }
   m->trace.resize(trace_len);
   for (auto& h : m->trace) {
     uint8_t rule;
-    if (!r->U32(&h.node) || !r->U8(&rule) || !r->F64(&h.distance)) {
+    if (!r->U32(&h.node) || !r->U8(&rule) || !r->F64(&h.distance) ||
+        !r->I64(&h.when)) {
       return false;
     }
     if (rule >= kRouteRuleCount) {

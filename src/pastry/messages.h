@@ -53,6 +53,10 @@ struct RouteMsg {
   NodeDescriptor source;
   uint32_t app_type = 0;
   uint64_t seq = 0;          // unique per (source, message) for ack matching
+  // Span id of the client operation that issued this route (0 = untraced).
+  // Carried across the overlay so per-hop spans recorded at intermediate
+  // nodes parent onto the originating insert/lookup/reclaim span.
+  uint64_t parent_span = 0;
   uint16_t hops = 0;         // overlay hops taken so far
   // When > 0, the message may be delivered at ANY of the replica_k nodes
   // ring-closest to the key (a PAST lookup is satisfiable at any replica

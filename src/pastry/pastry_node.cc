@@ -45,6 +45,7 @@ PastryNode::PastryNode(Network* net, const NodeId& id, const PastryConfig& confi
       m.GetHistogram("pastry.route.hops", {0, 1, 2, 3, 4, 5, 6, 8, 12, 16, 32});
   obs_.hop_distance = m.GetHistogram(
       "pastry.route.hop_distance", {10, 25, 50, 100, 200, 400, 800, 1600, 3200});
+  obs_.hop_delay = m.GetLogHistogram("pastry.hop.delay_us");
 }
 
 PastryNode::~PastryNode() = default;
@@ -148,13 +149,14 @@ void PastryNode::Recover(NodeAddr fallback_bootstrap) {
 // --- routing -----------------------------------------------------------------
 
 uint64_t PastryNode::Route(const U128& key, uint32_t app_type, Bytes payload,
-                           uint8_t replica_k) {
+                           uint8_t replica_k, uint64_t parent_span) {
   PAST_CHECK_MSG(active_, "Route() on an inactive node");
   RouteMsg msg;
   msg.key = key;
   msg.source = descriptor();
   msg.app_type = app_type;
   msg.seq = NextSeq();
+  msg.parent_span = parent_span;
   msg.hops = 0;
   msg.replica_k = replica_k;
   msg.distance = 0.0;
@@ -381,7 +383,7 @@ void PastryNode::ForwardTo(const RouteChoice& choice, RouteMsg msg, int attempts
   msg.hops += 1;
   msg.distance += hop_distance;
   msg.path.push_back(next.addr);
-  msg.trace.push_back(RouteHop{addr_, choice.rule, hop_distance});
+  msg.trace.push_back(RouteHop{addr_, choice.rule, hop_distance, queue_->Now()});
   obs_.rule_hops[static_cast<uint8_t>(choice.rule)]->Inc();
   obs_.hop_distance->Observe(hop_distance);
 
@@ -670,6 +672,20 @@ void PastryNode::OnMessage(NodeAddr from, ByteSpan wire) {
         break;
       }
       TouchLiveness(msg.source.id);
+      if (!msg.trace.empty()) {
+        // The last trace record was stamped by the node that forwarded to us,
+        // so Now() minus its timestamp is this hop's network delay.
+        const RouteHop& last = msg.trace.back();
+        const int64_t hop_start = last.when;
+        obs_.hop_delay->Observe(static_cast<double>(queue_->Now() - hop_start));
+        Tracer& tracer = net_->tracer();
+        if (tracer.enabled()) {
+          uint64_t span = tracer.RecordSpan("pastry.hop", hop_start,
+                                            queue_->Now(), addr_,
+                                            msg.parent_span, msg.seq);
+          tracer.Annotate(span, "rule", RouteRuleName(last.rule));
+        }
+      }
       ProcessRouteMsg(std::move(msg), 0);
       break;
     }

@@ -109,8 +109,10 @@ class PastryNode : public NetReceiver {
   // replica_k nodes ring-closest to the key, preferring proximally close
   // ones — PAST lookups use this, since every replica holder can answer.
   // Returns the message seq (for correlating with delivery in experiments).
+  // `parent_span` (a Tracer span id, 0 = untraced) rides the wire so per-hop
+  // spans recorded at intermediate nodes parent onto the issuing operation.
   uint64_t Route(const U128& key, uint32_t app_type, Bytes payload,
-                 uint8_t replica_k = 0);
+                 uint8_t replica_k = 0, uint64_t parent_span = 0);
 
   // Point-to-point application message.
   void SendDirect(NodeAddr to, uint32_t app_type, Bytes payload);
@@ -260,6 +262,7 @@ class PastryNode : public NetReceiver {
     Counter* rule_hops[kRouteRuleCount];  // indexed by RouteRule
     Histogram* route_hops;
     Histogram* hop_distance;
+    LogHistogram* hop_delay;  // sim-time between a hop's send and its receipt
   };
   Instruments obs_;
 };

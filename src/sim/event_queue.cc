@@ -1,6 +1,7 @@
 #include "src/sim/event_queue.h"
 
 #include "src/common/check.h"
+#include "src/obs/prof.h"
 
 namespace past {
 
@@ -120,7 +121,10 @@ bool EventQueue::PopAndRunOne() {
     // and the slot is immediately reusable for events the callback schedules.
     ReleaseSlot(index);
     --live_count_;
-    fn();
+    {
+      PAST_PROF_SCOPE(dispatch_prof_);
+      fn();
+    }
     return true;
   }
   return false;

@@ -25,6 +25,8 @@
 
 namespace past {
 
+class LogHistogram;
+
 using SimTime = int64_t;  // microseconds
 
 constexpr SimTime kMicrosPerMilli = 1000;
@@ -161,6 +163,12 @@ class EventQueue {
   // workload that schedules and fires in a steady state should plateau.
   size_t SlabSize() const { return slots_.size(); }
 
+  // Optional callback-dispatch-time instrument, observed (wall-clock
+  // microseconds) around every fired event — but only in opt-in PAST_PROF
+  // builds; default builds never read it, keeping dispatch deterministic
+  // and branch-free.
+  void set_dispatch_prof(LogHistogram* hist) { dispatch_prof_ = hist; }
+
  private:
   static constexpr uint32_t kNoSlot = 0xffffffff;
 
@@ -195,6 +203,7 @@ class EventQueue {
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
+  LogHistogram* dispatch_prof_ = nullptr;
   std::vector<Slot> slots_;      // the pool
   std::vector<uint32_t> heap_;   // binary min-heap of slot indices
   uint32_t free_head_ = kNoSlot;

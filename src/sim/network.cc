@@ -19,6 +19,14 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
   msg_bytes_ = metrics_.GetHistogram(
       "net.msg_bytes", {64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576});
   queue_depth_ = metrics_.GetGauge("sim.queue_depth");
+  // Registry contract for downstream tooling (json_check, past_stats): every
+  // experiment dump carries the end-to-end op-latency quantiles, even for
+  // workloads that never issue the op (count 0, quantiles 0).
+  metrics_.GetLogHistogram("past.insert.latency_us");
+  metrics_.GetLogHistogram("past.lookup.latency_us");
+#if defined(PAST_PROF)
+  queue_->set_dispatch_prof(metrics_.GetLogHistogram("sim.dispatch_us"));
+#endif
 }
 
 NodeAddr Network::Register(NetReceiver* receiver) {

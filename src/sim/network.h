@@ -16,6 +16,7 @@
 #include "src/common/rng.h"
 #include "src/common/shared_bytes.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/topology.h"
 
@@ -78,6 +79,12 @@ class Network {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // The per-simulation span collector. Disabled (and nearly free) by default;
+  // experiments that take --trace-out call tracer().Enable() before the run
+  // and export tracer().ToJson() after.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   // Legacy aggregate view over the "net.*" registry counters. The counters
   // are the source of truth; this struct is assembled on read.
   struct Stats {
@@ -113,6 +120,7 @@ class Network {
   uint64_t sends_since_depth_sample_ = 0;
 
   MetricsRegistry metrics_;
+  Tracer tracer_;
   // Cached instrument handles for the send/deliver hot path.
   Counter* sent_;
   Counter* delivered_;

@@ -91,6 +91,9 @@ void PastNode::ResolveInstruments() {
   obs_.demotions = m.GetCounter("past.demotions");
   obs_.reclaims_processed = m.GetCounter("past.reclaims_processed");
   obs_.bad_certificates = m.GetCounter("past.bad_certificates");
+  obs_.insert_latency = m.GetLogHistogram("past.insert.latency_us");
+  obs_.lookup_latency = m.GetLogHistogram("past.lookup.latency_us");
+  obs_.reclaim_latency = m.GetLogHistogram("past.reclaim.latency_us");
 }
 
 PastNode::~PastNode() {
@@ -135,6 +138,9 @@ void PastNode::Insert(std::string name, Bytes content, uint32_t k, InsertCallbac
   state.content = std::move(content);
   state.k = k == 0 ? config_.default_replication : k;
   state.cb = std::move(cb);
+  state.started = Now();
+  state.span = tracer().StartSpan("past.insert", Now(), overlay_->addr());
+  tracer().Annotate(state.span, "file", state.name);
   StartInsertAttempt(std::move(state));
 }
 
@@ -146,11 +152,15 @@ void PastNode::InsertSynthetic(std::string name, uint64_t size, uint32_t k,
   state.size = size;
   state.k = k == 0 ? config_.default_replication : k;
   state.cb = std::move(cb);
+  state.started = Now();
+  state.span = tracer().StartSpan("past.insert", Now(), overlay_->addr());
+  tracer().Annotate(state.span, "file", state.name);
   StartInsertAttempt(std::move(state));
 }
 
 void PastNode::StartInsertAttempt(PendingInsert state) {
   if (card_ == nullptr) {
+    FinishOpSpan(state.span, "not_authorized");
     state.cb(StatusCode::kNotAuthorized);  // read-only node
     return;
   }
@@ -159,6 +169,7 @@ void PastNode::StartInsertAttempt(PendingInsert state) {
       state.name, state.size, ByteSpan(state.content_hash.data(), state.content_hash.size()),
       state.k, salt, Now());
   if (!cert.ok()) {
+    FinishOpSpan(state.span, StatusCodeName(cert.status()));
     state.cb(cert.status());
     return;
   }
@@ -179,8 +190,9 @@ void PastNode::StartInsertAttempt(PendingInsert state) {
       FailInsertAttempt(id, StatusCode::kTimeout);
     }
   });
+  const uint64_t span = state.span;
   pending_inserts_.emplace(id, std::move(state));
-  RouteOp(id.Top128(), PastOp::kInsertRequest, payload.Encode());
+  RouteOp(id.Top128(), PastOp::kInsertRequest, payload.Encode(), span);
 }
 
 void PastNode::FailInsertAttempt(const FileId& id, StatusCode reason) {
@@ -199,7 +211,7 @@ void PastNode::FailInsertAttempt(const FileId& id, StatusCode reason) {
     ReclaimRequestPayload cleanup;
     cleanup.cert = card_->IssueReclaimCertificate(id, Now());
     cleanup.client = overlay_->descriptor();
-    RouteOp(id.Top128(), PastOp::kReclaimRequest, cleanup.Encode());
+    RouteOp(id.Top128(), PastOp::kReclaimRequest, cleanup.Encode(), state.span);
   }
   if (StatusCode refund = card_->RefundFileCertificate(state.cert);
       refund != StatusCode::kOk) {
@@ -215,6 +227,8 @@ void PastNode::FailInsertAttempt(const FileId& id, StatusCode reason) {
     StartInsertAttempt(std::move(state));
     return;
   }
+  FinishOpSpan(state.span,
+               reason == StatusCode::kTimeout ? "timeout" : "insert_rejected");
   state.cb(reason == StatusCode::kTimeout ? StatusCode::kTimeout
                                           : StatusCode::kInsertRejected);
 }
@@ -240,6 +254,8 @@ void PastNode::HandleStoreReceipt(const StoreReceipt& receipt) {
       overlay_->queue()->Cancel(state.timer);
     }
     owned_files_.emplace(receipt.file_id, state.cert);
+    obs_.insert_latency->Observe(static_cast<double>(Now() - state.started));
+    FinishOpSpan(state.span, "ok");
     InsertCallback cb = std::move(state.cb);
     FileId id = receipt.file_id;
     pending_inserts_.erase(it);
@@ -257,6 +273,8 @@ void PastNode::HandleStoreNack(const StoreNackPayload& nack) {
 
 void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
   // Local fast paths: this node may itself hold a replica or a cached copy.
+  // Latency is observed (as zero) on these too, so the quantiles reflect the
+  // client's view, cache hits and all.
   if (const StoredFile* f = store_.Get(file_id)) {
     LookupOutcome outcome;
     outcome.cert = f->cert;
@@ -265,6 +283,9 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
     outcome.replier = overlay_->descriptor();
     ++stats_.lookups_served_store;
     obs_.lookups_served_store->Inc();
+    obs_.lookup_latency->Observe(0.0);
+    uint64_t span = tracer().RecordSpan("past.lookup", Now(), Now(), overlay_->addr());
+    tracer().Annotate(span, "status", "local_store");
     cb(std::move(outcome));
     return;
   }
@@ -276,6 +297,9 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
     outcome.replier = overlay_->descriptor();
     ++stats_.lookups_served_cache;
     obs_.lookups_served_cache->Inc();
+    obs_.lookup_latency->Observe(0.0);
+    uint64_t span = tracer().RecordSpan("past.lookup", Now(), Now(), overlay_->addr());
+    tracer().Annotate(span, "status", "local_cache");
     cb(std::move(outcome));
     return;
   }
@@ -285,11 +309,15 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
   }
   PendingLookup pending;
   pending.cb = std::move(cb);
+  pending.started = Now();
+  pending.span = tracer().StartSpan("past.lookup", Now(), overlay_->addr());
+  const uint64_t span = pending.span;
   pending.timer = overlay_->queue()->After(config_.request_timeout, [this, file_id] {
     auto it = pending_lookups_.find(file_id);
     if (it == pending_lookups_.end()) {
       return;
     }
+    FinishOpSpan(it->second.span, "timeout");
     LookupCallback cb2 = std::move(it->second.cb);
     pending_lookups_.erase(it);
     cb2(StatusCode::kNotFound);
@@ -304,7 +332,7 @@ void PastNode::Lookup(const FileId& file_id, LookupCallback cb) {
   // replica nearest the client).
   overlay_->Route(file_id.Top128(), static_cast<uint32_t>(PastOp::kLookupRequest),
                   payload.Encode(),
-                  static_cast<uint8_t>(config_.default_replication));
+                  static_cast<uint8_t>(config_.default_replication), span);
 }
 
 void PastNode::HandleLookupReply(const LookupReplyPayload& reply) {
@@ -327,6 +355,8 @@ void PastNode::HandleLookupReply(const LookupReplyPayload& reply) {
   if (it->second.timer != 0) {
     overlay_->queue()->Cancel(it->second.timer);
   }
+  obs_.lookup_latency->Observe(static_cast<double>(Now() - it->second.started));
+  FinishOpSpan(it->second.span, "ok");
   LookupCallback cb = std::move(it->second.cb);
   pending_lookups_.erase(it);
   // The client access point is on the lookup path too: cache the file here so
@@ -361,11 +391,15 @@ void PastNode::Reclaim(const FileId& file_id, ReclaimCallback cb) {
   PendingReclaim pending;
   pending.cert = owned->second;
   pending.cb = std::move(cb);
+  pending.started = Now();
+  pending.span = tracer().StartSpan("past.reclaim", Now(), overlay_->addr());
+  const uint64_t span = pending.span;
   pending.timer = overlay_->queue()->After(config_.request_timeout, [this, file_id] {
     auto it = pending_reclaims_.find(file_id);
     if (it == pending_reclaims_.end()) {
       return;
     }
+    FinishOpSpan(it->second.span, "timeout");
     ReclaimCallback cb2 = std::move(it->second.cb);
     pending_reclaims_.erase(it);
     cb2(StatusCode::kTimeout);
@@ -375,7 +409,7 @@ void PastNode::Reclaim(const FileId& file_id, ReclaimCallback cb) {
   ReclaimRequestPayload payload;
   payload.cert = card_->IssueReclaimCertificate(file_id, Now());
   payload.client = overlay_->descriptor();
-  RouteOp(file_id.Top128(), PastOp::kReclaimRequest, payload.Encode());
+  RouteOp(file_id.Top128(), PastOp::kReclaimRequest, payload.Encode(), span);
 }
 
 void PastNode::HandleReclaimReceipt(const ReclaimReceipt& receipt) {
@@ -395,6 +429,8 @@ void PastNode::HandleReclaimReceipt(const ReclaimReceipt& receipt) {
   if (it->second.timer != 0) {
     overlay_->queue()->Cancel(it->second.timer);
   }
+  obs_.reclaim_latency->Observe(static_cast<double>(Now() - it->second.started));
+  FinishOpSpan(it->second.span, "ok");
   ReclaimCallback cb = std::move(it->second.cb);
   pending_reclaims_.erase(it);
   owned_files_.erase(receipt.file_id);
@@ -892,6 +928,9 @@ void PastNode::RunMaintenance() {
   if (!overlay_->active()) {
     return;
   }
+  const uint64_t span =
+      tracer().StartSpan("past.maintenance", Now(), overlay_->addr());
+  const uint64_t demotions_before = stats_.demotions;
   for (const FileId& id : store_.FileIds()) {
     const StoredFile* f = store_.Get(id);
     if (f == nullptr || f->diverted) {
@@ -923,6 +962,9 @@ void PastNode::RunMaintenance() {
       obs_.demotions->Inc();
     }
   }
+  tracer().Annotate(span, "demotions",
+                    std::to_string(stats_.demotions - demotions_before));
+  tracer().EndSpan(span, Now());
 }
 
 void PastNode::HandleReplicaNotify(const NodeDescriptor& from,

@@ -193,15 +193,22 @@ class PastNode : public PastryApp {
     std::unordered_set<U128, U128Hash> receipt_nodes;
     int attempt = 0;
     EventQueue::EventId timer = 0;
+    SimTime started = 0;  // client-call time; survives diversion retries so
+                          // the latency observed is end-to-end
+    uint64_t span = 0;    // tracer span of the whole operation (0 = untraced)
     InsertCallback cb;
   };
   struct PendingLookup {
     EventQueue::EventId timer = 0;
+    SimTime started = 0;
+    uint64_t span = 0;
     LookupCallback cb;
   };
   struct PendingReclaim {
     FileCertificate cert;
     EventQueue::EventId timer = 0;
+    SimTime started = 0;
+    uint64_t span = 0;
     ReclaimCallback cb;
   };
   struct PendingDivert {
@@ -269,10 +276,20 @@ class PastNode : public PastryApp {
   void SendOp(NodeAddr to, PastOp op, Bytes payload) {
     overlay_->SendDirect(to, static_cast<uint32_t>(op), std::move(payload));
   }
-  void RouteOp(const U128& key, PastOp op, Bytes payload) {
-    overlay_->Route(key, static_cast<uint32_t>(op), std::move(payload));
+  // Routes toward `key`; `parent_span` rides the wire so remote hop spans
+  // attach under the issuing operation. Returns the route seq.
+  uint64_t RouteOp(const U128& key, PastOp op, Bytes payload,
+                   uint64_t parent_span = 0) {
+    return overlay_->Route(key, static_cast<uint32_t>(op), std::move(payload),
+                           /*replica_k=*/0, parent_span);
   }
   SimTime Now() const { return overlay_->queue()->Now(); }
+  Tracer& tracer() { return overlay_->net()->tracer(); }
+  // Stamps the op's terminal status and closes its span.
+  void FinishOpSpan(uint64_t span, const char* status) {
+    tracer().Annotate(span, "status", status);
+    tracer().EndSpan(span, Now());
+  }
 
   PastryNode* overlay_;
   std::unique_ptr<Smartcard> card_;  // null for read-only client nodes
@@ -311,6 +328,11 @@ class PastNode : public PastryApp {
     Counter* demotions;
     Counter* reclaims_processed;
     Counter* bad_certificates;
+    // End-to-end client-op latency quantiles (sim-time, client call to
+    // callback), observed only on success.
+    LogHistogram* insert_latency;
+    LogHistogram* lookup_latency;
+    LogHistogram* reclaim_latency;
   };
   Instruments obs_;
 };

@@ -2,6 +2,8 @@
 // idempotence, the JSON dump/parse round trip, and route-trace export.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/route_trace.h"
@@ -52,6 +54,25 @@ TEST(HistogramTest, MeanOfObservations) {
   EXPECT_DOUBLE_EQ(h.mean(), 3.0);
 }
 
+// Regression: a single NaN (or infinite) sample must not poison `sum` — and
+// through it the mean of the whole run. Non-finite samples are rejected into
+// the `invalid` counter and leave every bucket untouched.
+TEST(HistogramTest, NonFiniteSamplesAreRejectedNotFolded) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.invalid(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 0u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);  // overflow bucket untouched by +inf
+}
+
 TEST(MetricsRegistryTest, GetIsIdempotent) {
   MetricsRegistry registry;
   Counter* a = registry.GetCounter("x.count");
@@ -67,13 +88,15 @@ TEST(MetricsRegistryTest, GetIsIdempotent) {
 
 TEST(MetricsRegistryTest, ResetAllClearsEveryInstrument) {
   MetricsRegistry registry;
-  registry.GetCounter("c")->Inc(7);
-  registry.GetGauge("g")->Set(3.0);
-  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  registry.GetCounter("t.count")->Inc(7);
+  registry.GetGauge("t.gauge")->Set(3.0);
+  registry.GetHistogram("t.hist", {1.0})->Observe(0.5);
+  registry.GetLogHistogram("t.log_hist")->Observe(42.0);
   registry.ResetAll();
-  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
-  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
-  EXPECT_EQ(registry.GetHistogram("h", {1.0})->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("t.count")->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("t.gauge")->value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("t.hist", {1.0})->count(), 0u);
+  EXPECT_EQ(registry.GetLogHistogram("t.log_hist")->count(), 0u);
 }
 
 TEST(MetricsRegistryTest, DumpJsonRoundTripsThroughParser) {

@@ -1,0 +1,131 @@
+// Tracer tests: span lifecycle, the disabled-by-default fast path, annotation
+// on open and closed spans, parent/trace propagation, the capacity cap, and
+// the JSON schema past_stats converts to Chrome trace events.
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/span.h"
+
+namespace past {
+namespace {
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.StartSpan("past.insert", 100, 7), 0u);
+  EXPECT_EQ(t.RecordSpan("pastry.hop", 100, 200, 7), 0u);
+  // All id-0 follow-ups are no-ops, so call sites need no branches.
+  t.EndSpan(0, 300);
+  t.Annotate(0, "k", "v");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, StartEndAnnotateLifecycle) {
+  Tracer t;
+  t.Enable();
+  uint64_t id = t.StartSpan("past.insert", 1000, 42);
+  EXPECT_EQ(id, 1u);
+  t.Annotate(id, "file", "f_001");
+  t.EndSpan(id, 5000);
+  ASSERT_EQ(t.size(), 1u);
+  const Span& s = t.spans()[0];
+  EXPECT_EQ(s.name, "past.insert");
+  EXPECT_EQ(s.node, 42u);
+  EXPECT_EQ(s.start, 1000);
+  EXPECT_EQ(s.end, 5000);
+  ASSERT_EQ(s.annotations.size(), 1u);
+  EXPECT_EQ(s.annotations[0].first, "file");
+  EXPECT_EQ(s.annotations[0].second, "f_001");
+}
+
+TEST(TracerTest, IdsAreSequentialInRecordOrder) {
+  Tracer t;
+  t.Enable();
+  EXPECT_EQ(t.StartSpan("a.one", 0, 1), 1u);
+  EXPECT_EQ(t.RecordSpan("a.two", 0, 1, 1), 2u);
+  EXPECT_EQ(t.StartSpan("a.three", 0, 1), 3u);
+  EXPECT_EQ(t.spans()[1].id, 2u);
+}
+
+TEST(TracerTest, AnnotateWorksOnClosedSpans) {
+  // RecordSpan + Annotate is the receiver-side hop pattern: the span is
+  // finished when recorded, and the routing-rule annotation lands after.
+  Tracer t;
+  t.Enable();
+  uint64_t id = t.RecordSpan("pastry.hop", 10, 25, 3);
+  t.Annotate(id, "rule", "leaf_set");
+  ASSERT_EQ(t.spans()[0].annotations.size(), 1u);
+  EXPECT_EQ(t.spans()[0].annotations[0].second, "leaf_set");
+  // Out-of-range ids are ignored, never UB.
+  t.Annotate(999, "k", "v");
+  t.Annotate(0, "k", "v");
+  EXPECT_EQ(t.spans()[0].annotations.size(), 1u);
+}
+
+TEST(TracerTest, ParentAndTraceIdPropagate) {
+  Tracer t;
+  t.Enable();
+  uint64_t root = t.StartSpan("past.lookup", 0, 1, /*parent=*/0,
+                              /*trace_id=*/77);
+  uint64_t hop = t.RecordSpan("pastry.hop", 5, 9, 2, /*parent=*/root,
+                              /*trace_id=*/77);
+  t.EndSpan(root, 20);
+  const Span& h = t.spans()[hop - 1];
+  EXPECT_EQ(h.parent, root);
+  EXPECT_EQ(h.trace_id, 77u);
+  EXPECT_EQ(t.spans()[root - 1].parent, 0u);
+}
+
+TEST(TracerTest, CapacityCapCountsDropsInsteadOfGrowing) {
+  Tracer t;
+  t.Enable();
+  t.SetCapacity(2);
+  EXPECT_NE(t.StartSpan("a.x", 0, 1), 0u);
+  EXPECT_NE(t.RecordSpan("a.y", 0, 1, 1), 0u);
+  EXPECT_EQ(t.StartSpan("a.z", 0, 1), 0u);
+  EXPECT_EQ(t.RecordSpan("a.w", 0, 1, 1), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+}
+
+TEST(TracerTest, ClearResetsSpansIdsAndDropCount) {
+  Tracer t;
+  t.Enable();
+  t.SetCapacity(1);
+  (void)t.StartSpan("a.x", 0, 1);
+  (void)t.StartSpan("a.y", 0, 1);  // dropped
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.StartSpan("a.z", 0, 1), 1u);  // ids restart at 1
+}
+
+TEST(TracerTest, ToJsonEmitsTheTraceSchema) {
+  Tracer t;
+  t.Enable();
+  uint64_t id = t.StartSpan("past.insert", 100, 9, 0, 55);
+  t.Annotate(id, "status", "ok");
+  t.EndSpan(id, 450);
+
+  JsonValue j = t.ToJson();
+  EXPECT_DOUBLE_EQ(j.Find("dropped")->AsDouble(), 0.0);
+  const JsonValue* spans = j.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 1u);
+  const JsonValue& s = spans->at(0);
+  EXPECT_DOUBLE_EQ(s.Find("id")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Find("parent")->AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Find("trace_id")->AsDouble(), 55.0);
+  EXPECT_EQ(s.Find("name")->AsString(), "past.insert");
+  EXPECT_DOUBLE_EQ(s.Find("node")->AsDouble(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Find("start_us")->AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(s.Find("end_us")->AsDouble(), 450.0);
+  const JsonValue* ann = s.Find("annotations");
+  ASSERT_NE(ann, nullptr);
+  ASSERT_NE(ann->Find("status"), nullptr);
+  EXPECT_EQ(ann->Find("status")->AsString(), "ok");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,97 @@
+// TimeSeriesSampler tests: row schema per instrument kind, late-registered
+// instrument resolution, and the self-rescheduling timer on a real EventQueue.
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/sim/event_queue.h"
+
+namespace past {
+namespace {
+
+TEST(TimeSeriesSamplerTest, RowSchemaPerInstrumentKind) {
+  MetricsRegistry m;
+  m.GetCounter("net.sent")->Inc(5);
+  m.GetGauge("sim.queue_depth")->Set(3.0);
+  LogHistogram* h = m.GetLogHistogram("past.lookup.latency_us");
+  h->Observe(100.0);
+  h->Observe(300.0);
+
+  TimeSeriesSampler s(&m, 1000);
+  s.Track("net.sent");
+  s.Track("sim.queue_depth");
+  s.Track("past.lookup.latency_us");
+  s.Track("no.such.metric");
+  s.Sample(1000);
+
+  JsonValue rows = s.ToJson();
+  ASSERT_EQ(rows.size(), 1u);
+  const JsonValue& row = rows.at(0);
+  EXPECT_DOUBLE_EQ(row.Find("t_us")->AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(row.Find("net.sent")->AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(row.Find("sim.queue_depth")->AsDouble(), 3.0);
+  const JsonValue* quantiles = row.Find("past.lookup.latency_us");
+  ASSERT_NE(quantiles, nullptr);
+  EXPECT_DOUBLE_EQ(quantiles->Find("count")->AsDouble(), 2.0);
+  EXPECT_NE(quantiles->Find("p50"), nullptr);
+  EXPECT_NE(quantiles->Find("p99"), nullptr);
+  // Unresolved names stay as a null column so rows are structurally uniform.
+  const JsonValue* missing = row.Find("no.such.metric");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_TRUE(missing->is_null());
+}
+
+TEST(TimeSeriesSamplerTest, InstrumentRegisteredAfterTrackingResolves) {
+  MetricsRegistry m;
+  TimeSeriesSampler s(&m, 1000);
+  s.Track("past.demotions");
+  s.Sample(1000);  // not registered yet -> null
+  m.GetCounter("past.demotions")->Inc(4);
+  s.Sample(2000);  // now resolves
+
+  JsonValue rows = s.ToJson();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows.at(0).Find("past.demotions")->is_null());
+  EXPECT_DOUBLE_EQ(rows.at(1).Find("past.demotions")->AsDouble(), 4.0);
+}
+
+TEST(TimeSeriesSamplerTest, TimerSamplesAtFixedIntervalOnEventQueue) {
+  MetricsRegistry m;
+  Counter* sent = m.GetCounter("net.sent");
+  EventQueue q;
+  TimeSeriesSampler s(&m, /*interval_us=*/1000);
+  s.Track("net.sent");
+  s.Start(&q);
+
+  // Workload: bump the counter at t=1500 and t=3500.
+  q.After(1500, [&] { sent->Inc(); });
+  q.After(3500, [&] { sent->Inc(2); });
+  q.RunUntil(4500);
+  s.Stop(&q);
+  EXPECT_EQ(q.RunAll(), 0u);  // Stop cancelled the pending timer
+
+  // Rows at t = 1000, 2000, 3000, 4000 with the counter values visible at
+  // each sample instant.
+  JsonValue rows = s.ToJson();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows.at(0).Find("t_us")->AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(rows.at(0).Find("net.sent")->AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(rows.at(1).Find("net.sent")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(rows.at(2).Find("net.sent")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(rows.at(3).Find("t_us")->AsDouble(), 4000.0);
+  EXPECT_DOUBLE_EQ(rows.at(3).Find("net.sent")->AsDouble(), 3.0);
+}
+
+TEST(TimeSeriesSamplerTest, StopBeforeFirstSampleLeavesNoRows) {
+  MetricsRegistry m;
+  EventQueue q;
+  TimeSeriesSampler s(&m, 1000);
+  s.Start(&q);
+  s.Stop(&q);
+  EXPECT_EQ(q.RunAll(), 0u);
+  EXPECT_EQ(s.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace past

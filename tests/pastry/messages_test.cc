@@ -51,18 +51,20 @@ TEST(PastryMessagesTest, RouteMsgRoundTrip) {
   msg.source = RandomDesc();
   msg.app_type = 77;
   msg.seq = 123456789;
+  msg.parent_span = 0xdeadbeefcafe;
   msg.hops = 3;
   msg.distance = 42.5;
   msg.path = {1, 2, 3};
-  msg.trace = {RouteHop{1, RouteRule::kRoutingTable, 17.25},
-               RouteHop{2, RouteRule::kLeafSet, 3.5},
-               RouteHop{3, RouteRule::kRareCase, 0.0}};
+  msg.trace = {RouteHop{1, RouteRule::kRoutingTable, 17.25, 1000},
+               RouteHop{2, RouteRule::kLeafSet, 3.5, 2500},
+               RouteHop{3, RouteRule::kRareCase, 0.0, 0}};
   msg.payload = TestRng()->RandomBytes(50);
   RouteMsg out = RoundTrip(msg);
   EXPECT_EQ(out.key, msg.key);
   EXPECT_EQ(out.source, msg.source);
   EXPECT_EQ(out.app_type, msg.app_type);
   EXPECT_EQ(out.seq, msg.seq);
+  EXPECT_EQ(out.parent_span, msg.parent_span);
   EXPECT_EQ(out.hops, msg.hops);
   EXPECT_DOUBLE_EQ(out.distance, msg.distance);
   EXPECT_EQ(out.path, msg.path);

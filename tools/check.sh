@@ -34,6 +34,9 @@ ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure
 echo "== crypto differential gate (ctest -L crypto_diff)"
 ctest --test-dir "$build_dir" -L crypto_diff --output-on-failure
 
+echo "== trace determinism gate (ctest -R trace_determinism)"
+ctest --test-dir "$build_dir" -R trace_determinism --output-on-failure
+
 echo "== full suite"
 ctest --test-dir "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
   --output-on-failure

@@ -8,7 +8,9 @@
 //                    bit-identically from a seed, and the determinism ctest
 //                    checks that at runtime. Timing clocks are allowed in
 //                    bench/ (throughput measurement) but ambient randomness
-//                    is banned everywhere.
+//                    is banned everywhere. Deliberate exceptions (the opt-in
+//                    PAST_PROF profiling clock) carry
+//                    `// lint:allow-nondeterminism <reason>`.
 //   header-hygiene   headers start with a doc comment and use #pragma once
 //                    (no #ifndef guards).
 //   includes         quoted includes are repo-root-relative, resolve to real
@@ -25,6 +27,11 @@
 //                    state: the parallel TrialRunner relies on sim stacks
 //                    being fully isolated per trial. Deliberate exceptions
 //                    carry `// lint:allow-global-state <reason>`.
+//   metric-name      string literals registered via GetCounter / GetGauge /
+//                    GetHistogram / GetLogHistogram must follow the dotted
+//                    lowercase "<layer>.<metric>" convention, so the JSON
+//                    dumps downstream tooling parses stay uniformly named.
+//                    Escape hatch: `// lint:allow-metric-name <reason>`.
 //
 // Exit status 0 when clean; 1 with one "file:line: [rule] message" line per
 // violation. A check is only as good as its scrubber: comments and string
@@ -149,6 +156,14 @@ bool ContainsToken(const std::string& line, const std::string& needle,
 
 // --- rule: nondeterminism ----------------------------------------------------
 
+// True when the raw text of line i (or the line above it) carries the given
+// `lint:allow-<rule>` marker. Markers live in comments, which the scrubber
+// blanks, so suppression always consults f.lines.
+bool Suppressed(const File& f, size_t i, const char* marker) {
+  return f.lines[i].find(marker) != std::string::npos ||
+         (i > 0 && f.lines[i - 1].find(marker) != std::string::npos);
+}
+
 void CheckNondeterminism(const File& f) {
   // Ambient randomness has no place anywhere: everything draws from the
   // seeded past::Rng so runs replay bit-identically.
@@ -169,7 +184,8 @@ void CheckNondeterminism(const File& f) {
                std::string(token) + " is banned: draw from the seeded past::Rng");
       }
     }
-    if (library || !clocks_allowed) {
+    if ((library || !clocks_allowed) &&
+        !Suppressed(f, i, "lint:allow-nondeterminism")) {
       for (const char* token : kClocks) {
         if (f.code[i].find(token) != std::string::npos) {
           Report(f, i, "nondeterminism",
@@ -458,6 +474,98 @@ void CheckGlobalState(const File& f) {
   }
 }
 
+// --- rule: metric-name -------------------------------------------------------
+//
+// Instrument names feed the JSON dumps that json_check, past_stats, and the
+// bench baselines parse; one misnamed metric silently breaks every required
+// key path downstream. Enforce the DESIGN.md convention at registration
+// sites: a literal passed to GetCounter/GetGauge/GetHistogram/GetLogHistogram
+// must be dotted lowercase "<layer>.<metric>" ([a-z0-9_] segments, >= 2 of
+// them). A literal ending in '.' is allowed when the call concatenates a
+// computed suffix onto it (e.g. "pastry.route.rule." + RouteRuleName(r)).
+
+bool IsValidMetricName(const std::string& name, bool concatenated) {
+  std::string s = name;
+  bool prefix_only = false;
+  if (concatenated && !s.empty() && s.back() == '.') {
+    s.pop_back();
+    prefix_only = true;
+  }
+  if (s.empty()) {
+    return false;
+  }
+  size_t segments = 1;
+  bool segment_empty = true;
+  for (char c : s) {
+    if (c == '.') {
+      if (segment_empty) {
+        return false;  // empty segment ("a..b", ".a")
+      }
+      ++segments;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_empty = false;
+    } else {
+      return false;  // uppercase, spaces, dashes, ...
+    }
+  }
+  if (segment_empty) {
+    return false;
+  }
+  // A concatenation prefix supplies the final segment elsewhere; a complete
+  // name needs at least "<layer>.<metric>".
+  return prefix_only || segments >= 2;
+}
+
+void CheckMetricNames(const File& f) {
+  static const char* kGetters[] = {"GetCounter", "GetGauge", "GetHistogram",
+                                   "GetLogHistogram"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    for (const char* getter : kGetters) {
+      size_t col;
+      // Scrubbed match = a real call site, not prose or a string body.
+      if (!ContainsToken(f.code[i], getter, &col)) {
+        continue;
+      }
+      size_t after = col + std::strlen(getter);
+      if (after >= f.code[i].size() || f.code[i][after] != '(') {
+        continue;  // declaration or mention, not a call
+      }
+      if (Suppressed(f, i, "lint:allow-metric-name")) {
+        break;
+      }
+      // The name literal sits on the call's raw line or (wrapped call) the
+      // next one. Non-literal names cannot be checked statically; skip them.
+      size_t lit_line = i;
+      size_t raw_col = f.lines[i].find(std::string(getter) + "(");
+      size_t q = raw_col == std::string::npos
+                     ? std::string::npos
+                     : f.lines[i].find('"', raw_col);
+      if (q == std::string::npos && i + 1 < f.lines.size()) {
+        lit_line = i + 1;
+        q = f.lines[lit_line].find('"');
+      }
+      if (q == std::string::npos) {
+        break;
+      }
+      const std::string& raw = f.lines[lit_line];
+      size_t close = raw.find('"', q + 1);
+      if (close == std::string::npos) {
+        break;
+      }
+      std::string name = raw.substr(q + 1, close - q - 1);
+      bool concatenated = raw.find('+', close + 1) != std::string::npos;
+      if (!IsValidMetricName(name, concatenated)) {
+        Report(f, lit_line, "metric-name",
+               "\"" + name +
+                   "\" violates the dotted-lowercase <layer>.<metric> naming "
+                   "convention (annotate lint:allow-metric-name to override)");
+      }
+      break;  // one check per line is enough
+    }
+  }
+}
+
 // --- driver ------------------------------------------------------------------
 
 bool WantFile(const fs::path& p) {
@@ -479,12 +587,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: past_lint [--root <repo>] [--rule nondeterminism|"
                    "header-hygiene|includes|nodiscard|codec-pairing|"
-                   "global-state|all]\n");
+                   "global-state|metric-name|all]\n");
       return 2;
     }
   }
   static const char* kRules[] = {"nondeterminism", "header-hygiene", "includes",
-                                 "nodiscard", "codec-pairing", "global-state"};
+                                 "nodiscard",      "codec-pairing",  "global-state",
+                                 "metric-name"};
   bool known = rule == "all";
   for (const char* r : kRules) {
     known = known || rule == r;
@@ -539,6 +648,9 @@ int main(int argc, char** argv) {
     }
     if (rule == "all" || rule == "global-state") {
       CheckGlobalState(f);
+    }
+    if (rule == "all" || rule == "metric-name") {
+      CheckMetricNames(f);
     }
   }
   if (g_violations > 0) {

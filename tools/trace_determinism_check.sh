@@ -1,0 +1,53 @@
+#!/bin/sh
+# Trace determinism gate: runs an exp_* binary with --json AND --trace-out at
+# --threads 1 and --threads 4 and requires every artifact — stdout, the JSON
+# document, the span dump, and the past_stats Chrome conversion of that dump
+# — to be byte-identical. Spans carry sim-time timestamps and record-order
+# ids, so arming the tracer must not perturb the simulation and the dump must
+# not depend on the thread count.
+#
+# usage: trace_determinism_check.sh <exp-binary> <past_stats-binary> <out-dir> <tag>
+set -eu
+exe="$1"
+stats="$2"
+dir="$3"
+tag="$4"
+
+# Both runs write to the same thread-agnostic paths (renamed per thread count
+# afterwards) so the "wrote <path>" lines in the captured stdout compare equal.
+json="$dir/TDET_${tag}.json"
+trace="$dir/TDET_${tag}_trace.json"
+chrome="$dir/TDET_${tag}_chrome.json"
+for t in 1 4; do
+  "$exe" --smoke --threads "$t" --json "$json" --trace-out "$trace" \
+    > "$dir/TDET_${tag}_t${t}.txt"
+  "$stats" chrome "$trace" "$chrome" > /dev/null
+  mv "$json" "$dir/TDET_${tag}_t${t}.json"
+  mv "$trace" "$dir/TDET_${tag}_t${t}_trace.json"
+  mv "$chrome" "$dir/TDET_${tag}_t${t}_chrome.json"
+done
+
+ok=0
+for suffix in .txt .json _trace.json _chrome.json; do
+  a="$dir/TDET_${tag}_t1${suffix}"
+  b="$dir/TDET_${tag}_t4${suffix}"
+  if ! cmp -s "$a" "$b"; then
+    echo "trace_determinism_check: $exe ${suffix#_} differs between --threads 1 and --threads 4" >&2
+    diff "$a" "$b" | head -20 >&2 || true
+    ok=1
+  fi
+done
+
+# The conversion must be structurally valid Chrome trace JSON with at least
+# one event: {"traceEvents": [{"ph": "X", ...}, ...]}.
+grep -q '"traceEvents"' "$dir/TDET_${tag}_t1_chrome.json" || {
+  echo "trace_determinism_check: chrome output lacks traceEvents" >&2
+  ok=1
+}
+grep -q '"ph": "X"' "$dir/TDET_${tag}_t1_chrome.json" || {
+  echo "trace_determinism_check: chrome output has no complete events" >&2
+  ok=1
+}
+
+[ "$ok" -eq 0 ] || exit 1
+echo "trace_determinism_check: $exe traces are byte-identical at --threads 1 and 4"
