@@ -24,6 +24,8 @@
 #include "src/crypto/sha1.h"
 #include "src/crypto/sha256.h"
 #include "src/diskstore/disk_store.h"
+#include "src/net/frame.h"
+#include "src/net/socket_transport.h"
 #include "src/obs/json.h"
 #include "src/obs/log_histogram.h"
 #include "src/obs/metrics.h"
@@ -422,6 +424,68 @@ void BM_NetworkDeliver(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
 }
 BENCHMARK(BM_NetworkDeliver)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// --- real-socket transport (BENCH_net.json baseline) -------------------------
+// The socket backend carries every inter-daemon byte in a real cluster;
+// these pin the frame codec and the full loopback path so transport
+// regressions show up in the BENCH_net.json trajectory.
+
+// Frame codec alone: encode a payload into a wire frame and decode it back.
+// CRC32C over the payload dominates at the larger sizes.
+void BM_FrameCodec(benchmark::State& state) {
+  Rng rng(31);
+  const Bytes payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes frame = EncodeFrame(7, 9, ByteSpan(payload.data(), payload.size()));
+    FrameHeader header;
+    ByteSpan body;
+    FrameError err = DecodeFrame(ByteSpan(frame.data(), frame.size()),
+                                 1u << 20, &header, &body);
+    PAST_CHECK_MSG(err == FrameError::kNone, "codec round-trip failed");
+    benchmark::DoNotOptimize(body);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrameCodec)->Arg(64)->Arg(1200)->Arg(16384);
+
+// Full loopback delivery through two SocketTransports on 127.0.0.1: Send()
+// at one endpoint, busy-poll both until the receiver has the message.
+// Covers frame encode, the syscalls, kernel loopback, decode hardening, and
+// delivery. 1200 rides the UDP datagram path, 16384 the cached-TCP path.
+void BM_NetLoopback(benchmark::State& state) {
+  struct CountSink : NetReceiver {
+    uint64_t count = 0;
+    void OnMessage(NodeAddr, ByteSpan) override { ++count; }
+  };
+  SocketTransport a;
+  SocketTransport b;
+  PAST_CHECK_MSG(a.Open() == StatusCode::kOk, "open failed");
+  PAST_CHECK_MSG(b.Open() == StatusCode::kOk, "open failed");
+  CountSink sink_a;
+  CountSink sink_b;
+  NodeAddr a_addr = a.Register(&sink_a);
+  NodeAddr b_addr = b.Register(&sink_b);
+  Rng rng(32);
+  const Bytes payload = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  uint64_t want = 0;
+  for (auto _ : state) {
+    a.Send(a_addr, b_addr, payload);
+    ++want;
+    // One message in flight at a time: loopback never drops it, so this
+    // terminates; the spin bound catches a broken transport.
+    uint64_t spins = 0;
+    while (sink_b.count < want) {
+      (void)a.PollOnce(0);
+      (void)b.PollOnce(0);
+      PAST_CHECK_MSG(++spins < 100000000ull, "loopback delivery wedged");
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetLoopback)->Arg(1200)->Arg(16384)->Unit(benchmark::kMicrosecond);
 
 // --- observability primitives -----------------------------------------------
 // The tracing and quantile instruments sit on every client-op and hop path;

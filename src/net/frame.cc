@@ -1,0 +1,168 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/common/crc32c.h"
+
+namespace past {
+namespace {
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+const char* FrameErrorName(FrameError e) {
+  switch (e) {
+    case FrameError::kNone:
+      return "none";
+    case FrameError::kNeedMore:
+      return "need-more";
+    case FrameError::kBadMagic:
+      return "bad-magic";
+    case FrameError::kBadVersion:
+      return "bad-version";
+    case FrameError::kBadKind:
+      return "bad-kind";
+    case FrameError::kBadReserved:
+      return "bad-reserved";
+    case FrameError::kTooLarge:
+      return "too-large";
+    case FrameError::kBadCrc:
+      return "bad-crc";
+    case FrameError::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+void EncodeFrameHeader(NodeAddr from, NodeAddr to, ByteSpan payload,
+                       uint8_t out[kFrameHeaderSize]) {
+  PutU32(out, kFrameMagic);
+  out[4] = kFrameVersion;
+  out[5] = kFrameKindMessage;
+  out[6] = 0;
+  out[7] = 0;
+  PutU32(out + 8, from);
+  PutU32(out + 12, to);
+  PutU32(out + 16, static_cast<uint32_t>(payload.size()));
+  PutU32(out + 20, Crc32c(payload));
+}
+
+Bytes EncodeFrame(NodeAddr from, NodeAddr to, ByteSpan payload) {
+  Bytes out(kFrameHeaderSize + payload.size());
+  EncodeFrameHeader(from, to, payload, out.data());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderSize, payload.data(), payload.size());
+  }
+  return out;
+}
+
+FrameError DecodeFrameHeader(ByteSpan data, size_t max_payload, FrameHeader* out) {
+  if (data.size() < kFrameHeaderSize) {
+    return FrameError::kNeedMore;
+  }
+  const uint8_t* p = data.data();
+  // Identity fields are validated before the length is believed, so a
+  // garbage or cross-protocol packet can never trigger a huge allocation.
+  if (GetU32(p) != kFrameMagic) {
+    return FrameError::kBadMagic;
+  }
+  if (p[4] != kFrameVersion) {
+    return FrameError::kBadVersion;
+  }
+  if (p[5] != kFrameKindMessage) {
+    return FrameError::kBadKind;
+  }
+  if (p[6] != 0 || p[7] != 0) {
+    return FrameError::kBadReserved;
+  }
+  FrameHeader h;
+  h.from = GetU32(p + 8);
+  h.to = GetU32(p + 12);
+  h.payload_len = GetU32(p + 16);
+  h.payload_crc = GetU32(p + 20);
+  if (h.payload_len > max_payload) {
+    return FrameError::kTooLarge;
+  }
+  *out = h;
+  return FrameError::kNone;
+}
+
+FrameError DecodeFrame(ByteSpan data, size_t max_payload, FrameHeader* header,
+                       ByteSpan* payload) {
+  FrameHeader h;
+  FrameError err = DecodeFrameHeader(data, max_payload, &h);
+  if (err != FrameError::kNone) {
+    return err;
+  }
+  if (data.size() < kFrameHeaderSize + h.payload_len) {
+    return FrameError::kNeedMore;
+  }
+  if (data.size() > kFrameHeaderSize + h.payload_len) {
+    return FrameError::kTrailingBytes;
+  }
+  ByteSpan body(data.data() + kFrameHeaderSize, h.payload_len);
+  if (Crc32c(body) != h.payload_crc) {
+    return FrameError::kBadCrc;
+  }
+  *header = h;
+  *payload = body;
+  return FrameError::kNone;
+}
+
+void FrameReader::Append(ByteSpan data) {
+  if (failed() || data.empty()) {
+    return;
+  }
+  // Compact lazily: move the unconsumed tail down only once the dead prefix
+  // dominates the buffer, so steady-state appends are O(bytes appended).
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.data(), data.data() + data.size());
+}
+
+FrameError FrameReader::Next(FrameHeader* header, Bytes* payload) {
+  if (failed()) {
+    return error_;
+  }
+  ByteSpan avail(buf_.data() + pos_, buf_.size() - pos_);
+  FrameHeader h;
+  FrameError err = DecodeFrameHeader(avail, max_payload_, &h);
+  if (err == FrameError::kNeedMore) {
+    return err;
+  }
+  if (err != FrameError::kNone) {
+    error_ = err;  // poisoned: a length-prefixed stream cannot resync
+    return err;
+  }
+  if (avail.size() < kFrameHeaderSize + h.payload_len) {
+    return FrameError::kNeedMore;
+  }
+  ByteSpan body(avail.data() + kFrameHeaderSize, h.payload_len);
+  if (Crc32c(body) != h.payload_crc) {
+    error_ = FrameError::kBadCrc;
+    return error_;
+  }
+  payload->assign(body.data(), body.data() + body.size());
+  *header = h;
+  pos_ += kFrameHeaderSize + h.payload_len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return FrameError::kNone;
+}
+
+}  // namespace past

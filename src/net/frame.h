@@ -1,0 +1,102 @@
+// Wire framing for the socket transport.
+//
+// Every message that crosses a real socket — one UDP datagram for control
+// traffic, or a slice of a TCP byte stream for bulk payloads — is a frame:
+// a fixed 24-byte header followed by the Pastry wire message it carries.
+//
+//   offset  size  field
+//   0       4     magic (the bytes "PSTF"; 0x46545350 as a little-endian u32)
+//   4       1     version (kFrameVersion)
+//   5       1     kind (0 = message; others reserved)
+//   6       2     reserved, must be 0
+//   8       4     from   (sender NodeAddr)
+//   12      4     to     (destination NodeAddr)
+//   16      4     payload length
+//   20      4     CRC32C of the payload
+//   24      n     payload (the Pastry wire message)
+//
+// Decoding is hardened against a hostile peer: magic/version/reserved are
+// checked before the length is believed, the length is capped before any
+// allocation, and the payload CRC is verified before delivery. On a TCP
+// stream a header failure is fatal for the connection (there is no way to
+// resynchronize a length-prefixed stream), which FrameReader reports as a
+// hard error distinct from kNeedMore.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/net/transport.h"
+
+namespace past {
+
+constexpr uint32_t kFrameMagic = 0x46545350;  // "PSTF" as on-the-wire bytes
+constexpr uint8_t kFrameVersion = 1;
+constexpr uint8_t kFrameKindMessage = 0;
+constexpr size_t kFrameHeaderSize = 24;
+
+struct FrameHeader {
+  NodeAddr from = kInvalidAddr;
+  NodeAddr to = kInvalidAddr;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+enum class FrameError : uint8_t {
+  kNone = 0,       // a complete, valid frame was produced
+  kNeedMore,       // the buffer ends mid-frame (stream: wait for more bytes)
+  kBadMagic,
+  kBadVersion,
+  kBadKind,
+  kBadReserved,
+  kTooLarge,       // payload_len exceeds the caller's cap
+  kBadCrc,
+  kTrailingBytes,  // datagram only: bytes after the framed payload
+};
+const char* FrameErrorName(FrameError e);
+
+// Writes the 24-byte header for `payload` (computing its CRC32C) into `out`.
+void EncodeFrameHeader(NodeAddr from, NodeAddr to, ByteSpan payload,
+                       uint8_t out[kFrameHeaderSize]);
+
+// Header + payload in one buffer — the UDP datagram image (the transport's
+// TCP path scatter-gathers header and payload instead of concatenating).
+Bytes EncodeFrame(NodeAddr from, NodeAddr to, ByteSpan payload);
+
+// Parses and validates a header (magic, version, kind, reserved, length cap).
+// Does not touch the payload; kNeedMore when data is shorter than a header.
+[[nodiscard]] FrameError DecodeFrameHeader(ByteSpan data, size_t max_payload,
+                                           FrameHeader* out);
+
+// Decodes a complete datagram: exactly one frame, CRC verified, no trailing
+// bytes. On success *payload aliases `data`.
+[[nodiscard]] FrameError DecodeFrame(ByteSpan data, size_t max_payload,
+                                     FrameHeader* header, ByteSpan* payload);
+
+// Incremental frame extraction from a TCP byte stream. Append() buffers
+// received bytes; Next() yields complete frames in order. Any error other
+// than kNeedMore is sticky: the stream is unrecoverable and the connection
+// must be dropped.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_payload) : max_payload_(max_payload) {}
+
+  void Append(ByteSpan data);
+
+  // kNone: *header/*payload filled with the next frame. kNeedMore: no
+  // complete frame buffered. Anything else: poisoned stream (failed() stays
+  // true and every further call returns the same error).
+  [[nodiscard]] FrameError Next(FrameHeader* header, Bytes* payload);
+
+  bool failed() const { return error_ != FrameError::kNone; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  Bytes buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  FrameError error_ = FrameError::kNone;
+};
+
+}  // namespace past

@@ -1,0 +1,145 @@
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace past {
+namespace {
+
+Result<int> BindSocket(int type, const std::string& host, uint16_t port,
+                       uint16_t* bound_port) {
+  sockaddr_in sa;
+  StatusCode code = ResolveIpv4(host, port, &sa);
+  if (code != StatusCode::kOk) {
+    return code;
+  }
+  int fd = ::socket(AF_INET, type, 0);
+  if (fd < 0) {
+    return StatusCode::kInternal;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      SetNonBlocking(fd) != StatusCode::kOk) {
+    ::close(fd);
+    return StatusCode::kUnavailable;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      ::close(fd);
+      return StatusCode::kInternal;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<HostPort> ParseHostPort(const std::string& text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    return StatusCode::kInvalidArgument;
+  }
+  HostPort hp;
+  hp.host = text.substr(0, colon);
+  if (hp.host.empty()) {
+    hp.host = "127.0.0.1";
+  }
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty() || port_text.size() > 5) {
+    return StatusCode::kInvalidArgument;
+  }
+  uint32_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return StatusCode::kInvalidArgument;
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (port == 0 || port > 65535) {
+    return StatusCode::kInvalidArgument;
+  }
+  hp.port = static_cast<uint16_t>(port);
+  return hp;
+}
+
+StatusCode ResolveIpv4(const std::string& host, uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  const char* literal = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, literal, &out->sin_addr) != 1) {
+    return StatusCode::kInvalidArgument;
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0 ||
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC) != 0) {
+    return StatusCode::kInternal;
+  }
+  return StatusCode::kOk;
+}
+
+Result<int> UdpBind(const std::string& host, uint16_t port, uint16_t* bound_port) {
+  return BindSocket(SOCK_DGRAM, host, port, bound_port);
+}
+
+Result<int> TcpListen(const std::string& host, uint16_t port, uint16_t* bound_port) {
+  Result<int> fd = BindSocket(SOCK_STREAM, host, port, bound_port);
+  if (!fd.ok()) {
+    return fd;
+  }
+  if (::listen(fd.value(), SOMAXCONN) != 0) {
+    ::close(fd.value());
+    return StatusCode::kUnavailable;
+  }
+  return fd;
+}
+
+Result<int> TcpConnect(const std::string& host, uint16_t port) {
+  sockaddr_in sa;
+  StatusCode code = ResolveIpv4(host, port, &sa);
+  if (code != StatusCode::kOk) {
+    return code;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return StatusCode::kInternal;
+  }
+  if (SetNonBlocking(fd) != StatusCode::kOk) {
+    ::close(fd);
+    return StatusCode::kInternal;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return StatusCode::kUnavailable;
+  }
+  return fd;
+}
+
+StatusCode ConnectResult(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return StatusCode::kInternal;
+  }
+  return err == 0 ? StatusCode::kOk : StatusCode::kUnavailable;
+}
+
+}  // namespace past

@@ -1,0 +1,66 @@
+// Thin, testable wrappers around the POSIX socket calls the transport needs.
+//
+// All file descriptors returned here are non-blocking and close-on-exec.
+// Name resolution is deliberately literal-only (dotted IPv4, plus the
+// "localhost" alias): the socket transport addresses peers through a shared
+// host table of IP strings, and refusing DNS keeps connection setup free of
+// hidden blocking calls.
+//
+// Address scheme: a socket-backend NodeAddr packs (host_index << 16) | port,
+// where host_index indexes the cluster's shared host table. With the default
+// single-host table ({"127.0.0.1"}) an address is simply the port number,
+// which keeps localhost-cluster logs and tests readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/transport.h"
+
+struct sockaddr_in;
+
+namespace past {
+
+inline constexpr NodeAddr MakeSockAddr(uint16_t host_index, uint16_t port) {
+  return (static_cast<NodeAddr>(host_index) << 16) | port;
+}
+inline constexpr uint16_t SockAddrHostIndex(NodeAddr addr) {
+  return static_cast<uint16_t>(addr >> 16);
+}
+inline constexpr uint16_t SockAddrPort(NodeAddr addr) {
+  return static_cast<uint16_t>(addr & 0xffff);
+}
+
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Parses "host:port". An empty host (":7001") means "127.0.0.1". The port
+// must be 1..65535.
+Result<HostPort> ParseHostPort(const std::string& text);
+
+// Fills a sockaddr_in from a literal IPv4 string ("10.0.0.3", "localhost").
+StatusCode ResolveIpv4(const std::string& host, uint16_t port, sockaddr_in* out);
+
+// O_NONBLOCK + FD_CLOEXEC.
+StatusCode SetNonBlocking(int fd);
+
+// A bound, non-blocking UDP socket. port 0 binds an ephemeral port; the port
+// actually bound is written to *bound_port.
+Result<int> UdpBind(const std::string& host, uint16_t port, uint16_t* bound_port);
+
+// A listening, non-blocking TCP socket with SO_REUSEADDR.
+Result<int> TcpListen(const std::string& host, uint16_t port, uint16_t* bound_port);
+
+// Starts a non-blocking connect; the fd becomes writable when the connect
+// resolves (SO_ERROR tells how). TCP_NODELAY is set — frames are already
+// batched by the transport's send queue, so Nagle only adds latency.
+Result<int> TcpConnect(const std::string& host, uint16_t port);
+
+// The socket's pending SO_ERROR as a StatusCode (kOk when the connect
+// succeeded).
+StatusCode ConnectResult(int fd);
+
+}  // namespace past

@@ -245,4 +245,17 @@ bool AppDirectMsg::DecodeBody(Reader* r, AppDirectMsg* m) {
   return DecodeDescriptor(r, &m->source) && r->U32(&m->app_type) && r->Blob(&m->payload);
 }
 
+Bytes EncodeAppDirect(const NodeDescriptor& source, uint32_t app_type,
+                      ByteSpan payload) {
+  // Mirrors EncodeMessage + EncodeBody above; a payload view in, one wire
+  // buffer out, no intermediate copy.
+  Writer w;
+  w.U8(kPastryWireVersion);
+  w.U8(static_cast<uint8_t>(AppDirectMsg::kType));
+  EncodeDescriptor(&w, source);
+  w.U32(app_type);
+  w.Blob(payload);
+  return w.Take();
+}
+
 }  // namespace past

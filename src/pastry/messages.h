@@ -221,6 +221,12 @@ struct AppDirectMsg {
   [[nodiscard]] static bool DecodeBody(Reader* r, AppDirectMsg* m);
 };
 
+// Encodes a complete AppDirectMsg (header included) around a payload view,
+// without staging the payload through a message struct first. Must stay
+// byte-identical to EncodeMessage(AppDirectMsg{...}).
+Bytes EncodeAppDirect(const NodeDescriptor& source, uint32_t app_type,
+                      ByteSpan payload);
+
 // --- envelope ---------------------------------------------------------------
 
 template <typename M>

@@ -10,7 +10,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/u128.h"
-#include "src/sim/network.h"
+#include "src/net/transport.h"
 
 namespace past {
 

@@ -15,7 +15,7 @@ constexpr uint16_t kMaxHops = 64;
 
 }  // namespace
 
-PastryNode::PastryNode(Network* net, const NodeId& id, const PastryConfig& config,
+PastryNode::PastryNode(Transport* net, const NodeId& id, const PastryConfig& config,
                        uint64_t seed)
     : net_(net),
       queue_(net->queue()),
@@ -167,21 +167,25 @@ uint64_t PastryNode::Route(const U128& key, uint32_t app_type, Bytes payload,
   return seq;
 }
 
-void PastryNode::SendDirect(NodeAddr to, uint32_t app_type, Bytes payload) {
+void PastryNode::SendDirect(NodeAddr to, uint32_t app_type, SharedBytes payload) {
   PAST_CHECK_MSG(active_, "SendDirect() on an inactive node");
-  AppDirectMsg msg;
-  msg.source = descriptor();
-  msg.app_type = app_type;
-  msg.payload = std::move(payload);
   if (to == addr_) {
-    // Local shortcut with identical semantics.
+    // Local shortcut with identical semantics — and no encode at all.
     if (app_ != nullptr) {
-      app_->ReceiveDirect(msg.source, msg.app_type,
-                          ByteSpan(msg.payload.data(), msg.payload.size()));
+      app_->ReceiveDirect(descriptor(), app_type, payload.span());
     }
     return;
   }
-  SendMsg(to, msg);
+  SendDirectWire(to, EncodeDirect(app_type, payload.span()));
+}
+
+SharedBytes PastryNode::EncodeDirect(uint32_t app_type, ByteSpan payload) const {
+  return SharedBytes(EncodeAppDirect(descriptor(), app_type, payload));
+}
+
+void PastryNode::SendDirectWire(NodeAddr to, SharedBytes wire) {
+  PAST_CHECK_MSG(active_, "SendDirectWire() on an inactive node");
+  SendWire(to, std::move(wire), /*join_traffic=*/false, /*maintenance=*/false);
 }
 
 std::vector<NodeDescriptor> PastryNode::CandidateHops(const U128& key, int min_prefix,

@@ -16,6 +16,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/shared_bytes.h"
+#include "src/net/transport.h"
 #include "src/obs/metrics.h"
 #include "src/obs/route_trace.h"
 #include "src/pastry/leaf_set.h"
@@ -23,7 +24,6 @@
 #include "src/pastry/neighborhood_set.h"
 #include "src/pastry/node_id.h"
 #include "src/pastry/routing_table.h"
-#include "src/sim/network.h"
 
 namespace past {
 
@@ -76,9 +76,11 @@ class PastryApp {
 
 class PastryNode : public NetReceiver {
  public:
-  // Registers with the network immediately; the node stays inactive until
-  // Bootstrap() or Join() completes.
-  PastryNode(Network* net, const NodeId& id, const PastryConfig& config, uint64_t seed);
+  // Registers with the transport immediately; the node stays inactive until
+  // Bootstrap() or Join() completes. The node is transport-agnostic: `net`
+  // may be the deterministic simulator (sim::Network) or a real socket
+  // backend (SocketTransport).
+  PastryNode(Transport* net, const NodeId& id, const PastryConfig& config, uint64_t seed);
   ~PastryNode() override;
 
   PastryNode(const PastryNode&) = delete;
@@ -114,15 +116,27 @@ class PastryNode : public NetReceiver {
   uint64_t Route(const U128& key, uint32_t app_type, Bytes payload,
                  uint8_t replica_k = 0, uint64_t parent_span = 0);
 
-  // Point-to-point application message.
-  void SendDirect(NodeAddr to, uint32_t app_type, Bytes payload);
+  // Point-to-point application message. The SharedBytes payload rides the
+  // same zero-copy path as SendWire: the encoded wire is one allocation, and
+  // the payload view is written straight into it.
+  void SendDirect(NodeAddr to, uint32_t app_type, SharedBytes payload);
+  void SendDirect(NodeAddr to, uint32_t app_type, Bytes payload) {
+    SendDirect(to, app_type, SharedBytes(std::move(payload)));
+  }
+
+  // Encode-once fan-out: pre-encode a direct message, then hand the same
+  // wire buffer to SendDirectWire for each recipient. Self-sends travel
+  // through the transport loopback (asynchronous), unlike SendDirect's
+  // synchronous local shortcut — fan-out callers handle self separately.
+  SharedBytes EncodeDirect(uint32_t app_type, ByteSpan payload) const;
+  void SendDirectWire(NodeAddr to, SharedBytes wire);
 
   // --- introspection ---------------------------------------------------------
 
   const NodeId& id() const { return id_; }
   NodeAddr addr() const { return addr_; }
   EventQueue* queue() const { return queue_; }
-  Network* net() const { return net_; }
+  Transport* net() const { return net_; }
   NodeDescriptor descriptor() const { return NodeDescriptor{id_, addr_}; }
   const PastryConfig& config() const { return config_; }
 
@@ -219,7 +233,7 @@ class PastryNode : public NetReceiver {
 
   uint64_t NextSeq();
 
-  Network* net_;
+  Transport* net_;
   EventQueue* queue_;
   NodeId id_;
   PastryConfig config_;

@@ -159,6 +159,16 @@ class EventQueue {
   bool Empty() const { return live_count_ == 0; }
   size_t PendingCount() const { return live_count_; }
 
+  // The timestamp of the earliest pending event, or kNoDeadline when the
+  // queue is empty. Real-time backends (SocketTransport) bound their poll
+  // timeout with this so timers fire promptly. May conservatively report a
+  // cancelled event's time (the heap removes cancellations lazily), which
+  // only causes a harmless early wake-up.
+  static constexpr SimTime kNoDeadline = INT64_MAX;
+  SimTime NextDeadline() const {
+    return heap_.empty() ? kNoDeadline : slots_[heap_[0]].when;
+  }
+
   // Introspection for tests: the number of pooled slots ever allocated. A
   // workload that schedules and fires in a steady state should plateau.
   size_t SlabSize() const { return slots_.size(); }

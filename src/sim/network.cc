@@ -14,6 +14,7 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
   delivered_ = metrics_.GetCounter("net.delivered");
   dropped_loss_ = metrics_.GetCounter("net.dropped_loss");
   dropped_down_ = metrics_.GetCounter("net.dropped_down");
+  dropped_oversize_ = metrics_.GetCounter("net.dropped_oversize");
   bytes_sent_ = metrics_.GetCounter("net.bytes_sent");
   self_sends_ = metrics_.GetCounter("net.self_sends");
   msg_bytes_ = metrics_.GetHistogram(
@@ -67,6 +68,14 @@ void Network::Send(NodeAddr from, NodeAddr to, SharedBytes wire) {
     sends_since_depth_sample_ = 0;
     queue_depth_->Set(static_cast<double>(queue_->PendingCount()));
   }
+  if (wire.size() > config_.max_message_bytes) {
+    // Mirrors the socket backend's frame-size cap so the Transport
+    // conformance suite can exercise oversize rejection on both backends.
+    // Checked before any RNG draw: with the default (unlimited) cap the
+    // branch never fires and the latency/loss stream is untouched.
+    dropped_oversize_->Inc();
+    return;
+  }
   SimTime latency;
   if (to == from) {
     // Loopback: zero distance, so no proximity lookup, no jitter draw, and no
@@ -102,6 +111,7 @@ Network::Stats Network::stats() const {
   s.delivered = delivered_->value();
   s.dropped_loss = dropped_loss_->value();
   s.dropped_down = dropped_down_->value();
+  s.dropped_oversize = dropped_oversize_->value();
   s.bytes_sent = bytes_sent_->value();
   s.self_sends = self_sends_->value();
   return s;
@@ -112,6 +122,7 @@ void Network::ResetStats() {
   delivered_->Reset();
   dropped_loss_->Reset();
   dropped_down_->Reset();
+  dropped_oversize_->Reset();
   bytes_sent_->Reset();
   self_sends_->Reset();
   msg_bytes_->Reset();

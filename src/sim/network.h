@@ -8,6 +8,7 @@
 // assumes (nodes "may silently leave the system without warning").
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -15,21 +16,13 @@
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/common/shared_bytes.h"
+#include "src/net/transport.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/topology.h"
 
 namespace past {
-
-using NodeAddr = uint32_t;
-constexpr NodeAddr kInvalidAddr = 0xffffffff;
-
-class NetReceiver {
- public:
-  virtual ~NetReceiver() = default;
-  virtual void OnMessage(NodeAddr from, ByteSpan wire) = 0;
-};
 
 // Defaults give Internet-like one-way latencies of roughly 1-200 ms with the
 // default topology scale of 1000 proximity units (max distance ~3141 units on
@@ -39,9 +32,13 @@ struct NetworkConfig {
   double latency_per_unit = 60.0;      // us per proximity unit
   double jitter_frac = 0.05;           // +/- fraction of the distance term
   double loss_rate = 0.0;              // iid message loss probability
+  // Messages larger than this are dropped at Send() (net.dropped_oversize),
+  // mirroring the socket backend's frame-size cap. Unlimited by default so
+  // existing simulations are unaffected.
+  size_t max_message_bytes = SIZE_MAX;
 };
 
-class Network {
+class Network : public Transport {
  public:
   Network(EventQueue* queue, Topology* topology, const NetworkConfig& config,
           uint64_t seed);
@@ -49,40 +46,38 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // Registers a receiver; assigns it an address and a topology position.
-  NodeAddr Register(NetReceiver* receiver);
+  NodeAddr Register(NetReceiver* receiver) override;
 
   // Node liveness. A down node neither receives nor (by protocol convention)
   // sends; in-flight messages to it are dropped at delivery time.
-  void SetUp(NodeAddr addr, bool up);
-  bool IsUp(NodeAddr addr) const;
+  void SetUp(NodeAddr addr, bool up) override;
+  bool IsUp(NodeAddr addr) const override;
 
   // Queues `wire` for delivery. Zero-copy: the in-flight closure holds a
   // handle onto the caller's buffer, so sending one SharedBytes to many
   // recipients shares a single allocation. Self-sends (to == from) are
   // short-circuited to the zero-distance latency (base_latency) and consume
   // no RNG draws and no loss check — loopback does not traverse the wire.
-  void Send(NodeAddr from, NodeAddr to, SharedBytes wire);
-  void Send(NodeAddr from, NodeAddr to, Bytes wire) {
-    Send(from, to, SharedBytes(std::move(wire)));
-  }
+  void Send(NodeAddr from, NodeAddr to, SharedBytes wire) override;
+  using Transport::Send;  // the Bytes convenience overload
 
   // The scalar proximity metric between two registered endpoints.
-  double Proximity(NodeAddr a, NodeAddr b) const;
+  double Proximity(NodeAddr a, NodeAddr b) const override;
 
-  EventQueue* queue() { return queue_; }
+  EventQueue* queue() override { return queue_; }
   Topology* topology() { return topology_; }
   size_t endpoint_count() const { return endpoints_.size(); }
 
   // The per-simulation metrics registry. Every layer riding on this network
   // (Pastry nodes, the PAST storage layer, experiment drivers) records into
   // this registry, so one dump captures the whole stack.
-  MetricsRegistry& metrics() { return metrics_; }
+  MetricsRegistry& metrics() override { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
   // The per-simulation span collector. Disabled (and nearly free) by default;
   // experiments that take --trace-out call tracer().Enable() before the run
   // and export tracer().ToJson() after.
-  Tracer& tracer() { return tracer_; }
+  Tracer& tracer() override { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
   // Legacy aggregate view over the "net.*" registry counters. The counters
@@ -92,6 +87,7 @@ class Network {
     uint64_t delivered = 0;
     uint64_t dropped_loss = 0;
     uint64_t dropped_down = 0;
+    uint64_t dropped_oversize = 0;
     uint64_t bytes_sent = 0;
     uint64_t self_sends = 0;
   };
@@ -126,6 +122,7 @@ class Network {
   Counter* delivered_;
   Counter* dropped_loss_;
   Counter* dropped_down_;
+  Counter* dropped_oversize_;
   Counter* bytes_sent_;
   Counter* self_sends_;
   Histogram* msg_bytes_;

@@ -523,11 +523,17 @@ void PastNode::HandleInsertAtRoot(const DeliverContext& ctx,
   replica.content = req.content;
   replica.client = req.client;
   replica.divert_allowed = config_.enable_replica_diversion;
+  // Encode once: the file content is one wire allocation shared by every
+  // remote replica, not one copy per recipient.
+  Bytes encoded = replica.Encode();
+  SharedBytes wire = overlay_->EncodeDirect(
+      static_cast<uint32_t>(PastOp::kStoreReplica),
+      ByteSpan(encoded.data(), encoded.size()));
   for (const NodeDescriptor& target : replicas) {
     if (target.id == overlay_->id()) {
       HandleStoreReplica(replica);
     } else {
-      SendOp(target.addr, PastOp::kStoreReplica, replica.Encode());
+      overlay_->SendDirectWire(target.addr, wire);
     }
   }
 }
@@ -736,15 +742,19 @@ void PastNode::ServeLookup(const NodeDescriptor& client, const FileCertificate& 
   // caches along the lookup path; by Pastry's locality property the first
   // hops are close to the client). The path is at most O(log N) long.
   if (config_.cache_push_on_lookup) {
+    std::vector<NodeAddr> targets;
     for (size_t i = 1; i + 1 < path.size(); ++i) {
       NodeAddr target = path[i];
       if (target == overlay_->addr() || target == client.addr) {
         continue;
       }
+      targets.push_back(target);
+    }
+    if (!targets.empty()) {
       CachePushPayload push;
       push.cert = cert;
       push.content = content;
-      SendOp(target, PastOp::kCachePush, push.Encode());
+      SendOpMulti(targets, PastOp::kCachePush, push.Encode());
     }
   }
 }
@@ -778,11 +788,13 @@ void PastNode::HandleLookupAtRoot(const DeliverContext& ctx,
   fetch.file_id = id;
   fetch.client = req.client;
   fetch.for_lookup = true;
+  std::vector<NodeAddr> targets;
   for (const NodeDescriptor& d : replicas) {
     if (d.id != overlay_->id()) {
-      SendOp(d.addr, PastOp::kFetchRequest, fetch.Encode());
+      targets.push_back(d.addr);
     }
   }
+  SendOpMulti(targets, PastOp::kFetchRequest, fetch.Encode());
 }
 
 void PastNode::HandleFetchRequest(const NodeDescriptor& from,
@@ -845,11 +857,15 @@ void PastNode::HandleReclaimAtRoot(const ReclaimRequestPayload& req) {
     k = static_cast<int>(f->cert.replication_factor);
   }
   std::vector<NodeDescriptor> replicas = overlay_->ReplicaSet(id.Top128(), k);
+  Bytes encoded = req.Encode();
+  SharedBytes wire = overlay_->EncodeDirect(
+      static_cast<uint32_t>(PastOp::kReclaimReplica),
+      ByteSpan(encoded.data(), encoded.size()));
   for (const NodeDescriptor& target : replicas) {
     if (target.id == overlay_->id()) {
       HandleReclaimReplica(req);
     } else {
-      SendOp(target.addr, PastOp::kReclaimReplica, req.Encode());
+      overlay_->SendDirectWire(target.addr, wire);
     }
   }
 }
@@ -948,11 +964,13 @@ void PastNode::RunMaintenance() {
     ReplicaNotifyPayload notify;
     notify.file_id = id;
     notify.file_size = f->cert.file_size;
+    std::vector<NodeAddr> targets;
     for (const NodeDescriptor& d : replicas) {
       if (d.id != overlay_->id()) {
-        SendOp(d.addr, PastOp::kReplicaNotify, notify.Encode());
+        targets.push_back(d.addr);
       }
     }
+    SendOpMulti(targets, PastOp::kReplicaNotify, notify.Encode());
     if (!self_in) {
       // No longer responsible: demote the replica to an (evictable) cached
       // copy after offering it to the current replica set above.

@@ -276,6 +276,19 @@ class PastNode : public PastryApp {
   void SendOp(NodeAddr to, PastOp op, Bytes payload) {
     overlay_->SendDirect(to, static_cast<uint32_t>(op), std::move(payload));
   }
+  // Fan-out to several recipients: encode the wire once and share it, so a
+  // bulk payload (file contents to k replicas) is one allocation, not k.
+  void SendOpMulti(const std::vector<NodeAddr>& targets, PastOp op,
+                   const Bytes& payload) {
+    if (targets.empty()) {
+      return;
+    }
+    SharedBytes wire = overlay_->EncodeDirect(static_cast<uint32_t>(op),
+                                              ByteSpan(payload.data(), payload.size()));
+    for (NodeAddr to : targets) {
+      overlay_->SendDirectWire(to, wire);
+    }
+  }
   // Routes toward `key`; `parent_span` rides the wire so remote hop spans
   // attach under the issuing operation. Returns the route seq.
   uint64_t RouteOp(const U128& key, PastOp op, Bytes payload,

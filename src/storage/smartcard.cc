@@ -158,6 +158,30 @@ RsaKeyPair Broker::MakeCardKey() {
 Result<std::unique_ptr<Smartcard>> Broker::IssueCard(uint64_t usage_quota,
                                                      uint64_t contributed_storage,
                                                      int64_t expiry) {
+  StatusCode balance = CheckBalance(usage_quota, contributed_storage);
+  if (balance != StatusCode::kOk) {
+    return balance;  // before keygen, so a rejection never advances the rng
+  }
+  return Finalize(MakeCardKey(), usage_quota, contributed_storage, expiry);
+}
+
+Result<std::unique_ptr<Smartcard>> Broker::IssueCardWithSeed(
+    uint64_t card_seed, uint64_t usage_quota, uint64_t contributed_storage,
+    int64_t expiry) {
+  // A dedicated rng and a full keygen (no modulus pool — pool contents
+  // depend on broker issuance history) make the card a pure function of
+  // (broker seed, card seed).
+  StatusCode balance = CheckBalance(usage_quota, contributed_storage);
+  if (balance != StatusCode::kOk) {
+    return balance;
+  }
+  Rng card_rng(card_seed);
+  return Finalize(RsaKeyPair::Generate(options_.key_bits, &card_rng), usage_quota,
+                  contributed_storage, expiry);
+}
+
+StatusCode Broker::CheckBalance(uint64_t usage_quota,
+                                uint64_t contributed_storage) const {
   if (options_.enforce_balance) {
     double projected_demand = static_cast<double>(total_demand_ + usage_quota);
     double supply = static_cast<double>(total_supply_ + contributed_storage);
@@ -165,7 +189,13 @@ Result<std::unique_ptr<Smartcard>> Broker::IssueCard(uint64_t usage_quota,
       return StatusCode::kQuotaExceeded;
     }
   }
-  RsaKeyPair card_key = MakeCardKey();
+  return StatusCode::kOk;
+}
+
+Result<std::unique_ptr<Smartcard>> Broker::Finalize(RsaKeyPair card_key,
+                                                    uint64_t usage_quota,
+                                                    uint64_t contributed_storage,
+                                                    int64_t expiry) {
   Bytes signature = RsaSignMessage(key_, card_key.pub.Encode());
   total_demand_ += usage_quota;
   total_supply_ += contributed_storage;

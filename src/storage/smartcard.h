@@ -118,6 +118,16 @@ class Broker {
                                                uint64_t contributed_storage,
                                                int64_t expiry = INT64_MAX);
 
+  // Issues a card whose key is derived from `card_seed` alone (not the
+  // broker's issuance order). Two brokers built from the same seed issue
+  // byte-identical cards for the same card_seed — how a multi-process
+  // cluster gives every daemon a distinct, deterministic identity under one
+  // shared broker without any coordination.
+  Result<std::unique_ptr<Smartcard>> IssueCardWithSeed(uint64_t card_seed,
+                                                       uint64_t usage_quota,
+                                                       uint64_t contributed_storage,
+                                                       int64_t expiry = INT64_MAX);
+
   uint64_t total_demand() const { return total_demand_; }   // sum of quotas
   uint64_t total_supply() const { return total_supply_; }   // sum of contributions
   size_t cards_issued() const { return cards_issued_; }
@@ -132,6 +142,11 @@ class Broker {
   };
 
   RsaKeyPair MakeCardKey();
+  StatusCode CheckBalance(uint64_t usage_quota, uint64_t contributed_storage) const;
+  Result<std::unique_ptr<Smartcard>> Finalize(RsaKeyPair card_key,
+                                              uint64_t usage_quota,
+                                              uint64_t contributed_storage,
+                                              int64_t expiry);
 
   BrokerOptions options_;
   Rng rng_;

@@ -11,6 +11,7 @@
 
 #include "src/common/bytes.h"
 #include "src/diskstore/log_format.h"
+#include "src/net/frame.h"
 #include "src/obs/json.h"
 #include "src/pastry/messages.h"
 #include "src/storage/messages.h"
@@ -190,6 +191,63 @@ TEST(FuzzCorpusDiskstore, TornTailKeepsConsistentPrefix) {
   EXPECT_EQ(offset, cut);
 }
 
+// --- net/frame ---------------------------------------------------------------
+
+Bytes NetFrameFile(const std::string& name) {
+  return ReadFile(CorpusDir() / "fuzz_net_frame" / name);
+}
+
+TEST(FuzzCorpusNetFrame, TruncatedHeaderNeedsMore) {
+  Bytes raw = NetFrameFile("frame_truncated_header.bin");
+  FrameHeader header;
+  ByteSpan payload;
+  EXPECT_EQ(DecodeFrame(ByteSpan(raw.data(), raw.size()), 1u << 20, &header,
+                        &payload),
+            FrameError::kNeedMore);
+}
+
+TEST(FuzzCorpusNetFrame, AbsurdLengthCappedBeforeAllocation) {
+  // payload_len = 0xffffffff with valid magic/version: the cap must reject
+  // it from the header alone, never trusting the length.
+  Bytes raw = NetFrameFile("frame_absurd_length.bin");
+  FrameHeader header;
+  EXPECT_EQ(DecodeFrameHeader(ByteSpan(raw.data(), raw.size()), 1u << 20, &header),
+            FrameError::kTooLarge);
+}
+
+TEST(FuzzCorpusNetFrame, BadMagicRejected) {
+  Bytes raw = NetFrameFile("frame_bad_magic.bin");
+  FrameHeader header;
+  ByteSpan payload;
+  EXPECT_EQ(DecodeFrame(ByteSpan(raw.data(), raw.size()), 1u << 20, &header,
+                        &payload),
+            FrameError::kBadMagic);
+}
+
+TEST(FuzzCorpusNetFrame, BadVersionRejected) {
+  Bytes raw = NetFrameFile("frame_bad_version.bin");
+  FrameHeader header;
+  ByteSpan payload;
+  EXPECT_EQ(DecodeFrame(ByteSpan(raw.data(), raw.size()), 1u << 20, &header,
+                        &payload),
+            FrameError::kBadVersion);
+}
+
+TEST(FuzzCorpusNetFrame, BadCrcRejectedAndPoisonsStream) {
+  Bytes raw = NetFrameFile("frame_bad_crc.bin");
+  FrameHeader header;
+  ByteSpan payload;
+  EXPECT_EQ(DecodeFrame(ByteSpan(raw.data(), raw.size()), 1u << 20, &header,
+                        &payload),
+            FrameError::kBadCrc);
+  FrameReader reader(1u << 20);
+  reader.Append(ByteSpan(raw.data(), raw.size()));
+  FrameHeader fh;
+  Bytes body;
+  EXPECT_EQ(reader.Next(&fh, &body), FrameError::kBadCrc);
+  EXPECT_TRUE(reader.failed());
+}
+
 // --- generic sweep -----------------------------------------------------------
 
 // Every corpus file must at least decode-or-fail cleanly through its surface;
@@ -216,6 +274,10 @@ TEST(FuzzCorpus, EveryFileReplaysWithoutCrashing) {
         InsertRequestPayload payload;
         (void)InsertRequestPayload::Decode(data.subspan(1), &payload);
       }
+    } else if (surface == "fuzz_net_frame") {
+      FrameHeader header;
+      ByteSpan payload;
+      (void)DecodeFrame(data, 1u << 20, &header, &payload);
     } else if (surface == "fuzz_diskstore_log") {
       uint64_t seq = 0;
       if (DecodeSegmentHeader(data, &seq)) {
@@ -229,7 +291,7 @@ TEST(FuzzCorpus, EveryFileReplaysWithoutCrashing) {
     }
     ++replayed;
   }
-  EXPECT_GE(replayed, 17u);  // the named regressions above must all be present
+  EXPECT_GE(replayed, 22u);  // the named regressions above must all be present
 }
 
 }  // namespace

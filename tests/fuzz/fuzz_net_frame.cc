@@ -1,0 +1,108 @@
+// Fuzz driver for the socket-transport frame codec (src/net/frame.h).
+//
+// Runs every input through both decode surfaces: DecodeFrame (the UDP
+// datagram path — exactly one frame, no trailing bytes) and FrameReader (the
+// TCP stream path — incremental appends in several chunk sizes). Invariants:
+// an accepted datagram re-encodes to exactly its input bytes, the stream
+// reader at chunk size = input size agrees with the datagram decoder on a
+// single-frame input, stream errors are sticky, and no input makes either
+// path allocate beyond the configured payload cap or fail to terminate.
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/net/frame.h"
+#include "tests/fuzz/fuzz_util.h"
+
+namespace {
+
+using namespace past;  // NOLINT
+
+constexpr size_t kMaxPayload = 1 << 20;
+
+void TestOneInput(ByteSpan data) {
+  // Datagram path.
+  FrameHeader header;
+  ByteSpan payload;
+  FrameError datagram = DecodeFrame(data, kMaxPayload, &header, &payload);
+  if (datagram == FrameError::kNone) {
+    FUZZ_ASSERT(payload.size() == header.payload_len,
+                "payload span must match the header length");
+    FUZZ_ASSERT(data.size() == kFrameHeaderSize + header.payload_len,
+                "an accepted datagram has no trailing bytes");
+    // The codec is canonical: decode(encode) == identity and vice versa.
+    Bytes reencoded = EncodeFrame(header.from, header.to, payload);
+    FUZZ_ASSERT(reencoded.size() == data.size(), "re-encode size mismatch");
+    FUZZ_ASSERT(std::equal(reencoded.begin(), reencoded.end(), data.begin()),
+                "re-encode must reproduce the input bytes");
+  }
+
+  // Stream path, several chunkings of the same bytes.
+  const size_t chunks[] = {1, 7, data.size() > 0 ? data.size() : 1};
+  for (size_t chunk : chunks) {
+    FrameReader reader(kMaxPayload);
+    size_t offset = 0;
+    size_t frames = 0;
+    FrameError last = FrameError::kNeedMore;
+    while (offset < data.size() && !reader.failed()) {
+      size_t n = std::min(chunk, data.size() - offset);
+      reader.Append(data.subspan(offset, n));
+      offset += n;
+      for (;;) {
+        FrameHeader fh;
+        Bytes body;
+        last = reader.Next(&fh, &body);
+        if (last != FrameError::kNone) {
+          break;
+        }
+        FUZZ_ASSERT(body.size() == fh.payload_len,
+                    "stream frame body must match its header length");
+        FUZZ_ASSERT(fh.payload_len <= kMaxPayload,
+                    "stream frame must respect the payload cap");
+        ++frames;
+      }
+    }
+    if (reader.failed()) {
+      // Errors are sticky: the poisoned stream keeps reporting the same
+      // error and never yields another frame.
+      FrameHeader fh;
+      Bytes body;
+      FUZZ_ASSERT(reader.Next(&fh, &body) == last, "stream error must be sticky");
+    }
+    if (chunk >= data.size() && datagram == FrameError::kNone) {
+      FUZZ_ASSERT(frames == 1 && !reader.failed(),
+                  "stream and datagram decoders must agree on one-frame input");
+    }
+  }
+}
+
+std::vector<Bytes> SeedInputs() {
+  std::vector<Bytes> seeds;
+
+  // A small control frame and an empty-payload frame.
+  Bytes payload = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  seeds.push_back(EncodeFrame(7, 9, ByteSpan(payload.data(), payload.size())));
+  seeds.push_back(EncodeFrame(1, 2, ByteSpan()));
+
+  // Two frames back to back — the steady state of a TCP stream.
+  Bytes stream = EncodeFrame(3, 4, ByteSpan(payload.data(), payload.size()));
+  Bytes second = EncodeFrame(4, 3, ByteSpan(payload.data(), 3));
+  stream.insert(stream.end(), second.begin(), second.end());
+  seeds.push_back(stream);
+
+  // A torn frame: header promises more payload than follows.
+  Bytes torn = EncodeFrame(5, 6, ByteSpan(payload.data(), payload.size()));
+  torn.resize(torn.size() - 3);
+  seeds.push_back(torn);
+
+  // A bulk frame, so length mutations cross the UDP/TCP size boundary.
+  Bytes bulk_payload(4096, 0xa5);
+  seeds.push_back(
+      EncodeFrame(8, 1, ByteSpan(bulk_payload.data(), bulk_payload.size())));
+
+  return seeds;
+}
+
+}  // namespace
+
+PAST_FUZZ_MAIN(TestOneInput, SeedInputs)

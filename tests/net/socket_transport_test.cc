@@ -1,0 +1,273 @@
+// Socket-backend behaviors beyond the cross-backend conformance suite:
+// the UDP/TCP size split, reconnect after a peer restart, backpressure
+// caps, decode hardening against hostile datagrams, misaddressed-frame
+// drops, external fd watchers, and RTT-backed Proximity.
+//
+// All tests run real sockets on loopback with ephemeral ports, so they are
+// parallel-safe and need no fixed port assignments.
+#include "src/net/socket_transport.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/socket_util.h"
+
+namespace past {
+namespace {
+
+struct Received {
+  NodeAddr from;
+  Bytes wire;
+};
+
+class Sink : public NetReceiver {
+ public:
+  void OnMessage(NodeAddr from, ByteSpan wire) override {
+    got.push_back(Received{from, Bytes(wire.begin(), wire.end())});
+  }
+  std::vector<Received> got;
+};
+
+// Polls every transport through `rounds` short rounds — enough for loopback
+// connects, flushes, and deliveries to complete.
+void Pump(std::initializer_list<SocketTransport*> transports, int rounds = 200) {
+  for (int i = 0; i < rounds; ++i) {
+    for (SocketTransport* t : transports) {
+      ASSERT_EQ(t->PollOnce(1), StatusCode::kOk);
+    }
+  }
+}
+
+uint64_t CounterValue(SocketTransport& t, const char* name) {
+  return t.metrics().GetCounter(name)->value();
+}
+
+// An opened transport with a registered sink, on an ephemeral port.
+struct Endpoint {
+  explicit Endpoint(SocketTransportOptions options = {}) : transport(options) {
+    EXPECT_EQ(transport.Open(), StatusCode::kOk);
+    addr = transport.Register(&sink);
+  }
+  SocketTransport transport;
+  Sink sink;
+  NodeAddr addr = kInvalidAddr;
+};
+
+TEST(SocketTransport, OpenBindsEphemeralPortAndPacksAddress) {
+  Endpoint e;
+  EXPECT_NE(e.transport.port(), 0);
+  // Default single-host table: host_index 0, so addr == port.
+  EXPECT_EQ(e.addr, MakeSockAddr(0, e.transport.port()));
+  EXPECT_EQ(e.addr, e.transport.local_addr());
+  EXPECT_TRUE(e.transport.IsUp(e.addr));
+}
+
+TEST(SocketTransport, SmallPayloadsTakeUdpAndBulkTakesTcp) {
+  Endpoint a;
+  Endpoint b;
+
+  // At the default split (1200): one datagram, no TCP connection.
+  a.transport.Send(a.addr, b.addr, Bytes(1200, 0x01));
+  Pump({&a.transport, &b.transport});
+  ASSERT_EQ(b.sink.got.size(), 1u);
+  EXPECT_EQ(b.sink.got[0].from, a.addr);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.udp_tx"), 1u);
+  EXPECT_EQ(CounterValue(b.transport, "net.sock.udp_rx"), 1u);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.conns_dialed"), 0u);
+
+  // One byte past the split: streams over a dialed TCP connection.
+  a.transport.Send(a.addr, b.addr, Bytes(1201, 0x02));
+  Pump({&a.transport, &b.transport});
+  ASSERT_EQ(b.sink.got.size(), 2u);
+  EXPECT_EQ(b.sink.got[1].wire.size(), 1201u);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.tcp_tx"), 1u);
+  EXPECT_EQ(CounterValue(b.transport, "net.sock.tcp_rx"), 1u);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.conns_dialed"), 1u);
+  EXPECT_EQ(CounterValue(b.transport, "net.sock.conns_accepted"), 1u);
+
+  // The cached connection is reused for the next bulk send.
+  a.transport.Send(a.addr, b.addr, Bytes(5000, 0x03));
+  Pump({&a.transport, &b.transport});
+  ASSERT_EQ(b.sink.got.size(), 3u);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.conns_dialed"), 1u);
+}
+
+TEST(SocketTransport, RedialsAfterPeerRestart) {
+  Endpoint a;
+  auto b = std::make_unique<Endpoint>();
+  const uint16_t b_port = b->transport.port();
+  const NodeAddr b_addr = b->addr;
+
+  a.transport.Send(a.addr, b_addr, Bytes(3000, 0x01));
+  Pump({&a.transport, &b->transport});
+  ASSERT_EQ(b->sink.got.size(), 1u);
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.conns_dialed"), 1u);
+
+  // Peer goes away; the sender notices the dead connection while polling.
+  b->transport.Close();
+  Pump({&a.transport}, 50);
+  EXPECT_GE(CounterValue(a.transport, "net.sock.conns_dropped"), 1u);
+
+  // Peer restarts on the same port (new process in real life).
+  SocketTransportOptions options;
+  options.port = b_port;
+  Endpoint b2(options);
+  ASSERT_EQ(b2.addr, b_addr);
+
+  // The next bulk send dials a fresh connection and gets through. The first
+  // attempt can race the sender's discovery of the dead socket, so retry.
+  for (int attempt = 0; attempt < 5 && b2.sink.got.empty(); ++attempt) {
+    a.transport.Send(a.addr, b_addr, Bytes(3000, 0x02));
+    Pump({&a.transport, &b2.transport});
+  }
+  ASSERT_FALSE(b2.sink.got.empty());
+  EXPECT_EQ(b2.sink.got[0].wire.size(), 3000u);
+  EXPECT_GE(CounterValue(a.transport, "net.sock.conns_dialed"), 2u);
+}
+
+TEST(SocketTransport, BackpressureCapDropsInsteadOfBufferingUnbounded) {
+  SocketTransportOptions options;
+  options.max_peer_queue_bytes = 4096;
+  Endpoint a(options);
+  Endpoint b;
+
+  // Queue bulk frames while the non-blocking connect is still resolving
+  // (no PollOnce yet): the per-peer cap admits only the first two.
+  for (int i = 0; i < 10; ++i) {
+    a.transport.Send(a.addr, b.addr, Bytes(1800, static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.dropped_backpressure"), 8u);
+
+  // What was admitted still flows once the connect resolves.
+  Pump({&a.transport, &b.transport});
+  ASSERT_EQ(b.sink.got.size(), 2u);
+  EXPECT_EQ(b.sink.got[0].wire[0], 0x00);
+  EXPECT_EQ(b.sink.got[1].wire[0], 0x01);
+}
+
+TEST(SocketTransport, HostileDatagramsAreCountedAndDropped) {
+  Endpoint e;
+
+  uint16_t injector_port = 0;
+  Result<int> injector = UdpBind("127.0.0.1", 0, &injector_port);
+  ASSERT_TRUE(injector.ok());
+  sockaddr_in dest;
+  ASSERT_EQ(ResolveIpv4("127.0.0.1", e.transport.port(), &dest), StatusCode::kOk);
+  auto inject = [&](const Bytes& datagram) {
+    ASSERT_GE(::sendto(injector.value(), datagram.data(), datagram.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&dest), sizeof(dest)),
+              0);
+  };
+
+  inject(Bytes(64, 0xcd));                       // garbage: bad magic
+  inject(Bytes(10, 0x50));                       // truncated header
+  Bytes corrupt = EncodeFrame(1, e.addr, ByteSpan());
+  corrupt.push_back(0xff);                        // trailing byte
+  inject(corrupt);
+  Pump({&e.transport}, 50);
+  EXPECT_EQ(CounterValue(e.transport, "net.sock.dropped_decode"), 3u);
+
+  // A well-formed frame addressed to someone else is dropped separately.
+  inject(EncodeFrame(1, e.addr + 1, ByteSpan()));
+  Pump({&e.transport}, 50);
+  EXPECT_EQ(CounterValue(e.transport, "net.sock.dropped_misaddressed"), 1u);
+
+  // None of it reached the receiver; a valid frame still does.
+  EXPECT_TRUE(e.sink.got.empty());
+  Bytes payload = {0x01, 0x02};
+  inject(EncodeFrame(7, e.addr, ByteSpan(payload.data(), payload.size())));
+  Pump({&e.transport}, 50);
+  ASSERT_EQ(e.sink.got.size(), 1u);
+  EXPECT_EQ(e.sink.got[0].from, 7u);
+  EXPECT_EQ(e.sink.got[0].wire, payload);
+
+  ::close(injector.value());
+}
+
+TEST(SocketTransport, SendToUnknownHostIndexIsMisaddressed) {
+  Endpoint e;
+  // Default host table has one entry; host_index 3 points nowhere.
+  e.transport.Send(e.addr, MakeSockAddr(3, 12345), Bytes{0x01});
+  EXPECT_EQ(CounterValue(e.transport, "net.sock.dropped_misaddressed"), 1u);
+}
+
+TEST(SocketTransport, WatchFdHooksExternalFdIntoTheLoop) {
+  Endpoint e;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(SetNonBlocking(fds[0]), StatusCode::kOk);
+
+  int fired = 0;
+  Bytes seen;
+  e.transport.WatchFd(fds[0], POLLIN, [&](int fd, short revents) {
+    EXPECT_EQ(fd, fds[0]);
+    EXPECT_TRUE(revents & POLLIN);
+    uint8_t buf[16];
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    seen.insert(seen.end(), buf, buf + n);
+    ++fired;
+  });
+
+  ASSERT_EQ(::write(fds[1], "hi", 2), 2);
+  Pump({&e.transport}, 20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seen, (Bytes{'h', 'i'}));
+
+  // After UnwatchFd the loop ignores the fd.
+  e.transport.UnwatchFd(fds[0]);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  Pump({&e.transport}, 20);
+  EXPECT_EQ(fired, 1);
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SocketTransport, ProximityComesFromMeasuredConnectRtt) {
+  Endpoint a;
+  Endpoint b;
+
+  // No measurement yet — and a real endpoint cannot rank third parties.
+  EXPECT_EQ(a.transport.Proximity(a.addr, b.addr), 0.0);
+  EXPECT_EQ(a.transport.Proximity(a.addr, a.addr), 0.0);
+  EXPECT_EQ(a.transport.Proximity(b.addr, b.addr + 1), 0.0);
+
+  // A bulk send dials TCP; the connect handshake yields an RTT sample.
+  a.transport.Send(a.addr, b.addr, Bytes(2000, 0x01));
+  Pump({&a.transport, &b.transport});
+  ASSERT_EQ(b.sink.got.size(), 1u);
+  EXPECT_GT(a.transport.Proximity(a.addr, b.addr), 0.0);
+  // Symmetric lookup order, same answer.
+  EXPECT_EQ(a.transport.Proximity(b.addr, a.addr),
+            a.transport.Proximity(a.addr, b.addr));
+}
+
+TEST(SocketTransport, LocalDownDropsSendsAndDeliveries) {
+  Endpoint a;
+  Endpoint b;
+
+  a.transport.SetUp(a.addr, false);
+  EXPECT_FALSE(a.transport.IsUp(a.addr));
+  a.transport.Send(a.addr, b.addr, Bytes{0x01});
+  EXPECT_EQ(CounterValue(a.transport, "net.sock.dropped_down"), 1u);
+  // Only the local endpoint can be switched.
+  a.transport.SetUp(b.addr, false);
+  EXPECT_TRUE(a.transport.IsUp(b.addr));
+
+  a.transport.SetUp(a.addr, true);
+  a.transport.Send(a.addr, b.addr, Bytes{0x02});
+  Pump({&a.transport, &b.transport}, 50);
+  ASSERT_EQ(b.sink.got.size(), 1u);
+  EXPECT_EQ(b.sink.got[0].wire, (Bytes{0x02}));
+}
+
+}  // namespace
+}  // namespace past

@@ -37,6 +37,12 @@ ctest --test-dir "$build_dir" -L crypto_diff --output-on-failure
 echo "== trace determinism gate (ctest -R trace_determinism)"
 ctest --test-dir "$build_dir" -R trace_determinism --output-on-failure
 
+echo "== cluster gate (ctest -L cluster)"
+# Real daemons over localhost sockets: N processes, cross-process
+# insert/lookup/reclaim, kill-one-node survival. Bounded by both the ctest
+# TIMEOUT property and this outer timeout so a wedged daemon cannot hang CI.
+ctest --test-dir "$build_dir" -L cluster --timeout 300 --output-on-failure
+
 echo "== full suite"
 ctest --test-dir "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
   --output-on-failure

@@ -32,6 +32,12 @@
 //                    lowercase "<layer>.<metric>" convention, so the JSON
 //                    dumps downstream tooling parses stay uniformly named.
 //                    Escape hatch: `// lint:allow-metric-name <reason>`.
+//   raw-socket       socket()/bind()/connect() calls outside src/net/ — all
+//                    real networking goes through the Transport interface
+//                    and the socket_util.h wrappers, which keep fds
+//                    non-blocking/cloexec and route bytes through framing
+//                    and decode hardening. Escape hatch:
+//                    `// lint:allow-raw-socket <reason>`.
 //
 // Exit status 0 when clean; 1 with one "file:line: [rule] message" line per
 // violation. A check is only as good as its scrubber: comments and string
@@ -566,6 +572,44 @@ void CheckMetricNames(const File& f) {
   }
 }
 
+// --- rule: raw-socket ---------------------------------------------------------
+
+// Direct socket-API calls belong in src/net/, behind the Transport
+// abstraction: its wrappers (socket_util.h) make every fd non-blocking and
+// close-on-exec, and the transport adds framing, decode hardening, and
+// metrics that ad-hoc sockets silently bypass. Escape hatch:
+// `// lint:allow-raw-socket <reason>`.
+void CheckRawSocket(const File& f) {
+  if (HasPrefix(f.rel, "src/net/")) {
+    return;
+  }
+  static const char* kCalls[] = {"socket", "bind", "connect"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const char* call : kCalls) {
+      size_t col;
+      if (!ContainsToken(line, call, &col)) {
+        continue;
+      }
+      size_t end = col + std::strlen(call);
+      if (end >= line.size() || line[end] != '(') {
+        continue;  // not a call of that name
+      }
+      if (col >= 5 && line.compare(col - 5, 5, "std::") == 0) {
+        continue;  // std::bind and friends are not socket calls
+      }
+      if (Suppressed(f, i, "lint:allow-raw-socket")) {
+        continue;
+      }
+      Report(f, i, "raw-socket",
+             std::string(call) +
+                 "() outside src/net/: go through the Transport interface or "
+                 "the src/net/socket_util.h wrappers (annotate "
+                 "lint:allow-raw-socket to override)");
+    }
+  }
+}
+
 // --- driver ------------------------------------------------------------------
 
 bool WantFile(const fs::path& p) {
@@ -587,13 +631,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: past_lint [--root <repo>] [--rule nondeterminism|"
                    "header-hygiene|includes|nodiscard|codec-pairing|"
-                   "global-state|metric-name|all]\n");
+                   "global-state|metric-name|raw-socket|all]\n");
       return 2;
     }
   }
   static const char* kRules[] = {"nondeterminism", "header-hygiene", "includes",
                                  "nodiscard",      "codec-pairing",  "global-state",
-                                 "metric-name"};
+                                 "metric-name",    "raw-socket"};
   bool known = rule == "all";
   for (const char* r : kRules) {
     known = known || rule == r;
@@ -651,6 +695,9 @@ int main(int argc, char** argv) {
     }
     if (rule == "all" || rule == "metric-name") {
       CheckMetricNames(f);
+    }
+    if (rule == "all" || rule == "raw-socket") {
+      CheckRawSocket(f);
     }
   }
   if (g_violations > 0) {
