@@ -24,18 +24,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -87,6 +86,42 @@ struct ExpArgs {
   }
 };
 
+// Single-producer-slot commit queue between trial workers and the committing
+// thread: workers Push() results keyed by trial index, the caller Take()s
+// them strictly in ascending index order. Lock discipline over the slots is
+// declared with PAST_GUARDED_BY and checked at compile time under Clang
+// (-Wthread-safety); see src/common/mutex.h.
+template <typename Result>
+class TrialCommitQueue {
+ public:
+  explicit TrialCommitQueue(size_t count) : done_(count) {}
+
+  // Worker side: deposit the finished trial and wake the committer.
+  void Push(size_t index, Result r) PAST_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      done_[index].emplace(std::move(r));
+    }
+    cv_.NotifyOne();
+  }
+
+  // Committer side: block until trial `index` is deposited, then claim it.
+  Result Take(size_t index) PAST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!done_[index].has_value()) {
+      cv_.Wait(&mu_);
+    }
+    Result r = std::move(*done_[index]);
+    done_[index].reset();
+    return r;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::optional<Result>> done_ PAST_GUARDED_BY(mu_);
+};
+
 // Execution policy for RunTrials().
 struct TrialOptions {
   int threads = 1;  // 0 = hardware_concurrency
@@ -132,9 +167,7 @@ void RunTrials(const TrialOptions& options, size_t count, RunFn run,
     }
   }
 
-  std::vector<std::optional<Result>> done(count);
-  std::mutex mu;
-  std::condition_variable cv;
+  TrialCommitQueue<Result> queue(count);
   std::atomic<size_t> next{0};
   auto worker = [&] {
     while (true) {
@@ -143,12 +176,7 @@ void RunTrials(const TrialOptions& options, size_t count, RunFn run,
         return;
       }
       size_t index = order[slot];
-      Result r = run(index);
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        done[index].emplace(std::move(r));
-      }
-      cv.notify_one();
+      queue.Push(index, run(index));
     }
   };
   std::vector<std::thread> pool;
@@ -158,11 +186,7 @@ void RunTrials(const TrialOptions& options, size_t count, RunFn run,
     pool.emplace_back(worker);
   }
   for (size_t i = 0; i < count; ++i) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done[i].has_value(); });
-    Result r = std::move(*done[i]);
-    done[i].reset();
-    lock.unlock();
+    Result r = queue.Take(i);
     commit(i, r);
   }
   for (auto& t : pool) {

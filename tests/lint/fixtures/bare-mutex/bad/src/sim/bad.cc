@@ -1,0 +1,8 @@
+// Positive control for the bare-mutex rule: a std::mutex and a
+// std::lock_guard outside src/common/ — invisible to -Wthread-safety, so
+// banned in favor of the annotated past::Mutex wrappers.
+#include <mutex>
+
+std::mutex g_mu;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_mu); }

@@ -1,0 +1,22 @@
+// Negative control for the bare-mutex rule: the annotated past::Mutex
+// wrappers are the sanctioned lock, prose and strings mentioning std::mutex
+// are invisible to the tokenizer, and the escape hatch works.
+#include "src/common/mutex.h"
+
+struct Queue {
+  past::Mutex mu;
+  int depth PAST_GUARDED_BY(mu);
+};
+
+int Probe(Queue& q) {
+  // std::mutex in a comment is prose, not a lock.
+  const char* doc = "std::mutex std::condition_variable";
+  (void)doc;
+  past::MutexLock lock(&q.mu);
+  return q.depth;
+}
+
+#include <mutex>
+
+// lint:allow-bare-mutex fixture: deliberate, proves the escape hatch
+std::mutex g_escape_hatch_mu;

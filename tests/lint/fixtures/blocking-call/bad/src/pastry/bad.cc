@@ -1,0 +1,11 @@
+// Positive control for the blocking-call rule: a sleep, a stray fsync
+// outside src/diskstore/, a blocking poll outside src/net/, and a bare
+// POSIX read on the event-dispatch path.
+struct pollfd;
+
+void Stall(int fd, pollfd* fds, unsigned char* buf) {
+  sleep(1);
+  fsync(fd);
+  poll(fds, 1, -1);
+  read(fd, buf, 64);
+}

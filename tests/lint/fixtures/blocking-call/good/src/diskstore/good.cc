@@ -1,0 +1,3 @@
+// Negative control: fsync inside src/diskstore/ is the sanctioned home of
+// durability syncs (the Env measures and batches it).
+void Sync(int fd) { fsync(fd); }

@@ -1,0 +1,11 @@
+// Negative control: poll/recv/connect inside src/net/ are the transport's
+// own non-blocking machinery (fds are O_NONBLOCK; poll is the loop).
+struct pollfd;
+struct sockaddr;
+
+int Pump(pollfd* fds, int fd, const sockaddr* addr, unsigned len) {
+  if (connect(fd, addr, len) != 0) {
+    return -1;
+  }
+  return poll(fds, 1, 0);
+}

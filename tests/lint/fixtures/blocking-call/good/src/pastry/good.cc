@@ -1,0 +1,19 @@
+// Negative control for the blocking-call rule outside the sanctioned
+// directories: member .read()/.write() calls are stream/wrapper APIs judged
+// by their own layer, prose and strings are invisible, and the escape hatch
+// works.
+struct Stream {
+  long read(unsigned char* buf, long n);
+  long write(const unsigned char* buf, long n);
+};
+
+long Copy(Stream& in, Stream& out, unsigned char* buf) {
+  // Calling sleep() or fsync() here would stall the whole event loop.
+  const char* doc = "sleep(1) fsync(fd) poll(fds, 1, -1)";
+  (void)doc;
+  long n = in.read(buf, 64);
+  return out.write(buf, n);
+}
+
+// lint:allow-blocking fixture: deliberate, proves the escape hatch
+void Nap() { sleep(1); }

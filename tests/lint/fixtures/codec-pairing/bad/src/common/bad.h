@@ -1,0 +1,7 @@
+// Positive control for the codec-pairing rule: an EncodeBody with no
+// DecodeBody — a wire struct that lost its parser.
+#pragma once
+
+struct Orphan {
+  void EncodeBody(unsigned char* out) const;
+};

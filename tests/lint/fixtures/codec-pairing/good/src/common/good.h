@@ -1,0 +1,9 @@
+// Negative control for the codec-pairing rule: every encoder has its
+// decoder, and the comment mentioning a lone void EncodeBody( is prose the
+// tokenizer never sees.
+#pragma once
+
+struct Paired {
+  void EncodeBody(unsigned char* out) const;
+  static bool DecodeBody(const unsigned char* data, Paired* out);
+};

@@ -1,0 +1,15 @@
+// Positive control for the global-state rule: a mutable namespace-scope
+// variable wrapped across two lines (the old scanner required the whole
+// declaration on one line) and a mutable function-local static.
+namespace past {
+
+unsigned long
+    g_total_bytes;
+
+int Count() {
+  static int calls;
+  calls = calls + 1;
+  return calls;
+}
+
+}  // namespace past

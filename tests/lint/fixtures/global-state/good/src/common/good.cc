@@ -1,0 +1,14 @@
+// Negative control for the global-state rule: constants are fine, braces
+// and semicolons inside string literals must not desynchronize the scope
+// tracker, and an annotated exception passes.
+namespace past {
+
+constexpr int kLimit = 16;
+const char* const kSnippet = "namespace { int fake_global; } extern {";
+
+// lint:allow-global-state fixture: deliberate, mirrors tools/ counters
+int g_annotated_counter;
+
+int Use() { return kLimit + static_cast<int>(kSnippet[0]) + g_annotated_counter; }
+
+}  // namespace past

@@ -1,0 +1,6 @@
+#ifndef PAST_FIXTURE_BAD_H_
+#define PAST_FIXTURE_BAD_H_
+
+struct Undocumented {};
+
+#endif  // PAST_FIXTURE_BAD_H_

@@ -1,0 +1,6 @@
+// A documented header: doc comment first, #pragma once, no guard macros.
+// The string below mentions "#ifndef FAKE_H_" — literal bodies are not
+// directives, so the rule must not fire on it.
+#pragma once
+
+inline const char* GuardProse() { return "#ifndef FAKE_H_"; }

@@ -1,0 +1,7 @@
+// Positive control for the includes rule: the own header is not first, one
+// include is not repo-root-relative, one does not resolve, and one is
+// duplicated.
+#include "other.h"
+#include "src/common/bad.h"
+#include "src/common/missing.h"
+#include "src/common/bad.h"

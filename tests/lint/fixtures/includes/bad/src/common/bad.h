@@ -1,0 +1,3 @@
+// Sibling header for the own-header-first check: bad.cc must include this
+// file before any other quoted include, and does not.
+#pragma once

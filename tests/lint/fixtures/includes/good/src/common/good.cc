@@ -1,0 +1,8 @@
+// Negative control for the includes rule: own header first, every quoted
+// include repo-root-relative and resolving, no duplicates. The comment
+// mentioning #include "not/a/real/path.h" must not count as a directive.
+#include "src/common/good.h"
+
+#include <vector>
+
+#include "src/common/other.h"

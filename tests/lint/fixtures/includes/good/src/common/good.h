@@ -1,0 +1,2 @@
+// Sibling header included first by good.cc.
+#pragma once

@@ -1,0 +1,2 @@
+// A second header so good.cc has a resolving non-own include.
+#pragma once

@@ -1,0 +1,3 @@
+// Positive control for the layer-dag rule: src/common/ (rank 0) reaching up
+// into src/storage/ (rank 4) is a back-edge and must fail.
+#include "src/storage/file_store.h"

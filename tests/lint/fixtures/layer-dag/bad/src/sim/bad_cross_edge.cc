@@ -1,0 +1,4 @@
+// Positive control for the layer-dag rule: src/sim/ and src/diskstore/
+// share rank 2 but sit in different groups (event-loop vs diskstore), so
+// this cross-layer include must fail too.
+#include "src/diskstore/env.h"

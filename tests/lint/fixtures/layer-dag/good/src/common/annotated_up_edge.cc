@@ -1,0 +1,5 @@
+// Negative control for the layer-dag escape hatch: a deliberate upward
+// include carrying lint:allow-layer with a justification passes (and is
+// marked suppressed in the --graph-out JSON).
+// lint:allow-layer fixture: deliberate upward edge to prove the escape works
+#include "src/obs/metrics.h"

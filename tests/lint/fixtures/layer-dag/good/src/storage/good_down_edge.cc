@@ -1,0 +1,4 @@
+// Negative control for the layer-dag rule: storage (rank 4) looking down
+// at common (rank 0) and pastry (rank 3) is the sanctioned direction.
+#include "src/common/bytes.h"
+#include "src/pastry/node_id.h"

@@ -1,0 +1,14 @@
+// Positive control for the metric-name rule: the invalid literal sits two
+// lines below the wrapped call — the old scanner only looked one line down
+// and missed it; the token stream must find and reject it.
+struct Registry {
+  long* GetCounter(const char* name);
+};
+
+void Register(Registry& reg) {
+  long* c =
+      reg.GetCounter(
+
+          "BadName");
+  *c = 1;
+}

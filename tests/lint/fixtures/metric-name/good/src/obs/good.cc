@@ -1,0 +1,20 @@
+// Negative control for the metric-name rule: valid dotted-lowercase names
+// (including one two lines below its wrapped call and one concatenation
+// prefix ending in '.'), plus a comment mentioning GetCounter("NotAName")
+// that must stay invisible to the rule.
+struct Registry {
+  long* GetCounter(const char* name);
+  long* GetCounter(const char* name, int);
+};
+
+const char* Reason();
+
+void Register(Registry& reg) {
+  long* a = reg.GetCounter("net.sent");
+  long* b =
+      reg.GetCounter(
+
+          "pastry.route.hops");
+  long* c = reg.GetCounter("net.drop." + std::string(Reason()));
+  *a = *b = *c = 0;
+}

@@ -1,0 +1,10 @@
+// Positive control for the nodiscard rule. The declaration is wrapped so
+// `bool` and the Decode name sit on different physical lines — the false
+// negative the old line scanner had; the token stream sees the declaration
+// whole and must report it.
+#pragma once
+
+struct Wire {
+  bool
+  DecodeFrame(const unsigned char* data, unsigned long size);
+};

@@ -1,0 +1,13 @@
+// Negative control for the nodiscard rule: annotated declarations pass,
+// and the string/comment mentions of bool DecodeFake( must not match —
+// literal bodies and prose never reach the token stream.
+#pragma once
+
+struct Wire {
+  [[nodiscard]] bool DecodeFrame(const unsigned char* data,
+                                 unsigned long size);
+  [[nodiscard]] static bool
+  ParseHeader(const unsigned char* data, unsigned long size);
+};
+
+inline const char* Doc() { return "bool DecodeFake(int) needs no attribute"; }

@@ -1,0 +1,13 @@
+// Positive control for the nondeterminism rule. The first call hides the
+// banned identifier behind a backslash-newline splice — the exact false
+// negative the old line-regex scanner had; the token lexer joins splices
+// before matching, so both sites must be reported.
+int Draw() {
+  int r = ra\
+nd();
+  return r;
+}
+
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

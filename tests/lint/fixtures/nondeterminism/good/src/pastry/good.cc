@@ -1,0 +1,18 @@
+// Negative control for the nondeterminism rule: every banned name below
+// sits in token context the rule must ignore — prose in comments, string
+// literal bodies, and identifiers that merely contain a banned name. The
+// old line scanner matched some of these; the token lexer must not.
+//
+// Prose may mention rand(), srand(), std::random_device and steady_clock
+// freely: comments never reach the token stream.
+const char* kBannedNames = "rand srand random_device steady_clock time(nullptr)";
+const char* kRawDoc = R"(calling rand() or gettimeofday() here is fine:
+raw-string bodies are literals, not code, even across lines)";
+
+int Operand(int brand, int strand) {
+  // "rand" inside operand/brand/strand is not the identifier rand.
+  return brand + strand;
+}
+
+// lint:allow-nondeterminism deliberate: profiling hook mirrors src/obs/prof.h
+long AnnotatedClock() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,11 @@
+// Positive control for the raw-socket rule: direct socket creation and a
+// global-qualified connect outside src/net/.
+struct sockaddr;
+
+int Dial(const sockaddr* addr, unsigned len) {
+  int fd = socket(2, 1, 0);
+  if (::connect(fd, addr, len) != 0) {
+    return -1;
+  }
+  return fd;
+}

@@ -1,0 +1,16 @@
+// Negative control for the raw-socket rule: std::bind is not a socket
+// call, prose and string literals mentioning socket()/bind()/connect() are
+// invisible to the tokenizer, and an annotated exception passes.
+#include <functional>
+
+int Handler(int a, int b);
+
+void Wire() {
+  auto f = std::bind(&Handler, 1, 2);
+  f();
+  const char* doc = "socket() bind() connect() are banned out here";
+  (void)doc;
+}
+
+// lint:allow-raw-socket fixture: pretend bootstrap probe, mirrors tools/
+int Probe() { return socket(2, 2, 0); }

@@ -1,0 +1,34 @@
+// Positive control for the thread-safety compile-fail probe: the same
+// guarded field accessed correctly — through MutexLock scopes and a
+// PAST_REQUIRES helper — compiles cleanly with
+// `-Wthread-safety -Werror=thread-safety`, proving the probe's rejection of
+// thread_safety_violation.cc is about lock discipline, not the wrappers.
+#include "src/common/mutex.h"
+
+namespace past {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+  int Get() const {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() PAST_REQUIRES(mu_) { value_ = value_ + 1; }
+
+  mutable Mutex mu_;
+  int value_ PAST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace past
+
+int main() {
+  past::Counter c;
+  c.Increment();
+  return c.Get();
+}

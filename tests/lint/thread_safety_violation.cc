@@ -1,0 +1,32 @@
+// Compile-fail probe for the Clang thread-safety wiring (mirrors the
+// nodiscard probe): reading and writing a PAST_GUARDED_BY field without
+// holding its mutex must fail the build under
+// `-Wthread-safety -Werror=thread-safety`. The lint_thread_safety_compile_fail
+// ctest compiles this file with the repo's flags and passes only when the
+// compiler rejects it (WILL_FAIL inverts the result); the positive control
+// thread_safety_ok.cc proves the rejection is for the right reason. Only
+// registered under Clang — GCC has no thread-safety analysis, so there the
+// annotations expand to nothing and this file compiles.
+#include "src/common/mutex.h"
+
+namespace past {
+
+class Counter {
+ public:
+  // BAD: touches value_ without holding mu_. The analysis must reject both
+  // the write and the read.
+  void Increment() { value_ = value_ + 1; }
+  int Get() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ PAST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace past
+
+int main() {
+  past::Counter c;
+  c.Increment();
+  return c.Get();
+}

@@ -6,16 +6,34 @@
 #   tools/check.sh            # release preset (build-release/)
 #   tools/check.sh asan       # ASan+UBSan preset (build-asan/)
 #   tools/check.sh tsan       # ThreadSanitizer preset (build-tsan/)
+#   tools/check.sh tidy       # clang-tidy on every compile (build-tidy/)
+#   tools/check.sh lint       # fast mode: build only past_lint/past_stats,
+#                             # run the static rules + fixture self-tests
 #
 # The asan run is the configuration the fuzz drivers are most valuable under:
 # a decoder overread that slips past the invariant checks still aborts. The
 # tsan run exists for the parallel TrialRunner (bench/exp_util.h): the
 # parallel_determinism ctests drive exp binaries at --threads 4 under it.
+# The lint mode is the pre-push loop: seconds, not minutes — everything in
+# `ctest -L lint` except the determinism reruns that need experiment
+# binaries.
 set -eu
 
 preset="${1:-release}"
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cd "$repo"
+
+if [ "$preset" = "lint" ]; then
+  echo "== configure (preset: release)"
+  cmake --preset release
+  echo "== build (past_lint, past_stats only)"
+  cmake --build --preset release --target past_lint past_stats \
+    -j "$(nproc 2>/dev/null || echo 4)"
+  echo "== lint gate (ctest -L lint, determinism reruns excluded)"
+  ctest --test-dir build-release -L lint -LE determinism --output-on-failure
+  echo "== check.sh: lint gate passed"
+  exit 0
+fi
 
 echo "== configure (preset: $preset)"
 cmake --preset "$preset"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Round-trips the layer-DAG include graph through JSON:
+#
+#   layer_graph_check.sh <past_lint> <past_stats> <repo-root> <out.json>
+#
+# past_lint --graph-out must emit the graph while reporting the repo clean,
+# and past_stats layers must parse it back and print the per-layer rollup.
+# Guards the emitter (well-formed JSON through the repo's own parser, every
+# edge attributed) and the reader in one gate.
+set -eu
+
+lint="$1"
+stats="$2"
+root="$3"
+out="$4"
+
+"$lint" --root "$root" --rule layer-dag --graph-out "$out"
+
+summary="$("$stats" layers "$out")"
+echo "$summary"
+
+case "$summary" in
+  *"back-edges: 0"*) ;;
+  *) echo "layer_graph_check: expected 'back-edges: 0' in the rollup" >&2
+     exit 1 ;;
+esac
+case "$summary" in
+  *"src/pastry/"*) ;;
+  *) echo "layer_graph_check: rollup is missing the src/pastry/ layer" >&2
+     exit 1 ;;
+esac
+exit 0

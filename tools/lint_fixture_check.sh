@@ -1,0 +1,33 @@
+#!/bin/sh
+# Asserts past_lint's verdict on a lint self-test fixture tree.
+#
+#   lint_fixture_check.sh <past_lint> <fixture-root> <rule> fail|pass
+#
+# `fail` demands exit code exactly 1 (violations found): the positive
+# control — a rule that silently stops firing flips this to 0 and breaks
+# CI. `pass` demands exit code exactly 0: the negative control — a rule
+# that starts over-matching (strings, comments, suppressed lines) flips
+# this to 1. Exact codes matter: a usage error (2) must never masquerade
+# as a detected violation, which a plain WILL_FAIL inversion would allow.
+set -u
+
+lint="$1"
+root="$2"
+rule="$3"
+expect="$4"
+
+case "$expect" in
+  fail) want=1 ;;
+  pass) want=0 ;;
+  *) echo "lint_fixture_check: unknown expectation '$expect'" >&2; exit 2 ;;
+esac
+
+"$lint" --root "$root" --rule "$rule"
+code=$?
+
+if [ "$code" -ne "$want" ]; then
+  echo "lint_fixture_check: --rule $rule on $root exited $code," \
+       "expected $want ($expect)" >&2
+  exit 1
+fi
+exit 0

@@ -1,18 +1,25 @@
 // past_lint — repo-specific static checks, run as `ctest -L lint`.
 //
-// Walks src/, tests/, bench/, examples/ and tools/ under --root and enforces
-// the conventions DESIGN.md §8 documents:
+// Architecture (DESIGN.md §13): a small C++ lexer turns every source file
+// into a token stream — line splices joined, // and /* */ comments dropped,
+// string/char/raw-string literal bodies carried as single tokens,
+// preprocessor lines flagged — and a rule engine matches token patterns
+// instead of raw lines. That kills the two failure modes of the old
+// line-regex scanner in one move: banned identifiers inside strings or
+// comments can no longer match (false positives), and identifiers split
+// across a backslash-newline splice can no longer hide (false negatives).
+// Every rule has a positive/negative fixture pair under
+// tests/lint/fixtures/<rule>/ run by the lint_fixture_* ctests, so a rule
+// that silently stops firing breaks CI.
 //
-//   nondeterminism   library code (src/ outside src/sim/) must not reach for
-//                    wall clocks or ambient randomness — simulations replay
-//                    bit-identically from a seed, and the determinism ctest
-//                    checks that at runtime. Timing clocks are allowed in
-//                    bench/ (throughput measurement) but ambient randomness
-//                    is banned everywhere. Deliberate exceptions (the opt-in
-//                    PAST_PROF profiling clock) carry
-//                    `// lint:allow-nondeterminism <reason>`.
-//   header-hygiene   headers start with a doc comment and use #pragma once
-//                    (no #ifndef guards).
+// Rules enforced over src/, tests/, bench/, examples/ and tools/:
+//
+//   nondeterminism   library code must not reach for wall clocks or ambient
+//                    randomness — simulations replay bit-identically from a
+//                    seed. Timing clocks are allowed in bench/ and tools/;
+//                    ambient randomness is banned everywhere. Escape:
+//                    `// lint:allow-nondeterminism <reason>` (clocks only).
+//   header-hygiene   headers start with a doc comment and use #pragma once.
 //   includes         quoted includes are repo-root-relative, resolve to real
 //                    files, are not duplicated, and a foo.cc with a sibling
 //                    foo.h includes it first.
@@ -25,25 +32,42 @@
 //                    header, so no wire struct can lose its parser.
 //   global-state     src/ must not hold mutable namespace-scope or static
 //                    state: the parallel TrialRunner relies on sim stacks
-//                    being fully isolated per trial. Deliberate exceptions
-//                    carry `// lint:allow-global-state <reason>`.
+//                    being fully isolated per trial. Escape:
+//                    `// lint:allow-global-state <reason>`.
 //   metric-name      string literals registered via GetCounter / GetGauge /
 //                    GetHistogram / GetLogHistogram must follow the dotted
-//                    lowercase "<layer>.<metric>" convention, so the JSON
-//                    dumps downstream tooling parses stay uniformly named.
-//                    Escape hatch: `// lint:allow-metric-name <reason>`.
+//                    lowercase "<layer>.<metric>" convention. Escape:
+//                    `// lint:allow-metric-name <reason>`.
 //   raw-socket       socket()/bind()/connect() calls outside src/net/ — all
 //                    real networking goes through the Transport interface
-//                    and the socket_util.h wrappers, which keep fds
-//                    non-blocking/cloexec and route bytes through framing
-//                    and decode hardening. Escape hatch:
+//                    and the socket_util.h wrappers. Escape:
 //                    `// lint:allow-raw-socket <reason>`.
+//   layer-dag        the architecture-layer table below orders the source
+//                    directories (common < obs|crypto < sim|net|diskstore <
+//                    pastry < storage < workload < bench|examples|tools|
+//                    tests); every quoted #include edge must point strictly
+//                    downward (or stay inside its own layer group). Back- or
+//                    cross-edges fail the build. `--graph-out <path>` dumps
+//                    the full include graph as JSON for `past_stats layers`.
+//                    Escape: `// lint:allow-layer <reason>`.
+//   blocking-call    src/ runs on the event loop: blocking syscalls and
+//                    unbounded waits (sleep family anywhere; fsync family
+//                    outside src/diskstore/; blocking connect/accept/recv/
+//                    poll/read outside src/net/; bare condition waits
+//                    outside src/common/) stall every simulated node or
+//                    served peer at once. Escape:
+//                    `// lint:allow-blocking <reason>`.
+//   bare-mutex       std::mutex and friends outside src/common/ — shared
+//                    state locks through the annotated past::Mutex /
+//                    MutexLock / CondVar (src/common/mutex.h) so Clang's
+//                    -Wthread-safety can prove lock discipline at compile
+//                    time. Escape: `// lint:allow-bare-mutex <reason>`.
 //
 // Exit status 0 when clean; 1 with one "file:line: [rule] message" line per
-// violation. A check is only as good as its scrubber: comments and string
-// literals are blanked before token matching, so prose may mention banned
-// identifiers freely.
+// violation; 2 on usage error.
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -58,11 +82,251 @@ namespace fs = std::filesystem;
 
 namespace {
 
-struct File {
-  std::string rel;                  // repo-root-relative path, '/'-separated
-  std::vector<std::string> lines;   // raw text
-  std::vector<std::string> code;    // comments and string bodies blanked
+// --- lexer -------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers (integer/float literals)
+  kString,   // "...", raw strings, u8/L/U-prefixed; text = body, no quotes
+  kChar,     // '...'; text = body
+  kHeader,   // <...> target of an #include; text = path, no brackets
+  kPunct,    // operators/punctuation; "::" and "->" kept as one token
 };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;  // 0-based line of the token's first character
+  bool pp;      // token is part of a preprocessor directive
+};
+
+// A character of the logical (splice-joined) stream plus its physical line.
+struct LChar {
+  char c;
+  uint32_t line;
+};
+
+struct File {
+  std::string rel;                 // repo-root-relative path, '/'-separated
+  std::vector<std::string> lines;  // raw text, for suppression markers
+  std::vector<Token> toks;
+};
+
+// Joins backslash-newline splices into one logical stream. A spliced
+// identifier like "ra\<newline>nd" lexes as the single token "rand" — the
+// false negative the old line scanner had — while every logical char keeps
+// the physical line it came from, so reports stay accurate.
+std::vector<LChar> SpliceLines(const std::vector<std::string>& lines) {
+  std::vector<LChar> out;
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    bool spliced = !line.empty() && line.back() == '\\';
+    size_t n = spliced ? line.size() - 1 : line.size();
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back({line[i], static_cast<uint32_t>(li)});
+    }
+    if (!spliced) {
+      out.push_back({'\n', static_cast<uint32_t>(li)});
+    }
+  }
+  return out;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `ident` is a string-literal prefix (L"", u8"", uR"()", ...).
+bool IsStringPrefix(const std::string& ident) {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8" ||
+         ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+std::vector<Token> Lex(const std::vector<std::string>& lines) {
+  std::vector<LChar> s = SpliceLines(lines);
+  std::vector<Token> toks;
+  size_t i = 0;
+  bool at_line_start = true;  // only whitespace seen on this logical line
+  bool in_pp = false;         // inside a preprocessor directive
+  bool expect_header = false; // just lexed `# include`, a <...> may follow
+
+  auto peek = [&](size_t k) -> char {
+    return i + k < s.size() ? s[i + k].c : '\0';
+  };
+
+  while (i < s.size()) {
+    char c = s[i].c;
+    size_t line = s[i].line;
+    if (c == '\n') {
+      in_pp = false;
+      expect_header = false;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Comments vanish: nothing in them can match a rule.
+    if (c == '/' && peek(1) == '/') {
+      while (i < s.size() && s[i].c != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      // Scan for the closing */ across lines.
+      while (i < s.size()) {
+        if (s[i].c == '*' && peek(1) == '/') {
+          i += 2;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      in_pp = true;
+      toks.push_back({TokKind::kPunct, "#", line, true});
+      at_line_start = false;
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+    // #include <...> header-name: only valid right after `# include`.
+    if (c == '<' && expect_header) {
+      std::string text;
+      ++i;
+      while (i < s.size() && s[i].c != '>' && s[i].c != '\n') {
+        text.push_back(s[i].c);
+        ++i;
+      }
+      if (i < s.size() && s[i].c == '>') {
+        ++i;
+      }
+      expect_header = false;
+      toks.push_back({TokKind::kHeader, std::move(text), line, in_pp});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::string body;
+      ++i;
+      while (i < s.size() && s[i].c != quote && s[i].c != '\n') {
+        if (s[i].c == '\\' && i + 1 < s.size()) {
+          body.push_back(s[i].c);
+          body.push_back(s[i + 1].c);
+          i += 2;
+          continue;
+        }
+        body.push_back(s[i].c);
+        ++i;
+      }
+      if (i < s.size() && s[i].c == quote) {
+        ++i;  // closing quote; an unterminated literal ends at the newline
+      }
+      toks.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                      std::move(body), line, in_pp});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string ident;
+      while (i < s.size() && IsIdentChar(s[i].c)) {
+        ident.push_back(s[i].c);
+        ++i;
+      }
+      // String prefixes fold into the literal they introduce.
+      if (i < s.size() && s[i].c == '"' && IsStringPrefix(ident)) {
+        if (ident.back() == 'R') {
+          // Raw string: R"delim( ... )delim" — newlines allowed inside.
+          ++i;  // consume the quote
+          std::string delim;
+          while (i < s.size() && s[i].c != '(') {
+            delim.push_back(s[i].c);
+            ++i;
+          }
+          if (i < s.size()) {
+            ++i;  // consume '('
+          }
+          std::string body;
+          std::string close = ")" + delim + "\"";
+          while (i < s.size()) {
+            bool match = true;
+            for (size_t k = 0; k < close.size(); ++k) {
+              if (i + k >= s.size() || s[i + k].c != close[k]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              i += close.size();
+              break;
+            }
+            body.push_back(s[i].c);
+            ++i;
+          }
+          toks.push_back({TokKind::kString, std::move(body), line, in_pp});
+        } else {
+          // Ordinary prefixed literal: re-lex as a plain string.
+          continue;  // the next loop iteration sees the '"'
+        }
+        continue;
+      }
+      if (in_pp && ident == "include" && !toks.empty() &&
+          toks.back().kind == TokKind::kPunct && toks.back().text == "#") {
+        expect_header = true;
+      }
+      toks.push_back({TokKind::kIdent, std::move(ident), line, in_pp});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      // pp-number: digits, identifier chars, '.', and exponent signs.
+      std::string num;
+      while (i < s.size()) {
+        char d = s[i].c;
+        if (IsIdentChar(d) || d == '.') {
+          num.push_back(d);
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !num.empty() &&
+            (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+             num.back() == 'P')) {
+          num.push_back(d);
+          ++i;
+          continue;
+        }
+        break;
+      }
+      toks.push_back({TokKind::kNumber, std::move(num), line, in_pp});
+      continue;
+    }
+    // Punctuation. "::" and "->" stay fused: rules ask "is this token a
+    // scope qualifier / member access" constantly.
+    if (c == ':' && peek(1) == ':') {
+      toks.push_back({TokKind::kPunct, "::", line, in_pp});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      toks.push_back({TokKind::kPunct, "->", line, in_pp});
+      i += 2;
+      continue;
+    }
+    toks.push_back({TokKind::kPunct, std::string(1, c), line, in_pp});
+    ++i;
+  }
+  return toks;
+}
+
+// --- reporting and shared helpers --------------------------------------------
 
 int g_violations = 0;
 
@@ -84,121 +348,127 @@ bool HasPrefix(const std::string& s, const char* prefix) {
 
 bool IsHeader(const File& f) { return HasSuffix(f.rel, ".h"); }
 
-// Blanks // and /* */ comments plus the contents of "..." and '...'
-// literals, preserving line structure so reported line numbers stay true.
-std::vector<std::string> ScrubbedLines(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string scrubbed;
-    scrubbed.reserve(line.size());
-    for (size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) {
-        break;  // rest of line is comment
-      }
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      char c = line[i];
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        scrubbed.push_back(quote);
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\' && i + 1 < line.size()) {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            break;
-          }
-          ++i;
-        }
-        if (i < line.size()) {
-          scrubbed.push_back(quote);
-          ++i;
-        }
-        continue;
-      }
-      scrubbed.push_back(c);
-      ++i;
-    }
-    out.push_back(std::move(scrubbed));
-  }
-  return out;
+// True when the raw text of the token's line (or the line above) carries the
+// given `lint:allow-<rule>` marker. Markers live in comments, which the
+// lexer drops, so suppression always consults the raw lines.
+bool Suppressed(const File& f, size_t line, const char* marker) {
+  return (line < f.lines.size() &&
+          f.lines[line].find(marker) != std::string::npos) ||
+         (line > 0 && f.lines[line - 1].find(marker) != std::string::npos);
 }
 
-// Identifier-boundary search: `needle` must not be preceded or followed by an
-// identifier character, so "rand" does not match "operand".
-bool ContainsToken(const std::string& line, const std::string& needle,
-                   size_t* column) {
-  auto is_ident = [](char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-  };
-  for (size_t pos = line.find(needle); pos != std::string::npos;
-       pos = line.find(needle, pos + 1)) {
-    bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
-    size_t end = pos + needle.size();
-    bool right_ok = end >= line.size() || !is_ident(line[end]);
-    if (left_ok && right_ok) {
-      *column = pos;
-      return true;
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// True when toks[i..] begins the identifier/punct sequence `seq` (kString /
+// kChar / kHeader tokens never match).
+bool MatchesSeq(const std::vector<Token>& toks, size_t i,
+                const std::vector<const char*>& seq) {
+  if (i + seq.size() > toks.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < seq.size(); ++k) {
+    const Token& t = toks[i + k];
+    if ((t.kind != TokKind::kIdent && t.kind != TokKind::kPunct) ||
+        t.text != seq[k]) {
+      return false;
     }
   }
-  return false;
+  return true;
+}
+
+size_t CountSeq(const File& f, const std::vector<const char*>& seq) {
+  size_t n = 0;
+  for (size_t i = 0; i < f.toks.size(); ++i) {
+    if (MatchesSeq(f.toks, i, seq)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Call-site detection: identifier token followed by '('.
+bool IsCall(const File& f, size_t i) {
+  return f.toks[i].kind == TokKind::kIdent && i + 1 < f.toks.size() &&
+         IsPunct(f.toks[i + 1], "(");
+}
+
+// --- include-edge collection (shared by `includes` and `layer-dag`) ----------
+
+struct IncludeEdge {
+  std::string from_file;  // repo-relative path of the including file
+  std::string target;     // include target as written
+  size_t line;
+  bool quoted;  // "..." (repo-relative) vs <...> (system)
+};
+
+std::vector<IncludeEdge> CollectIncludes(const File& f) {
+  std::vector<IncludeEdge> edges;
+  const std::vector<Token>& t = f.toks;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].pp && IsPunct(t[i], "#") && IsIdent(t[i + 1], "include"))) {
+      continue;
+    }
+    if (i + 2 >= t.size()) {
+      continue;
+    }
+    const Token& target = t[i + 2];
+    if (target.kind == TokKind::kString) {
+      edges.push_back({f.rel, target.text, target.line, true});
+    } else if (target.kind == TokKind::kHeader) {
+      edges.push_back({f.rel, target.text, target.line, false});
+    }
+  }
+  return edges;
 }
 
 // --- rule: nondeterminism ----------------------------------------------------
 
-// True when the raw text of line i (or the line above it) carries the given
-// `lint:allow-<rule>` marker. Markers live in comments, which the scrubber
-// blanks, so suppression always consults f.lines.
-bool Suppressed(const File& f, size_t i, const char* marker) {
-  return f.lines[i].find(marker) != std::string::npos ||
-         (i > 0 && f.lines[i - 1].find(marker) != std::string::npos);
-}
-
 void CheckNondeterminism(const File& f) {
   // Ambient randomness has no place anywhere: everything draws from the
-  // seeded past::Rng so runs replay bit-identically.
-  static const char* kRandomness[] = {"std::rand", "srand", "random_device",
-                                      "rand", "rand_r", "getentropy"};
-  // Wall clocks are banned from library code; simulated time comes from the
-  // event queue. bench/ and tools/ may measure real elapsed time.
+  // seeded past::Rng so runs replay bit-identically. No escape hatch.
+  static const char* kRandomness[] = {"rand", "srand", "rand_r",
+                                      "random_device", "getentropy"};
+  // Wall clocks are banned from deterministic code; simulated time comes
+  // from the event queue. bench/ and tools/ may measure real elapsed time.
   static const char* kClocks[] = {"system_clock", "steady_clock",
                                   "high_resolution_clock", "gettimeofday",
-                                  "clock_gettime", "time(nullptr)", "time(NULL)"};
-  bool library = HasPrefix(f.rel, "src/") && !HasPrefix(f.rel, "src/sim/");
+                                  "clock_gettime"};
   bool clocks_allowed = HasPrefix(f.rel, "bench/") || HasPrefix(f.rel, "tools/");
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    size_t col;
+  for (size_t i = 0; i < f.toks.size(); ++i) {
+    const Token& t = f.toks[i];
+    if (t.kind != TokKind::kIdent) {
+      continue;
+    }
     for (const char* token : kRandomness) {
-      if (ContainsToken(f.code[i], token, &col)) {
-        Report(f, i, "nondeterminism",
-               std::string(token) + " is banned: draw from the seeded past::Rng");
+      if (t.text == token) {
+        Report(f, t.line, "nondeterminism",
+               t.text + " is banned: draw from the seeded past::Rng");
       }
     }
-    if ((library || !clocks_allowed) &&
-        !Suppressed(f, i, "lint:allow-nondeterminism")) {
+    if (!clocks_allowed && !Suppressed(f, t.line, "lint:allow-nondeterminism")) {
       for (const char* token : kClocks) {
-        if (f.code[i].find(token) != std::string::npos) {
-          Report(f, i, "nondeterminism",
-                 std::string(token) +
+        if (t.text == token) {
+          Report(f, t.line, "nondeterminism",
+                 t.text +
                      " in deterministic code: simulated time comes from the "
                      "event queue (sim::EventQueue), real time only in bench/");
         }
+      }
+      // time(nullptr) / time(NULL): the call shape, not the word "time".
+      if (t.text == "time" && i + 3 < f.toks.size() &&
+          IsPunct(f.toks[i + 1], "(") &&
+          (IsIdent(f.toks[i + 2], "nullptr") || IsIdent(f.toks[i + 2], "NULL")) &&
+          IsPunct(f.toks[i + 3], ")")) {
+        Report(f, t.line, "nondeterminism",
+               "time(nullptr) in deterministic code: simulated time comes "
+               "from the event queue (sim::EventQueue), real time only in "
+               "bench/");
       }
     }
   }
@@ -215,14 +485,18 @@ void CheckHeaderHygiene(const File& f) {
            "header must start with a // doc comment describing the component");
   }
   bool saw_pragma_once = false;
-  for (size_t i = 0; i < f.lines.size(); ++i) {
-    const std::string& line = f.lines[i];
-    if (line.rfind("#pragma once", 0) == 0) {
-      saw_pragma_once = true;
+  for (size_t i = 0; i + 1 < f.toks.size(); ++i) {
+    if (!(f.toks[i].pp && IsPunct(f.toks[i], "#"))) {
       continue;
     }
-    if (line.rfind("#ifndef", 0) == 0 && HasSuffix(line, "_H_")) {
-      Report(f, i, "header-hygiene",
+    if (IsIdent(f.toks[i + 1], "pragma") && i + 2 < f.toks.size() &&
+        IsIdent(f.toks[i + 2], "once")) {
+      saw_pragma_once = true;
+    }
+    if (IsIdent(f.toks[i + 1], "ifndef") && i + 2 < f.toks.size() &&
+        f.toks[i + 2].kind == TokKind::kIdent &&
+        HasSuffix(f.toks[i + 2].text, "_H_")) {
+      Report(f, f.toks[i + 1].line, "header-hygiene",
              "include guard macro: use #pragma once instead");
     }
   }
@@ -235,39 +509,26 @@ void CheckHeaderHygiene(const File& f) {
 
 void CheckIncludes(const File& f, const fs::path& root) {
   std::set<std::string> seen;
-  std::vector<std::string> quoted;   // in order of appearance
-  for (size_t i = 0; i < f.lines.size(); ++i) {
-    const std::string& line = f.lines[i];
-    if (line.rfind("#include", 0) != 0) {
-      continue;
+  std::vector<IncludeEdge> edges = CollectIncludes(f);
+  std::vector<std::string> quoted;  // in order of appearance
+  for (const IncludeEdge& e : edges) {
+    if (!seen.insert(e.target).second) {
+      Report(f, e.line, "includes", "duplicate include of " + e.target);
     }
-    size_t open = line.find_first_of("\"<", 8);
-    if (open == std::string::npos) {
-      continue;
-    }
-    char close_char = line[open] == '"' ? '"' : '>';
-    size_t close = line.find(close_char, open + 1);
-    if (close == std::string::npos) {
-      Report(f, i, "includes", "unterminated include");
-      continue;
-    }
-    std::string target = line.substr(open + 1, close - open - 1);
-    if (!seen.insert(target).second) {
-      Report(f, i, "includes", "duplicate include of " + target);
-    }
-    if (close_char != '"') {
+    if (!e.quoted) {
       continue;  // system header
     }
-    quoted.push_back(target);
-    if (!HasPrefix(target, "src/") && !HasPrefix(target, "tests/") &&
-        !HasPrefix(target, "bench/") && !HasPrefix(target, "tools/")) {
-      Report(f, i, "includes",
+    quoted.push_back(e.target);
+    if (!HasPrefix(e.target, "src/") && !HasPrefix(e.target, "tests/") &&
+        !HasPrefix(e.target, "bench/") && !HasPrefix(e.target, "tools/")) {
+      Report(f, e.line, "includes",
              "quoted include must be repo-root-relative (src/..., tests/..., "
-             "bench/...): " + target);
+             "bench/...): " + e.target);
       continue;
     }
-    if (!fs::exists(root / target)) {
-      Report(f, i, "includes", "include does not resolve to a file: " + target);
+    if (!fs::exists(root / e.target)) {
+      Report(f, e.line, "includes",
+             "include does not resolve to a file: " + e.target);
     }
   }
   // foo.cc / foo.cpp must include its own header (src/.../foo.h) first, so
@@ -291,59 +552,52 @@ void CheckNodiscard(const File& f) {
   if (!IsHeader(f) || !HasPrefix(f.rel, "src/")) {
     return;
   }
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    // Fallible bool-returning codec/verification declarations. The pattern is
-    // intentionally narrow: `bool <Name>(` where Name starts with one of the
-    // fallible verbs, declared (ends with ';' somewhere below) not invoked.
-    static const char* kVerbs[] = {"Decode", "Encode", "Parse", "Verify"};
+  static const char* kVerbs[] = {"Decode", "Encode", "Parse", "Verify"};
+  const std::vector<Token>& t = f.toks;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    // Declaration shape: `bool <Verb...>(` — one identifier between the
+    // return type and the open paren.
+    if (!IsIdent(t[i], "bool") || t[i + 1].kind != TokKind::kIdent ||
+        !IsPunct(t[i + 2], "(")) {
+      continue;
+    }
+    bool fallible = false;
     for (const char* verb : kVerbs) {
-      size_t pos = line.find(std::string("bool ") + verb);
-      if (pos == std::string::npos) {
-        continue;
+      if (HasPrefix(t[i + 1].text, verb)) {
+        fallible = true;
       }
-      // Must look like a declaration: "bool Name(" with an identifier tail.
-      size_t name_start = pos + 5;
-      size_t paren = line.find('(', name_start);
-      if (paren == std::string::npos) {
-        continue;
+    }
+    if (!fallible) {
+      continue;
+    }
+    // Annotated when a `nodiscard` token appears shortly before on the same
+    // or the previous physical line ([[nodiscard]] static bool Decode...).
+    bool annotated = false;
+    for (size_t j = i; j-- > 0;) {
+      if (t[j].line + 1 < t[i].line) {
+        break;
       }
-      bool ident_only = true;
-      for (size_t j = name_start; j < paren; ++j) {
-        if (std::isalnum(static_cast<unsigned char>(line[j])) == 0 &&
-            line[j] != '_') {
-          ident_only = false;
-          break;
-        }
+      if (IsIdent(t[j], "nodiscard")) {
+        annotated = true;
+        break;
       }
-      if (!ident_only) {
-        continue;
+      if (i - j > 8) {
+        break;
       }
-      bool annotated = line.find("[[nodiscard]]") != std::string::npos ||
-                       (i > 0 && f.code[i - 1].find("[[nodiscard]]") !=
-                                     std::string::npos);
-      if (!annotated) {
-        Report(f, i, "nodiscard",
-               "fallible declaration must be [[nodiscard]]: " +
-                   line.substr(pos, paren - pos));
-      }
-      break;  // one report per line is enough
+    }
+    if (!annotated) {
+      Report(f, t[i].line, "nodiscard",
+             "fallible declaration must be [[nodiscard]]: bool " +
+                 t[i + 1].text);
     }
   }
   if (f.rel == "src/common/status.h") {
-    bool enum_attr = false, result_attr = false;
-    for (const std::string& line : f.code) {
-      if (line.find("enum class [[nodiscard]] StatusCode") != std::string::npos) {
-        enum_attr = true;
-      }
-      if (line.find("class [[nodiscard]] Result") != std::string::npos) {
-        result_attr = true;
-      }
-    }
-    if (!enum_attr) {
+    if (CountSeq(f, {"enum", "class", "[", "[", "nodiscard", "]", "]",
+                     "StatusCode"}) == 0) {
       Report(f, 0, "nodiscard", "StatusCode must be a [[nodiscard]] enum");
     }
-    if (!result_attr) {
+    if (CountSeq(f, {"class", "[", "[", "nodiscard", "]", "]", "Result"}) ==
+        0) {
       Report(f, 0, "nodiscard", "Result<T> must be a [[nodiscard]] class");
     }
   }
@@ -356,28 +610,28 @@ void CheckCodecPairing(const File& f) {
     return;
   }
   struct Pair {
-    const char* encode;
-    const char* decode;
+    std::vector<const char*> encode;
+    std::vector<const char*> decode;
+    const char* label;
   };
-  static const Pair kPairs[] = {
-      {"void EncodeBody(", "static bool DecodeBody("},
-      {"void EncodeTo(", "static bool DecodeFrom("},
-      {"Bytes Encode() const", "static bool Decode("},
+  static const std::vector<Pair> kPairs = {
+      {{"void", "EncodeBody", "("},
+       {"static", "bool", "DecodeBody", "("},
+       "EncodeBody/DecodeBody"},
+      {{"void", "EncodeTo", "("},
+       {"static", "bool", "DecodeFrom", "("},
+       "EncodeTo/DecodeFrom"},
+      {{"Bytes", "Encode", "(", ")", "const"},
+       {"static", "bool", "Decode", "("},
+       "Encode()/Decode"},
   };
   for (const Pair& p : kPairs) {
-    size_t enc = 0, dec = 0;
-    for (const std::string& line : f.code) {
-      if (line.find(p.encode) != std::string::npos) {
-        ++enc;
-      }
-      if (line.find(p.decode) != std::string::npos) {
-        ++dec;
-      }
-    }
+    size_t enc = CountSeq(f, p.encode);
+    size_t dec = CountSeq(f, p.decode);
     if (enc != dec) {
       std::ostringstream msg;
-      msg << enc << " `" << p.encode << "` declarations vs " << dec << " `"
-          << p.decode << "`: every encoder needs its decoder";
+      msg << enc << " encoder(s) vs " << dec << " decoder(s) for " << p.label
+          << ": every encoder needs its decoder";
       Report(f, 0, "codec-pairing", msg.str());
     }
   }
@@ -385,19 +639,24 @@ void CheckCodecPairing(const File& f) {
 
 // --- rule: global-state ------------------------------------------------------
 //
-// Mutable namespace-scope or static-local state in src/ breaks trial
-// isolation: the parallel TrialRunner (bench/exp_util.h) runs independent sim
-// stacks on worker threads, which is only sound when every piece of library
-// state lives inside objects owned by one trial. Constants (const/constexpr)
-// are fine. A deliberate exception carries a
-// `// lint:allow-global-state <reason>` comment on the same line.
+// Mutable namespace-scope or static state in src/ breaks trial isolation:
+// the parallel TrialRunner (bench/exp_util.h) runs independent sim stacks on
+// worker threads, which is only sound when every piece of library state
+// lives inside objects owned by one trial. Constants are fine. Statements
+// are assembled from the token stream, so braces and semicolons inside
+// strings or comments can no longer desynchronize the scope tracker, and
+// declarations wrapped across lines are seen whole.
 
-bool ContainsAnyToken(const std::string& line, const char* const* tokens,
-                      size_t count) {
-  size_t col;
-  for (size_t i = 0; i < count; ++i) {
-    if (ContainsToken(line, tokens[i], &col)) {
-      return true;
+bool AnyTokenIs(const std::vector<const Token*>& stmt,
+                const char* const* names, size_t count) {
+  for (const Token* t : stmt) {
+    if (t->kind != TokKind::kIdent) {
+      continue;
+    }
+    for (size_t k = 0; k < count; ++k) {
+      if (t->text == names[k]) {
+        return true;
+      }
     }
   }
   return false;
@@ -407,76 +666,78 @@ void CheckGlobalState(const File& f) {
   if (!HasPrefix(f.rel, "src/")) {
     return;
   }
-  // Keywords that mean a namespace-scope line is not a mutable variable
-  // definition: type/alias/template machinery, or const-qualified data.
+  // Keywords that mean a statement is not a mutable variable definition:
+  // type/alias/template machinery, or const-qualified data.
   static const char* kNotAVariable[] = {
-      "namespace", "using",  "typedef",   "class",     "struct",
-      "enum",      "union",  "template",  "friend",    "static_assert",
+      "namespace", "using",  "typedef",      "class",    "struct",
+      "enum",      "union",  "template",     "friend",   "static_assert",
       "operator",  "concept"};
   static const char* kImmutable[] = {"const", "constexpr", "constinit"};
 
-  // Track brace nesting, remembering which braces were opened by `namespace`
-  // (or `extern "C"`). When every open brace is a namespace brace we are at
-  // namespace scope; otherwise we are inside a function/class body.
   std::vector<char> brace_is_namespace;
-  std::string window;  // text since the last `;`, `{` or `}`
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
+  std::vector<const Token*> stmt;  // tokens since the last `;`, `{` or `}`
+  for (const Token& tok : f.toks) {
+    if (tok.pp) {
+      continue;  // preprocessor lines are not statements
+    }
+    if (IsPunct(tok, "{")) {
+      bool is_ns = false;
+      for (const Token* t : stmt) {
+        if (IsIdent(*t, "namespace") || IsIdent(*t, "extern")) {
+          is_ns = true;
+        }
+      }
+      brace_is_namespace.push_back(is_ns ? 1 : 0);
+      stmt.clear();
+      continue;
+    }
+    if (IsPunct(tok, "}")) {
+      if (!brace_is_namespace.empty()) {
+        brace_is_namespace.pop_back();
+      }
+      stmt.clear();
+      continue;
+    }
+    if (!IsPunct(tok, ";")) {
+      stmt.push_back(&tok);
+      continue;
+    }
+    // End of statement: decide whether it declares mutable state.
+    if (stmt.empty()) {
+      continue;
+    }
+    size_t line = stmt.front()->line;
     bool namespace_scope = true;
     for (char ns : brace_is_namespace) {
-      if (!ns) {
+      if (ns == 0) {
         namespace_scope = false;
-        break;
       }
     }
-
-    std::string trimmed = line;
-    size_t start = trimmed.find_first_not_of(" \t");
-    trimmed = start == std::string::npos ? "" : trimmed.substr(start);
-    bool suppressed =
-        f.lines[i].find("lint:allow-global-state") != std::string::npos ||
-        (i > 0 &&
-         f.lines[i - 1].find("lint:allow-global-state") != std::string::npos);
-    bool decl_like = !trimmed.empty() && trimmed[0] != '#' &&
-                     trimmed.find(';') != std::string::npos &&
-                     trimmed.find('(') == std::string::npos &&
-                     trimmed.find(')') == std::string::npos &&
-                     !ContainsAnyToken(trimmed, kImmutable, 3);
-    if (!suppressed && decl_like) {
-      bool starts_ident =
-          std::isalpha(static_cast<unsigned char>(trimmed[0])) != 0 ||
-          trimmed[0] == '_' || trimmed[0] == ':';
+    bool has_parens = false;
+    for (const Token* t : stmt) {
+      if (IsPunct(*t, "(") || IsPunct(*t, ")")) {
+        has_parens = true;
+      }
+    }
+    bool decl_like = !has_parens && !AnyTokenIs(stmt, kImmutable, 3);
+    bool suppressed = Suppressed(f, line, "lint:allow-global-state");
+    if (decl_like && !suppressed) {
+      bool starts_ident = stmt.front()->kind == TokKind::kIdent ||
+                          IsPunct(*stmt.front(), "::");
       if (namespace_scope && starts_ident &&
-          !ContainsAnyToken(trimmed, kNotAVariable, 12)) {
-        Report(f, i, "global-state",
+          !AnyTokenIs(stmt, kNotAVariable, 12)) {
+        Report(f, line, "global-state",
                "mutable namespace-scope state breaks trial isolation; make it "
-               "per-instance or annotate lint:allow-global-state: " + trimmed);
-      } else if (!namespace_scope && HasPrefix(trimmed, "static ")) {
-        Report(f, i, "global-state",
+               "per-instance or annotate lint:allow-global-state: " +
+                   stmt.front()->text);
+      } else if (!namespace_scope && IsIdent(*stmt.front(), "static") &&
+                 !AnyTokenIs(stmt, kNotAVariable, 12)) {
+        Report(f, line, "global-state",
                "mutable static breaks trial isolation; make it per-instance "
-               "or annotate lint:allow-global-state: " + trimmed);
+               "or annotate lint:allow-global-state: " + stmt.front()->text);
       }
     }
-
-    for (char c : line) {
-      if (c == '{') {
-        size_t col;
-        bool is_ns = ContainsToken(window, "namespace", &col) ||
-                     ContainsToken(window, "extern", &col);
-        brace_is_namespace.push_back(is_ns ? 1 : 0);
-        window.clear();
-      } else if (c == '}') {
-        if (!brace_is_namespace.empty()) {
-          brace_is_namespace.pop_back();
-        }
-        window.clear();
-      } else if (c == ';') {
-        window.clear();
-      } else {
-        window.push_back(c);
-      }
-    }
-    window.push_back(' ');  // token boundary at the line break
+    stmt.clear();
   }
 }
 
@@ -484,11 +745,10 @@ void CheckGlobalState(const File& f) {
 //
 // Instrument names feed the JSON dumps that json_check, past_stats, and the
 // bench baselines parse; one misnamed metric silently breaks every required
-// key path downstream. Enforce the DESIGN.md convention at registration
-// sites: a literal passed to GetCounter/GetGauge/GetHistogram/GetLogHistogram
-// must be dotted lowercase "<layer>.<metric>" ([a-z0-9_] segments, >= 2 of
-// them). A literal ending in '.' is allowed when the call concatenates a
-// computed suffix onto it (e.g. "pastry.route.rule." + RouteRuleName(r)).
+// key path downstream. A literal passed to GetCounter/GetGauge/GetHistogram/
+// GetLogHistogram must be dotted lowercase "<layer>.<metric>" ([a-z0-9_]
+// segments, >= 2 of them). A literal ending in '.' is allowed when the call
+// concatenates a computed suffix onto it.
 
 bool IsValidMetricName(const std::string& name, bool concatenated) {
   std::string s = name;
@@ -518,95 +778,354 @@ bool IsValidMetricName(const std::string& name, bool concatenated) {
   if (segment_empty) {
     return false;
   }
-  // A concatenation prefix supplies the final segment elsewhere; a complete
-  // name needs at least "<layer>.<metric>".
   return prefix_only || segments >= 2;
 }
 
 void CheckMetricNames(const File& f) {
   static const char* kGetters[] = {"GetCounter", "GetGauge", "GetHistogram",
                                    "GetLogHistogram"};
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    for (const char* getter : kGetters) {
-      size_t col;
-      // Scrubbed match = a real call site, not prose or a string body.
-      if (!ContainsToken(f.code[i], getter, &col)) {
-        continue;
+  const std::vector<Token>& t = f.toks;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    bool getter = false;
+    for (const char* g : kGetters) {
+      if (IsIdent(t[i], g)) {
+        getter = true;
       }
-      size_t after = col + std::strlen(getter);
-      if (after >= f.code[i].size() || f.code[i][after] != '(') {
-        continue;  // declaration or mention, not a call
-      }
-      if (Suppressed(f, i, "lint:allow-metric-name")) {
-        break;
-      }
-      // The name literal sits on the call's raw line or (wrapped call) the
-      // next one. Non-literal names cannot be checked statically; skip them.
-      size_t lit_line = i;
-      size_t raw_col = f.lines[i].find(std::string(getter) + "(");
-      size_t q = raw_col == std::string::npos
-                     ? std::string::npos
-                     : f.lines[i].find('"', raw_col);
-      if (q == std::string::npos && i + 1 < f.lines.size()) {
-        lit_line = i + 1;
-        q = f.lines[lit_line].find('"');
-      }
-      if (q == std::string::npos) {
-        break;
-      }
-      const std::string& raw = f.lines[lit_line];
-      size_t close = raw.find('"', q + 1);
-      if (close == std::string::npos) {
-        break;
-      }
-      std::string name = raw.substr(q + 1, close - q - 1);
-      bool concatenated = raw.find('+', close + 1) != std::string::npos;
-      if (!IsValidMetricName(name, concatenated)) {
-        Report(f, lit_line, "metric-name",
-               "\"" + name +
-                   "\" violates the dotted-lowercase <layer>.<metric> naming "
-                   "convention (annotate lint:allow-metric-name to override)");
-      }
-      break;  // one check per line is enough
+    }
+    if (!getter || !IsPunct(t[i + 1], "(")) {
+      continue;  // declaration or mention, not a call
+    }
+    if (Suppressed(f, t[i].line, "lint:allow-metric-name")) {
+      continue;
+    }
+    // The token stream sees through line wrapping: the name literal is the
+    // call's first argument wherever the formatter put it. Non-literal
+    // names cannot be checked statically; skip them.
+    if (i + 2 >= t.size() || t[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    // Adjacent string literals concatenate ("net." "sent").
+    std::string name = t[i + 2].text;
+    size_t j = i + 3;
+    while (j < t.size() && t[j].kind == TokKind::kString) {
+      name += t[j].text;
+      ++j;
+    }
+    bool concatenated = j < t.size() && IsPunct(t[j], "+");
+    if (!IsValidMetricName(name, concatenated)) {
+      Report(f, t[i + 2].line, "metric-name",
+             "\"" + name +
+                 "\" violates the dotted-lowercase <layer>.<metric> naming "
+                 "convention (annotate lint:allow-metric-name to override)");
     }
   }
 }
 
-// --- rule: raw-socket ---------------------------------------------------------
+// --- rule: raw-socket --------------------------------------------------------
 
 // Direct socket-API calls belong in src/net/, behind the Transport
 // abstraction: its wrappers (socket_util.h) make every fd non-blocking and
 // close-on-exec, and the transport adds framing, decode hardening, and
-// metrics that ad-hoc sockets silently bypass. Escape hatch:
-// `// lint:allow-raw-socket <reason>`.
+// metrics that ad-hoc sockets silently bypass.
 void CheckRawSocket(const File& f) {
   if (HasPrefix(f.rel, "src/net/")) {
     return;
   }
   static const char* kCalls[] = {"socket", "bind", "connect"};
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    for (const char* call : kCalls) {
-      size_t col;
-      if (!ContainsToken(line, call, &col)) {
-        continue;
-      }
-      size_t end = col + std::strlen(call);
-      if (end >= line.size() || line[end] != '(') {
-        continue;  // not a call of that name
-      }
-      if (col >= 5 && line.compare(col - 5, 5, "std::") == 0) {
-        continue;  // std::bind and friends are not socket calls
-      }
-      if (Suppressed(f, i, "lint:allow-raw-socket")) {
-        continue;
-      }
-      Report(f, i, "raw-socket",
-             std::string(call) +
-                 "() outside src/net/: go through the Transport interface or "
-                 "the src/net/socket_util.h wrappers (annotate "
-                 "lint:allow-raw-socket to override)");
+  const std::vector<Token>& t = f.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsCall(f, i)) {
+      continue;
     }
+    bool banned = false;
+    for (const char* call : kCalls) {
+      if (t[i].text == call) {
+        banned = true;
+      }
+    }
+    if (!banned) {
+      continue;
+    }
+    // std::bind and other std:: qualified names are not socket calls; an
+    // explicit global qualifier (::socket) very much is.
+    if (i >= 2 && IsPunct(t[i - 1], "::") && IsIdent(t[i - 2], "std")) {
+      continue;
+    }
+    if (Suppressed(f, t[i].line, "lint:allow-raw-socket")) {
+      continue;
+    }
+    Report(f, t[i].line, "raw-socket",
+           t[i].text +
+               "() outside src/net/: go through the Transport interface or "
+               "the src/net/socket_util.h wrappers (annotate "
+               "lint:allow-raw-socket to override)");
+  }
+}
+
+// --- rule: layer-dag ---------------------------------------------------------
+//
+// The architecture-layer table. Lower rank = lower layer; an include edge
+// must point at a strictly lower rank or stay inside its own group. Groups
+// capture sanctioned same-rank visibility: sim and net share the event-loop
+// spine (sim::Network implements net::Transport; the transports schedule on
+// sim::EventQueue), so they see each other; everything else at equal rank is
+// isolated. The table is the checked-in statement of the dependency
+// architecture — changing it is an architecture decision, not a lint tweak.
+
+struct Layer {
+  const char* prefix;  // directory prefix, '/'-terminated
+  int rank;
+  const char* group;
+};
+
+// Order: common < obs|crypto < sim|net|diskstore < pastry < storage <
+// workload < bench|examples|tools|tests. obs sits low because metrics/span
+// primitives are instrumented into every layer above; crypto is a leaf
+// library; diskstore is a storage-engine primitive below pastry (storage
+// composes it, routing never sees it).
+const Layer kLayers[] = {
+    {"src/common/", 0, "common"},
+    {"src/obs/", 1, "obs"},
+    {"src/crypto/", 1, "crypto"},
+    {"src/sim/", 2, "event-loop"},
+    {"src/net/", 2, "event-loop"},
+    {"src/diskstore/", 2, "diskstore"},
+    {"src/pastry/", 3, "pastry"},
+    {"src/storage/", 4, "storage"},
+    {"src/workload/", 5, "workload"},
+    {"bench/", 6, "harness"},
+    {"examples/", 6, "harness"},
+    {"tools/", 6, "harness"},
+    {"tests/", 6, "harness"},
+};
+
+const Layer* LayerOf(const std::string& path) {
+  for (const Layer& l : kLayers) {
+    if (HasPrefix(path, l.prefix)) {
+      return &l;
+    }
+  }
+  return nullptr;
+}
+
+struct GraphEdge {
+  std::string from_file;
+  std::string target;
+  std::string from_layer;
+  std::string to_layer;
+  bool allowed;
+  bool suppressed;
+};
+
+std::vector<GraphEdge> g_graph;  // quoted edges, collected for --graph-out
+
+void CheckLayerDag(const File& f) {
+  const Layer* from = LayerOf(f.rel);
+  for (const IncludeEdge& e : CollectIncludes(f)) {
+    if (!e.quoted) {
+      continue;  // system headers are outside the architecture
+    }
+    const Layer* to = LayerOf(e.target);
+    if (from == nullptr || to == nullptr) {
+      continue;  // not part of the layered tree (e.g. fixture scratch files)
+    }
+    bool allowed = to->rank < from->rank ||
+                   std::strcmp(from->group, to->group) == 0;
+    bool suppressed =
+        !allowed && Suppressed(f, e.line, "lint:allow-layer");
+    g_graph.push_back({f.rel, e.target, from->prefix, to->prefix,
+                       allowed || suppressed, suppressed});
+    if (allowed || suppressed) {
+      continue;
+    }
+    std::ostringstream msg;
+    if (to->rank > from->rank) {
+      msg << "layer back-edge: " << from->prefix << " (rank " << from->rank
+          << ") must not include " << e.target << " (" << to->prefix
+          << ", rank " << to->rank << ")";
+    } else {
+      msg << "cross-layer include at equal rank: " << from->prefix << " ["
+          << from->group << "] must not include " << e.target << " ("
+          << to->prefix << " [" << to->group << "])";
+    }
+    msg << "; move the dependency down a layer or annotate lint:allow-layer "
+           "with a justification";
+    Report(f, e.line, "layer-dag", msg.str());
+  }
+}
+
+// Emits the collected include graph as JSON: the layer table, every quoted
+// edge with its layer attribution, and per-layer rollups. `past_stats
+// layers <path>` renders it; any JSON tooling can consume it.
+bool WriteGraphJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "past_lint: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << "{\n  \"layers\": [\n";
+  for (size_t i = 0; i < sizeof(kLayers) / sizeof(kLayers[0]); ++i) {
+    out << "    {\"dir\": \"" << kLayers[i].prefix
+        << "\", \"rank\": " << kLayers[i].rank << ", \"group\": \""
+        << kLayers[i].group << "\"}"
+        << (i + 1 < sizeof(kLayers) / sizeof(kLayers[0]) ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"edges\": [\n";
+  for (size_t i = 0; i < g_graph.size(); ++i) {
+    const GraphEdge& e = g_graph[i];
+    out << "    {\"from\": \"" << e.from_file << "\", \"to\": \"" << e.target
+        << "\", \"from_layer\": \"" << e.from_layer << "\", \"to_layer\": \""
+        << e.to_layer << "\", \"allowed\": " << (e.allowed ? "true" : "false")
+        << ", \"suppressed\": " << (e.suppressed ? "true" : "false") << "}"
+        << (i + 1 < g_graph.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "past_lint: failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- rule: blocking-call -----------------------------------------------------
+//
+// Everything under src/ executes on an event-dispatch path: simulated nodes
+// run inside EventQueue callbacks, daemon nodes inside the SocketTransport
+// poll loop. One blocking syscall stalls every node in the process. The
+// sleep family is banned outright (schedule an event instead); durability
+// syncs belong behind the diskstore Env; blocking network I/O belongs
+// behind the non-blocking Transport machinery in src/net/; condition waits
+// belong behind the annotated primitives in src/common/mutex.h — and even
+// those must never be held across dispatch.
+
+void CheckBlockingCall(const File& f) {
+  if (!HasPrefix(f.rel, "src/")) {
+    return;  // bench/tools/tests run on their own threads and may block
+  }
+  static const char* kSleeps[] = {"sleep", "usleep", "nanosleep", "sleep_for",
+                                  "sleep_until"};
+  static const char* kSyncs[] = {"fsync", "fdatasync", "syncfs",
+                                 "sync_file_range"};
+  static const char* kNetBlocking[] = {"accept",  "recv",       "recvfrom",
+                                       "recvmsg", "select",     "poll",
+                                       "ppoll",   "epoll_wait", "getaddrinfo",
+                                       "connect"};
+  static const char* kWaits[] = {"wait", "pthread_cond_wait", "pthread_join"};
+  const std::vector<Token>& t = f.toks;
+  bool in_diskstore = HasPrefix(f.rel, "src/diskstore/");
+  bool in_net = HasPrefix(f.rel, "src/net/");
+  bool in_common = HasPrefix(f.rel, "src/common/");
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsCall(f, i)) {
+      continue;
+    }
+    const std::string& name = t[i].text;
+    const char* why = nullptr;
+    bool hit = false;
+    for (const char* s : kSleeps) {
+      if (name == s) {
+        hit = true;
+        why = "the event loop owns time: schedule an event instead of "
+              "sleeping";
+      }
+    }
+    if (!hit && !in_diskstore) {
+      for (const char* s : kSyncs) {
+        if (name == s) {
+          hit = true;
+          why = "durability syncs belong behind the diskstore Env "
+                "(src/diskstore/), where fsync policy is configured and "
+                "measured";
+        }
+      }
+    }
+    if (!hit && !in_net) {
+      for (const char* s : kNetBlocking) {
+        if (name == s) {
+          hit = true;
+          why = "blocking network I/O belongs behind the non-blocking "
+                "Transport machinery in src/net/";
+        }
+      }
+      // Free or global-qualified read()/write() are the POSIX blocking
+      // calls; member .read()/.write() (streams, wrappers) are judged by
+      // their own layer, and `long read(...)` is a declaration, not a
+      // call — only flag when the preceding token can start a call
+      // expression. The diskstore Env owns file I/O.
+      if (!hit && !in_diskstore && (name == "read" || name == "write")) {
+        bool global_qualified =
+            i > 0 && IsPunct(t[i - 1], "::") &&
+            (i == 1 || t[i - 2].kind != TokKind::kIdent);
+        bool call_context =
+            i == 0 || IsIdent(t[i - 1], "return") ||
+            (t[i - 1].kind == TokKind::kPunct && t[i - 1].text != "::" &&
+             t[i - 1].text != "." && t[i - 1].text != "->" &&
+             t[i - 1].text != "*" && t[i - 1].text != "&" &&
+             t[i - 1].text != ">");
+        if (global_qualified || call_context) {
+          hit = true;
+          why = "blocking file-descriptor I/O on the event loop: use the "
+                "diskstore Env (files) or src/net/ (sockets)";
+        }
+      }
+    }
+    if (!hit && !in_common) {
+      for (const char* s : kWaits) {
+        if (name == s) {
+          hit = true;
+          why = "unbounded waits stall the event loop; condition waits live "
+                "behind src/common/mutex.h primitives off the dispatch path";
+        }
+      }
+    }
+    if (!hit || Suppressed(f, t[i].line, "lint:allow-blocking")) {
+      continue;
+    }
+    Report(f, t[i].line, "blocking-call",
+           name + "() blocks the event-dispatch path: " + std::string(why) +
+               " (annotate lint:allow-blocking to override)");
+  }
+}
+
+// --- rule: bare-mutex --------------------------------------------------------
+//
+// Lock discipline is only provable when the locks are the annotated ones:
+// past::Mutex / MutexLock / CondVar (src/common/mutex.h) carry Clang
+// thread-safety capabilities, so -Wthread-safety can verify every guarded
+// access at compile time. A bare std::mutex is invisible to the analysis.
+
+void CheckBareMutex(const File& f) {
+  if (HasPrefix(f.rel, "src/common/")) {
+    return;  // the wrapper itself builds on std::mutex
+  }
+  static const char* kBare[] = {
+      "mutex",          "timed_mutex",        "recursive_mutex",
+      "shared_mutex",   "shared_timed_mutex", "recursive_timed_mutex",
+      "lock_guard",     "unique_lock",        "scoped_lock",
+      "shared_lock",    "condition_variable", "condition_variable_any"};
+  const std::vector<Token>& t = f.toks;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(IsIdent(t[i], "std") && IsPunct(t[i + 1], "::") &&
+          t[i + 2].kind == TokKind::kIdent)) {
+      continue;
+    }
+    bool banned = false;
+    for (const char* name : kBare) {
+      if (t[i + 2].text == name) {
+        banned = true;
+      }
+    }
+    if (!banned || Suppressed(f, t[i].line, "lint:allow-bare-mutex")) {
+      continue;
+    }
+    Report(f, t[i].line, "bare-mutex",
+           "std::" + t[i + 2].text +
+               " outside src/common/: use the annotated past::Mutex / "
+               "MutexLock / CondVar (src/common/mutex.h) so -Wthread-safety "
+               "can prove lock discipline (annotate lint:allow-bare-mutex to "
+               "override)");
   }
 }
 
@@ -622,28 +1141,41 @@ bool WantFile(const fs::path& p) {
 int main(int argc, char** argv) {
   std::string root_arg = ".";
   std::string rule = "all";
+  std::string graph_out;
+  static const char* kRules[] = {
+      "nondeterminism", "header-hygiene", "includes",      "nodiscard",
+      "codec-pairing",  "global-state",   "metric-name",   "raw-socket",
+      "layer-dag",      "blocking-call",  "bare-mutex"};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
       rule = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph-out") == 0 && i + 1 < argc) {
+      graph_out = argv[++i];
     } else {
+      std::string rules;
+      for (const char* r : kRules) {
+        rules += r;
+        rules += "|";
+      }
       std::fprintf(stderr,
-                   "usage: past_lint [--root <repo>] [--rule nondeterminism|"
-                   "header-hygiene|includes|nodiscard|codec-pairing|"
-                   "global-state|metric-name|raw-socket|all]\n");
+                   "usage: past_lint [--root <repo>] [--rule %sall]\n"
+                   "                 [--graph-out <include-graph.json>]\n",
+                   rules.c_str());
       return 2;
     }
   }
-  static const char* kRules[] = {"nondeterminism", "header-hygiene", "includes",
-                                 "nodiscard",      "codec-pairing",  "global-state",
-                                 "metric-name",    "raw-socket"};
   bool known = rule == "all";
   for (const char* r : kRules) {
     known = known || rule == r;
   }
   if (!known) {
     std::fprintf(stderr, "unknown rule: %s\n", rule.c_str());
+    return 2;
+  }
+  if (!graph_out.empty() && rule != "all" && rule != "layer-dag") {
+    std::fprintf(stderr, "--graph-out requires --rule layer-dag (or all)\n");
     return 2;
   }
 
@@ -660,12 +1192,17 @@ int main(int argc, char** argv) {
       }
       File f;
       f.rel = fs::relative(entry.path(), root).generic_string();
+      // Fixture trees deliberately violate rules; they are linted on their
+      // own via --root by the lint_fixture_* ctests, never as repo sources.
+      if (HasPrefix(f.rel, "tests/lint/fixtures/")) {
+        continue;
+      }
       std::ifstream in(entry.path());
       std::string line;
       while (std::getline(in, line)) {
         f.lines.push_back(line);
       }
-      f.code = ScrubbedLines(f.lines);
+      f.toks = Lex(f.lines);
       files.push_back(std::move(f));
     }
   }
@@ -673,6 +1210,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no sources found under %s\n", root.c_str());
     return 2;
   }
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.rel < b.rel; });
 
   for (const File& f : files) {
     if (rule == "all" || rule == "nondeterminism") {
@@ -699,6 +1238,18 @@ int main(int argc, char** argv) {
     if (rule == "all" || rule == "raw-socket") {
       CheckRawSocket(f);
     }
+    if (rule == "all" || rule == "layer-dag") {
+      CheckLayerDag(f);
+    }
+    if (rule == "all" || rule == "blocking-call") {
+      CheckBlockingCall(f);
+    }
+    if (rule == "all" || rule == "bare-mutex") {
+      CheckBareMutex(f);
+    }
+  }
+  if (!graph_out.empty() && !WriteGraphJson(graph_out)) {
+    return 2;
   }
   if (g_violations > 0) {
     std::fprintf(stderr, "past_lint: %d violation(s)\n", g_violations);

@@ -13,6 +13,11 @@
 //       "X" events, microsecond timestamps) loadable in Perfetto or
 //       chrome://tracing. Spans keep their id/parent/trace_id and
 //       annotations in "args"; the recording node becomes the tid.
+//   past_stats layers <include-graph.json>
+//       Renders the layer-DAG include graph that `past_lint --graph-out`
+//       emits: one row per architecture layer with rank, group, include
+//       fan-out/fan-in, and suppressed (lint:allow-layer) edge counts, plus
+//       the total back-edge count (0 in a clean tree).
 //
 // Output is a pure function of the input file (no clocks, no locale), so
 // ctest can diff it byte-for-byte across runs and thread counts.
@@ -220,11 +225,90 @@ int Chrome(const char* in_path, const char* out_path) {
   return 0;
 }
 
+// --- layer-DAG include graph ------------------------------------------------
+
+// Renders the include graph past_lint --graph-out emits: one row per
+// architecture layer with its file fan-out/fan-in and any surviving
+// back-edges (allowed=false should be impossible in a clean tree — the lint
+// gate fails first — but the reader still surfaces them).
+int Layers(const char* path) {
+  JsonValue doc;
+  if (!LoadJson(path, &doc)) {
+    return 1;
+  }
+  const JsonValue* layers = doc.Find("layers");
+  const JsonValue* edges = doc.Find("edges");
+  if (layers == nullptr || !layers->is_array() || edges == nullptr ||
+      !edges->is_array()) {
+    std::fprintf(stderr,
+                 "past_stats: %s has no layers/edges arrays (emit it with "
+                 "past_lint --graph-out)\n",
+                 path);
+    return 1;
+  }
+  struct LayerStats {
+    double rank = 0;
+    std::string group;
+    uint64_t out_edges = 0;   // includes leaving this layer's files
+    uint64_t in_edges = 0;    // includes pointing at this layer
+    uint64_t suppressed = 0;  // lint:allow-layer edges from this layer
+  };
+  std::vector<std::string> order;  // table order = rank order as emitted
+  std::map<std::string, LayerStats> by_dir;
+  for (const JsonValue& l : layers->items()) {
+    const JsonValue* dir = l.Find("dir");
+    if (dir == nullptr || !dir->is_string()) {
+      continue;
+    }
+    LayerStats& st = by_dir[dir->AsString()];
+    st.rank = Num(l.Find("rank"));
+    const JsonValue* group = l.Find("group");
+    st.group = group != nullptr && group->is_string() ? group->AsString() : "?";
+    order.push_back(dir->AsString());
+  }
+  uint64_t back_edges = 0;
+  for (const JsonValue& e : edges->items()) {
+    const JsonValue* from = e.Find("from_layer");
+    const JsonValue* to = e.Find("to_layer");
+    if (from == nullptr || !from->is_string() || to == nullptr ||
+        !to->is_string()) {
+      continue;
+    }
+    LayerStats& src = by_dir[from->AsString()];
+    ++src.out_edges;
+    ++by_dir[to->AsString()].in_edges;
+    const JsonValue* allowed = e.Find("allowed");
+    const JsonValue* suppressed = e.Find("suppressed");
+    if (suppressed != nullptr && suppressed->is_bool() &&
+        suppressed->AsBool()) {
+      ++src.suppressed;
+    }
+    if (allowed != nullptr && allowed->is_bool() && !allowed->AsBool()) {
+      ++back_edges;
+    }
+  }
+  std::printf("%zu layers, %zu include edges, back-edges: %llu\n\n",
+              order.size(), edges->size(),
+              static_cast<unsigned long long>(back_edges));
+  std::printf("%-18s %5s %-12s %9s %9s %10s\n", "layer", "rank", "group",
+              "out-edges", "in-edges", "suppressed");
+  for (const std::string& dir : order) {
+    const LayerStats& st = by_dir[dir];
+    std::printf("%-18s %5.0f %-12s %9llu %9llu %10llu\n", dir.c_str(), st.rank,
+                st.group.c_str(),
+                static_cast<unsigned long long>(st.out_edges),
+                static_cast<unsigned long long>(st.in_edges),
+                static_cast<unsigned long long>(st.suppressed));
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: past_stats summary <exp.json>\n"
                "       past_stats trace <trace.json>\n"
-               "       past_stats chrome <trace.json> <out.json>\n");
+               "       past_stats chrome <trace.json> <out.json>\n"
+               "       past_stats layers <include-graph.json>\n");
   return 2;
 }
 
@@ -243,6 +327,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "chrome") == 0 && argc == 4) {
     return past::Chrome(argv[2], argv[3]);
+  }
+  if (std::strcmp(argv[1], "layers") == 0 && argc == 3) {
+    return past::Layers(argv[2]);
   }
   return past::Usage();
 }
