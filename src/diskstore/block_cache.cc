@@ -1,0 +1,120 @@
+#include "src/diskstore/block_cache.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+BlockCache::BlockCache(uint64_t capacity_bytes, MetricsRegistry* metrics)
+    : capacity_(capacity_bytes) {
+  if (metrics != nullptr) {
+    m_hits_ = metrics->GetCounter("disk.cache.hits");
+    m_misses_ = metrics->GetCounter("disk.cache.misses");
+    m_insertions_ = metrics->GetCounter("disk.cache.insertions");
+    m_evictions_ = metrics->GetCounter("disk.cache.evictions");
+    m_used_bytes_ = metrics->GetGauge("disk.cache.used_bytes");
+  }
+}
+
+double BlockCache::PriorityFor(size_t size) const {
+  // H = L + cost/size with uniform cost: small values earn higher priority.
+  return inflation_ + 1.0 / static_cast<double>(size == 0 ? 1 : size);
+}
+
+bool BlockCache::Get(const U160& key, Bytes* out) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    if (m_misses_ != nullptr) {
+      m_misses_->Inc();
+    }
+    return false;
+  }
+  ++stats_.hits;
+  if (m_hits_ != nullptr) {
+    m_hits_->Inc();
+  }
+  // Refresh priority against the current inflation floor.
+  queue_.erase(it->second.queue_pos);
+  it->second.queue_pos =
+      queue_.emplace(PriorityFor(it->second.value.size()), key);
+  *out = it->second.value;
+  return true;
+}
+
+void BlockCache::Insert(const U160& key, ByteSpan value) {
+  if (value.size() > capacity_) {
+    return;
+  }
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    AccountUsed(-static_cast<int64_t>(it->second.value.size()));
+    queue_.erase(it->second.queue_pos);
+    entries_.erase(it);
+  }
+  while (used_ + value.size() > capacity_ && !entries_.empty()) {
+    EvictOne();
+  }
+  Entry entry;
+  entry.value.assign(value.begin(), value.end());
+  entry.queue_pos = queue_.emplace(PriorityFor(value.size()), key);
+  AccountUsed(static_cast<int64_t>(value.size()));
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+  if (m_insertions_ != nullptr) {
+    m_insertions_->Inc();
+  }
+}
+
+void BlockCache::Erase(const U160& key) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  AccountUsed(-static_cast<int64_t>(it->second.value.size()));
+  queue_.erase(it->second.queue_pos);
+  entries_.erase(it);
+}
+
+void BlockCache::EvictOne() {
+  PAST_CHECK(!entries_.empty());
+  auto victim = queue_.begin();
+  // Raise the inflation floor to the evicted priority so future entries
+  // compete fairly against long-lived popular ones.
+  inflation_ = victim->first;
+  auto it = entries_.find(victim->second);
+  PAST_CHECK(it != entries_.end());
+  AccountUsed(-static_cast<int64_t>(it->second.value.size()));
+  entries_.erase(it);
+  queue_.erase(victim);
+  ++stats_.evictions;
+  if (m_evictions_ != nullptr) {
+    m_evictions_->Inc();
+  }
+}
+
+void BlockCache::AccountUsed(int64_t delta) {
+  used_ = static_cast<uint64_t>(static_cast<int64_t>(used_) + delta);
+  if (m_used_bytes_ != nullptr) {
+    m_used_bytes_->Add(static_cast<double>(delta));
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+uint64_t BlockCache::used_bytes() const {
+  MutexLock lock(&mu_);
+  return used_;
+}
+
+size_t BlockCache::entry_count() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+}  // namespace past

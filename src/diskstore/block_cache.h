@@ -1,0 +1,92 @@
+// BlockCache — a bounded, internally-synchronized value cache in front of
+// the disk engine's reads.
+//
+// The sharded engine consults it on Get() before issuing an env ReadRange,
+// fills it on miss, and invalidates on Put/Remove so a cached value can
+// never be stale. Eviction is GreedyDual-Size with uniform cost — the same
+// policy the storage-layer unused-capacity cache uses (src/storage/cache.h):
+// each entry carries H = L + 1/size, eviction removes the minimum-H entry
+// and raises the floor L to that value, so small and recently-touched
+// values survive longest.
+//
+// Unlike the storage-layer Cache this one is thread-safe: serving threads
+// hit it concurrently from different shards. All state is guarded by one
+// past::Mutex — the critical sections are map operations, orders of
+// magnitude cheaper than the disk read a hit avoids. Lock order: a caller
+// may hold its shard mutex when calling in; the cache never calls out, so
+// shard-mutex -> cache-mutex is the only order and cannot deadlock.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/mutex.h"
+#include "src/common/u160.h"
+#include "src/obs/metrics.h"
+
+namespace past {
+
+class BlockCache {
+ public:
+  // With a registry, hit/miss/insert/evict counts and used bytes are also
+  // mirrored into the shared "disk.cache.*" instruments. The instrument
+  // pointers are written once here and read-only afterwards; the values
+  // they point at are guarded by mu_ like the rest of the cache state.
+  BlockCache(uint64_t capacity_bytes, MetricsRegistry* metrics);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Copies the cached value into *out and refreshes its priority. False on
+  // miss.
+  bool Get(const U160& key, Bytes* out) PAST_EXCLUDES(mu_);
+
+  // Caches a value (replacing any previous entry for the key), evicting
+  // minimum-priority entries until it fits. Values larger than the whole
+  // cache are ignored.
+  void Insert(const U160& key, ByteSpan value) PAST_EXCLUDES(mu_);
+
+  // Drops the entry if present; called on every overwrite and remove so the
+  // cache never serves stale bytes.
+  void Erase(const U160& key) PAST_EXCLUDES(mu_);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const PAST_EXCLUDES(mu_);
+  uint64_t used_bytes() const PAST_EXCLUDES(mu_);
+  size_t entry_count() const PAST_EXCLUDES(mu_);
+  uint64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Bytes value;
+    std::multimap<double, U160>::iterator queue_pos;
+  };
+
+  double PriorityFor(size_t size) const PAST_REQUIRES(mu_);
+  void EvictOne() PAST_REQUIRES(mu_);
+  void AccountUsed(int64_t delta) PAST_REQUIRES(mu_);
+
+  const uint64_t capacity_;
+
+  mutable Mutex mu_;
+  uint64_t used_ PAST_GUARDED_BY(mu_) = 0;
+  double inflation_ PAST_GUARDED_BY(mu_) = 0.0;  // GD-S floor L
+  std::unordered_map<U160, Entry, U160Hash> entries_ PAST_GUARDED_BY(mu_);
+  std::multimap<double, U160> queue_ PAST_GUARDED_BY(mu_);  // H -> key, min first
+  Stats stats_ PAST_GUARDED_BY(mu_);
+
+  // Shared registry instruments; null when metrics are off. The registry's
+  // Counter/Gauge are not thread-safe, so every Inc/Add happens under mu_.
+  Counter* m_hits_ PAST_PT_GUARDED_BY(mu_) = nullptr;
+  Counter* m_misses_ PAST_PT_GUARDED_BY(mu_) = nullptr;
+  Counter* m_insertions_ PAST_PT_GUARDED_BY(mu_) = nullptr;
+  Counter* m_evictions_ PAST_PT_GUARDED_BY(mu_) = nullptr;
+  Gauge* m_used_bytes_ PAST_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace past

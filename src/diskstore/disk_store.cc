@@ -292,6 +292,11 @@ StatusCode DiskStore::Append(RecordType type, const U160& key, ByteSpan value) {
       return status;
     }
   }
+  if (!options_.inline_compaction) {
+    // The owner watches NeedsCompaction() and runs Compact() off the
+    // serving path.
+    return StatusCode::kOk;
+  }
   return MaybeCompact();
 }
 
@@ -314,16 +319,17 @@ StatusCode DiskStore::Sync() {
 
 // --- compaction ----------------------------------------------------------------
 
-StatusCode DiskStore::MaybeCompact() {
+bool DiskStore::NeedsCompaction() const {
   const uint64_t total = stats_.live_bytes + stats_.garbage_bytes;
   if (total == 0 || stats_.garbage_bytes < options_.compact_min_bytes) {
-    return StatusCode::kOk;
+    return false;
   }
-  if (static_cast<double>(stats_.garbage_bytes) <
-      options_.compact_garbage_ratio * static_cast<double>(total)) {
-    return StatusCode::kOk;
-  }
-  return Compact();
+  return static_cast<double>(stats_.garbage_bytes) >=
+         options_.compact_garbage_ratio * static_cast<double>(total);
+}
+
+StatusCode DiskStore::MaybeCompact() {
+  return NeedsCompaction() ? Compact() : StatusCode::kOk;
 }
 
 StatusCode DiskStore::Compact() {

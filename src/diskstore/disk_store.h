@@ -48,6 +48,38 @@ struct DiskStoreOptions {
   Env* env = nullptr;
   // Optional shared registry for the disk.* instruments.
   MetricsRegistry* metrics = nullptr;
+
+  // --- engine-level knob (DiskStore) -----------------------------------------
+  // When false, Append() never compacts inline; the owner (the sharded
+  // engine's background compactor) is responsible for calling Compact() when
+  // NeedsCompaction() says so. Default preserves the historical inline
+  // threshold compaction.
+  bool inline_compaction = true;
+
+  // --- sharded-engine knobs (ShardedDiskStore, sharded_store.h) --------------
+  // These ride in DiskStoreOptions so PastConfig.disk and DiskBackend::Open
+  // plumb them without new surface. A plain DiskStore ignores them.
+  //
+  // Number of independent segment-log shards keyed by fileId. 1 (default)
+  // keeps the legacy single-log layout: segment files directly in the store
+  // directory, byte-identical to a plain DiskStore.
+  uint32_t shard_count = 1;
+  // Group commit: concurrent appends coalesce into one batched fsync per
+  // shard (a dedicated committer thread per shard drains a commit queue).
+  // Every Put/Remove is durable when it returns — sync_every=1 semantics at
+  // per-batch instead of per-insert fsync cost. Overrides sync_every.
+  bool group_commit = false;
+  // Upper bound on appends folded into one fsync batch.
+  uint32_t commit_batch_max = 64;
+  // How long the committer waits for more appends to join a batch before
+  // fsyncing what it has. 0 = commit whatever is pending immediately.
+  uint32_t commit_delay_us = 100;
+  // Move threshold compaction off the serving thread onto a background
+  // worker with shard-granular handoff (implies inline_compaction = false
+  // for the shards).
+  bool background_compaction = false;
+  // Bounded cache over value reads (block cache), bytes. 0 = off.
+  uint64_t cache_bytes = 0;
 };
 
 class DiskStore {
@@ -83,6 +115,10 @@ class DiskStore {
   // Rewrites live records into a fresh segment and deletes the rest,
   // regardless of the garbage thresholds.
   StatusCode Compact();
+  // True when the garbage thresholds say a compaction is worthwhile. With
+  // inline_compaction off, the owner polls this after writes and schedules
+  // Compact() itself (the sharded engine's background compactor).
+  bool NeedsCompaction() const;
 
   struct Stats {
     uint64_t segments = 0;          // current segment file count

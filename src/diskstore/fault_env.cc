@@ -17,7 +17,7 @@ class FaultWritableFile : public WritableFile {
   StatusCode Append(ByteSpan data) override {
     StatusCode status = base_->Append(data);
     if (status == StatusCode::kOk) {
-      env_->RecordWrite(rel_, env_->sizes_[rel_], data);
+      env_->RecordAppend(rel_, data);
     }
     return status;
   }
@@ -48,8 +48,9 @@ std::string FaultInjectionEnv::Rel(const std::string& path) const {
   return path;
 }
 
-void FaultInjectionEnv::RecordWrite(const std::string& rel, uint64_t offset,
-                                    ByteSpan data) {
+void FaultInjectionEnv::RecordAppend(const std::string& rel, ByteSpan data) {
+  MutexLock lock(&mu_);
+  const uint64_t offset = sizes_[rel];
   EnvOp op;
   op.kind = EnvOp::Kind::kWrite;
   op.path = rel;
@@ -60,6 +61,7 @@ void FaultInjectionEnv::RecordWrite(const std::string& rel, uint64_t offset,
 }
 
 void FaultInjectionEnv::RecordSync(const std::string& rel) {
+  MutexLock lock(&mu_);
   EnvOp op;
   op.kind = EnvOp::Kind::kSync;
   op.path = rel;
@@ -83,19 +85,22 @@ StatusCode FaultInjectionEnv::NewWritableFile(
     return status;
   }
   const std::string rel = Rel(path);
-  auto it = sizes_.find(rel);
-  if (it == sizes_.end()) {
-    // First time this env sees the file; it must not predate the env, or the
-    // op log would not describe its full contents.
-    uint64_t on_disk = 0;
-    PAST_CHECK_MSG(base_->FileSize(path, &on_disk) == StatusCode::kNotFound ||
-                       on_disk == 0,
-                   "FaultInjectionEnv requires an initially empty directory");
-    sizes_[rel] = 0;
-    EnvOp op;
-    op.kind = EnvOp::Kind::kCreate;
-    op.path = rel;
-    ops_.push_back(std::move(op));
+  {
+    MutexLock lock(&mu_);
+    auto it = sizes_.find(rel);
+    if (it == sizes_.end()) {
+      // First time this env sees the file; it must not predate the env, or
+      // the op log would not describe its full contents.
+      uint64_t on_disk = 0;
+      PAST_CHECK_MSG(base_->FileSize(path, &on_disk) == StatusCode::kNotFound ||
+                         on_disk == 0,
+                     "FaultInjectionEnv requires an initially empty directory");
+      sizes_[rel] = 0;
+      EnvOp op;
+      op.kind = EnvOp::Kind::kCreate;
+      op.path = rel;
+      ops_.push_back(std::move(op));
+    }
   }
   *out = std::make_unique<FaultWritableFile>(this, rel, std::move(base_file));
   return StatusCode::kOk;
@@ -120,6 +125,7 @@ StatusCode FaultInjectionEnv::RemoveFile(const std::string& path) {
   StatusCode status = base_->RemoveFile(path);
   if (status == StatusCode::kOk) {
     const std::string rel = Rel(path);
+    MutexLock lock(&mu_);
     sizes_.erase(rel);
     EnvOp op;
     op.kind = EnvOp::Kind::kRemove;
@@ -134,6 +140,7 @@ StatusCode FaultInjectionEnv::TruncateFile(const std::string& path,
   StatusCode status = base_->TruncateFile(path, size);
   if (status == StatusCode::kOk) {
     const std::string rel = Rel(path);
+    MutexLock lock(&mu_);
     sizes_[rel] = size;
     EnvOp op;
     op.kind = EnvOp::Kind::kTruncate;
@@ -150,6 +157,7 @@ bool FaultInjectionEnv::FileExists(const std::string& path) {
 
 StatusCode FaultInjectionEnv::Materialize(
     const std::string& target_dir, const MaterializeOptions& options) const {
+  MutexLock lock(&mu_);
   PAST_CHECK(options.op_count <= ops_.size());
   std::map<std::string, Bytes> model;
   for (size_t i = 0; i < options.op_count; ++i) {
@@ -193,6 +201,14 @@ StatusCode FaultInjectionEnv::Materialize(
     return status;
   }
   for (const auto& [rel, content] : model) {
+    // Shard layouts nest segments one directory deep; recreate the parent.
+    const size_t slash = rel.rfind('/');
+    if (slash != std::string::npos) {
+      status = base_->CreateDirs(target_dir + "/" + rel.substr(0, slash));
+      if (status != StatusCode::kOk) {
+        return status;
+      }
+    }
     std::unique_ptr<WritableFile> out;
     status = base_->NewWritableFile(target_dir + "/" + rel, &out);
     if (status != StatusCode::kOk) {

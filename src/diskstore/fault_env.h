@@ -11,6 +11,11 @@
 //
 // The env is meant to be pointed at an initially empty directory: the
 // operation log is the sole source of truth for Materialize().
+//
+// The op log is internally synchronized, so a store with a group-commit
+// committer thread can run on top of this env; ops() and Materialize() still
+// expect a quiescent store (no in-flight appends) so the log they see is a
+// well-defined prefix.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/diskstore/env.h"
 
 namespace past {
@@ -62,25 +68,36 @@ class FaultInjectionEnv : public Env {
   StatusCode TruncateFile(const std::string& path, uint64_t size) override;
   bool FileExists(const std::string& path) override;
 
-  const std::vector<EnvOp>& ops() const { return ops_; }
+  // Call only while the store is quiescent (no in-flight appends or
+  // committer batches): the reference is to live, lock-guarded state.
+  const std::vector<EnvOp>& ops() const PAST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return ops_;
+  }
 
   // Reconstructs the post-crash directory contents into `target_dir`
   // (created if needed, assumed empty) using `base` for the writes.
   StatusCode Materialize(const std::string& target_dir,
-                         const MaterializeOptions& options) const;
+                         const MaterializeOptions& options) const
+      PAST_EXCLUDES(mu_);
 
  private:
   friend class FaultWritableFile;
 
   std::string Rel(const std::string& path) const;
-  void RecordWrite(const std::string& rel, uint64_t offset, ByteSpan data);
-  void RecordSync(const std::string& rel);
+  // Appends a write op at the file's current size (looked up under mu_, so
+  // concurrent appenders to different files never race on the size model).
+  void RecordAppend(const std::string& rel, ByteSpan data) PAST_EXCLUDES(mu_);
+  void RecordSync(const std::string& rel) PAST_EXCLUDES(mu_);
 
   Env* base_;
   const std::string base_dir_;
-  std::vector<EnvOp> ops_;
+  // Guards the op log and size model: a group-commit committer records syncs
+  // concurrently with serving-thread appends.
+  mutable Mutex mu_;
+  std::vector<EnvOp> ops_ PAST_GUARDED_BY(mu_);
   // Model of each file's current size, so appends know their offset.
-  std::unordered_map<std::string, uint64_t> sizes_;
+  std::unordered_map<std::string, uint64_t> sizes_ PAST_GUARDED_BY(mu_);
 };
 
 }  // namespace past

@@ -37,12 +37,13 @@ bool DecodePointer(ByteSpan data, NodeDescriptor* out) {
 
 }  // namespace
 
-DiskBackend::DiskBackend(std::unique_ptr<DiskStore> engine)
+DiskBackend::DiskBackend(std::unique_ptr<ShardedDiskStore> engine)
     : engine_(std::move(engine)) {}
 
 Result<std::unique_ptr<DiskBackend>> DiskBackend::Open(
     const std::string& dir, const DiskStoreOptions& options) {
-  Result<std::unique_ptr<DiskStore>> engine = DiskStore::Open(dir, options);
+  Result<std::unique_ptr<ShardedDiskStore>> engine =
+      ShardedDiskStore::Open(dir, options);
   if (!engine.ok()) {
     return engine.status();
   }

@@ -1,15 +1,22 @@
 // DiskBackend — a StoreBackend written through to the durable log engine.
 //
-// Every mutation is appended to the DiskStore before the in-memory mirror is
+// Every mutation is appended to the engine before the in-memory mirror is
 // updated, so Open() on the same directory after a crash or restart rebuilds
 // exactly the acknowledged (and, with sync, durable) state. Replica values
 // are serialized StoredFiles; pointer values are serialized NodeDescriptors.
+//
+// The engine is a ShardedDiskStore: with the default options (one shard, no
+// group commit, no background compaction) it behaves — and lays its files
+// out — exactly like the original single DiskStore, keeping existing state
+// directories and the deterministic sim paths untouched. The serving knobs
+// in DiskStoreOptions (shard_count, group_commit, background_compaction,
+// cache_bytes) switch on the concurrent machinery.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "src/diskstore/disk_store.h"
+#include "src/diskstore/sharded_store.h"
 #include "src/storage/store_backend.h"
 
 namespace past {
@@ -36,15 +43,15 @@ class DiskBackend : public StoreBackend {
 
   StatusCode Sync() override { return engine_->Sync(); }
 
-  DiskStore* engine() { return engine_.get(); }
+  ShardedDiskStore* engine() { return engine_.get(); }
 
  private:
-  explicit DiskBackend(std::unique_ptr<DiskStore> engine);
+  explicit DiskBackend(std::unique_ptr<ShardedDiskStore> engine);
 
   // Decodes everything the engine recovered into the mirror.
   StatusCode LoadRecovered();
 
-  std::unique_ptr<DiskStore> engine_;
+  std::unique_ptr<ShardedDiskStore> engine_;
   // Serves reads; the engine is only read at Open() and compaction.
   MemoryBackend mirror_;
 };

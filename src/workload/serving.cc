@@ -1,0 +1,70 @@
+#include "src/workload/serving.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace past {
+
+Bytes ServingValue(uint64_t seed, uint32_t size) {
+  // splitmix64 over the seed, 8 bytes at a time: cheap, deterministic, and
+  // incompressible enough that value bytes exercise real I/O.
+  Bytes out(size);
+  uint64_t x = seed;
+  for (uint32_t i = 0; i < size; i += 8) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    for (uint32_t b = 0; b < 8 && i + b < size; ++b) {
+      out[i + b] = static_cast<uint8_t>(z >> (8 * b));
+    }
+  }
+  return out;
+}
+
+ServingSchedule GenerateServingSchedule(const ServingWorkloadOptions& options) {
+  PAST_CHECK(options.arrival_rate > 0.0);
+  Rng rng(options.seed);
+  ServingSchedule schedule;
+
+  auto sized_insert = [&](uint64_t arrival_us) {
+    ServingOp op;
+    op.type = ServingOp::Type::kInsert;
+    op.key = rng.NextU160();
+    const uint64_t size = std::min<uint64_t>(options.sizes.Sample(&rng),
+                                             options.max_value_bytes);
+    op.value_size = static_cast<uint32_t>(size);
+    op.value_seed = rng.NextU64();
+    op.arrival_us = arrival_us;
+    return op;
+  };
+
+  schedule.prepopulate.reserve(options.prepopulate);
+  for (size_t i = 0; i < options.prepopulate; ++i) {
+    schedule.prepopulate.push_back(sized_insert(0));
+  }
+
+  ZipfDistribution popularity(std::max<size_t>(options.prepopulate, 1),
+                              options.zipf_s);
+  double clock_us = 0.0;
+  schedule.ops.reserve(options.op_count);
+  for (size_t i = 0; i < options.op_count; ++i) {
+    // Poisson process: exponential interarrivals at the offered rate.
+    clock_us += rng.Exponential(options.arrival_rate) * 1e6;
+    const uint64_t arrival_us = static_cast<uint64_t>(clock_us);
+    if (options.prepopulate > 0 && !rng.Bernoulli(options.insert_fraction)) {
+      ServingOp op;
+      op.type = ServingOp::Type::kLookup;
+      op.key = schedule.prepopulate[popularity.Sample(&rng)].key;
+      op.arrival_us = arrival_us;
+      schedule.ops.push_back(op);
+    } else {
+      schedule.ops.push_back(sized_insert(arrival_us));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace past

@@ -1,0 +1,65 @@
+// Open-loop serving workload for the storage engine.
+//
+// Unlike a closed-loop driver (issue, wait, issue), an open-loop driver
+// fixes the *offered* arrival rate: every operation has a scheduled arrival
+// time drawn from a Poisson process, and latency is measured from that
+// scheduled arrival to completion — so queueing delay under overload shows
+// up in the numbers instead of silently throttling the load, which is the
+// whole point of serving benchmarks against a latency SLO.
+//
+// The schedule is fully pregenerated from one seed: a prepopulation phase
+// (distinct keys the lookups will hit) and a timed phase mixing fresh-key
+// inserts with Zipf-popularity lookups over the prepopulated keys. Both the
+// key material and the value bytes are deterministic functions of the seed,
+// so two runs of the same schedule apply identical logical operations — the
+// property the serving determinism gate checks across shard counts and
+// thread counts.
+#pragma once
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/u160.h"
+#include "src/workload/workload.h"
+
+namespace past {
+
+struct ServingWorkloadOptions {
+  uint64_t seed = 1;
+  // Keys inserted (and synced) before the timed phase; lookups target these.
+  size_t prepopulate = 1024;
+  // Scheduled operations in the timed phase.
+  size_t op_count = 10000;
+  // Fraction of scheduled ops that are inserts; the rest are lookups.
+  double insert_fraction = 0.2;
+  // Zipf skew for lookup popularity over the prepopulated keys.
+  double zipf_s = 0.8;
+  // Offered load: Poisson arrivals at this many ops/sec.
+  double arrival_rate = 1000.0;
+  // Value sizes draw from the trace-shaped model, clamped to this bound so
+  // a single multi-MiB outlier cannot dominate a microsecond-scale sweep.
+  FileSizeModel sizes;
+  uint64_t max_value_bytes = 64ULL << 10;
+};
+
+struct ServingOp {
+  enum class Type : uint8_t { kInsert, kLookup };
+  Type type = Type::kInsert;
+  U160 key;
+  uint32_t value_size = 0;   // inserts only
+  uint64_t value_seed = 0;   // inserts only: seed for ServingValue()
+  uint64_t arrival_us = 0;   // scheduled arrival, microseconds from start
+};
+
+struct ServingSchedule {
+  std::vector<ServingOp> prepopulate;  // inserts, arrival_us == 0
+  std::vector<ServingOp> ops;          // timed phase, arrival_us ascending
+};
+
+// Deterministic value bytes for (seed, size).
+Bytes ServingValue(uint64_t seed, uint32_t size);
+
+ServingSchedule GenerateServingSchedule(const ServingWorkloadOptions& options);
+
+}  // namespace past

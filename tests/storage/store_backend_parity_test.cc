@@ -46,10 +46,22 @@ class BackendParityTest : public ::testing::TestWithParam<std::string> {
     if (GetParam() == "memory") {
       return std::make_unique<MemoryBackend>();
     }
+    // "disk" = legacy single-log engine defaults; "disk4" = the sharded
+    // engine with every concurrent feature on (4 shards, group commit,
+    // background compaction, block cache). Parity across all three is the
+    // contract: sharding is invisible above the StoreBackend seam.
+    DiskStoreOptions options;
+    if (GetParam() == "disk4") {
+      options.shard_count = 4;
+      options.group_commit = true;
+      options.commit_delay_us = 100;
+      options.background_compaction = true;
+      options.cache_bytes = 1ULL << 20;
+    }
     // A distinct directory per backend keeps reopen semantics out of the
     // shared tests (covered separately below).
-    auto backend =
-        DiskBackend::Open(tmp_.Sub("db-" + std::to_string(next_dir_++)), {});
+    auto backend = DiskBackend::Open(
+        tmp_.Sub("db-" + std::to_string(next_dir_++)), options);
     EXPECT_TRUE(backend.ok()) << StatusCodeName(backend.status());
     return std::move(backend).value();
   }
@@ -146,7 +158,7 @@ TEST_P(BackendParityTest, RemoveReleasesSpace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, BackendParityTest,
-                         ::testing::Values("memory", "disk"),
+                         ::testing::Values("memory", "disk", "disk4"),
                          [](const auto& info) { return info.param; });
 
 // Disk-only: a FileStore rebuilt over a reopened DiskBackend recovers the
@@ -189,6 +201,97 @@ TEST(DiskBackendReopenTest, FileStoreAccountingSurvivesReopen) {
   // Recovered replicas count against free space: a duplicate is still a
   // duplicate after reboot.
   EXPECT_EQ(store.Put(FileOfSize(100, 0)), StatusCode::kAlreadyExists);
+}
+
+// Same reopen-accounting contract over the sharded engine: replicas,
+// pointers, and used-bytes all survive a reboot of a 4-shard group-commit
+// store.
+TEST(DiskBackendReopenTest, ShardedEngineAccountingSurvivesReopen) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("db");
+  DiskStoreOptions options;
+  options.shard_count = 4;
+  options.group_commit = true;
+  options.commit_delay_us = 100;
+  options.cache_bytes = 1ULL << 20;
+  {
+    auto backend = DiskBackend::Open(dir, options);
+    ASSERT_TRUE(backend.ok());
+    FileStore store(10000, std::move(backend).value());
+    for (uint64_t tag = 0; tag < 12; ++tag) {
+      StoredFile f = FileOfSize(100 + tag, tag);
+      f.content = ToBytes("c" + std::to_string(tag));
+      ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
+    }
+    ASSERT_TRUE(store.Remove(CertOfSize(0, 3).file_id).has_value());
+    ASSERT_EQ(store.PutPointer(CertOfSize(0, 77).file_id,
+                               NodeDescriptor{U128(5, 6), 31}),
+              StatusCode::kOk);
+    // No explicit Sync: group commit means every acknowledged mutation is
+    // already durable.
+  }
+  auto backend = DiskBackend::Open(dir, options);
+  ASSERT_TRUE(backend.ok());
+  FileStore store(10000, std::move(backend).value());
+  EXPECT_EQ(store.file_count(), 11u);
+  EXPECT_EQ(store.pointer_count(), 1u);
+  uint64_t expected_used = 0;
+  for (uint64_t tag = 0; tag < 12; ++tag) {
+    if (tag == 3) {
+      EXPECT_FALSE(store.Has(CertOfSize(0, tag).file_id));
+      continue;
+    }
+    expected_used += 100 + tag;
+    const StoredFile* got = store.Get(CertOfSize(0, tag).file_id);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->content, ToBytes("c" + std::to_string(tag)));
+  }
+  EXPECT_EQ(store.used(), expected_used);
+  EXPECT_EQ(store.Put(FileOfSize(100, 0)), StatusCode::kAlreadyExists);
+}
+
+// Upgrade path: a state dir written by the legacy single-log layout reopens
+// under the sharded engine (migrating the segments into shard directories)
+// with every replica, pointer, and byte of accounting intact — and migrates
+// back down to a single log just as losslessly.
+TEST(DiskBackendReopenTest, LegacyStateDirUpgradesToShardedLayout) {
+  TempDir tmp;
+  const std::string dir = tmp.Sub("db");
+  {
+    auto backend = DiskBackend::Open(dir, {});  // legacy defaults
+    ASSERT_TRUE(backend.ok());
+    FileStore store(10000, std::move(backend).value());
+    for (uint64_t tag = 0; tag < 10; ++tag) {
+      StoredFile f = FileOfSize(50 + tag, tag);
+      f.content = ToBytes("v" + std::to_string(tag));
+      ASSERT_EQ(store.Put(std::move(f)), StatusCode::kOk);
+    }
+    ASSERT_EQ(store.PutPointer(CertOfSize(0, 99).file_id,
+                               NodeDescriptor{U128(7, 8), 42}),
+              StatusCode::kOk);
+    ASSERT_EQ(store.Sync(), StatusCode::kOk);
+  }
+  uint64_t expected_used = 0;
+  for (uint64_t tag = 0; tag < 10; ++tag) {
+    expected_used += 50 + tag;
+  }
+  for (uint32_t shard_count : {4u, 1u}) {
+    SCOPED_TRACE("shard count " + std::to_string(shard_count));
+    DiskStoreOptions options;
+    options.shard_count = shard_count;
+    auto backend = DiskBackend::Open(dir, options);
+    ASSERT_TRUE(backend.ok()) << StatusCodeName(backend.status());
+    FileStore store(10000, std::move(backend).value());
+    EXPECT_EQ(store.file_count(), 10u);
+    EXPECT_EQ(store.used(), expected_used);
+    for (uint64_t tag = 0; tag < 10; ++tag) {
+      const StoredFile* got = store.Get(CertOfSize(0, tag).file_id);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->content, ToBytes("v" + std::to_string(tag)));
+    }
+    EXPECT_EQ(store.GetPointer(CertOfSize(0, 99).file_id)->addr, 42u);
+    ASSERT_EQ(store.Sync(), StatusCode::kOk);
+  }
 }
 
 }  // namespace

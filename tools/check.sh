@@ -55,6 +55,12 @@ ctest --test-dir "$build_dir" -L crypto_diff --output-on-failure
 echo "== trace determinism gate (ctest -R trace_determinism)"
 ctest --test-dir "$build_dir" -R trace_determinism --output-on-failure
 
+echo "== serving gate (ctest -R 'serving_smoke|serving_determinism')"
+# The sharded group-commit engine under open-loop load: smoke sweep + JSON
+# contract, then the shard/thread state-digest determinism check.
+ctest --test-dir "$build_dir" -R "serving_smoke|serving_determinism" \
+  --output-on-failure
+
 echo "== cluster gate (ctest -L cluster)"
 # Real daemons over localhost sockets: N processes, cross-process
 # insert/lookup/reclaim, kill-one-node survival. Bounded by both the ctest

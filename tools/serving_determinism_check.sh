@@ -1,0 +1,32 @@
+#!/bin/sh
+# Acceptance contract of the sharded group-commit engine: the durable logical
+# state is a function of the applied operations alone — never of how they
+# were partitioned across shards or racing client threads. exp_serving
+# --check applies the seeded serving schedule through the full concurrent
+# engine (group commit, background compaction, block cache), reopens the
+# store cold, and prints a sorted-key state digest plus order-independent
+# lookup aggregates. This script runs it at every shard/thread combination
+# and requires all outputs to be byte-identical.
+#
+# usage: serving_determinism_check.sh <exp_serving-binary> <out-dir>
+set -eu
+exe="$1"
+dir="$2"
+
+ref=""
+for shards in 1 4; do
+  for threads in 1 4; do
+    out="$dir/SDET_s${shards}_t${threads}.txt"
+    "$exe" --check --smoke --shards "$shards" --threads "$threads" > "$out"
+    if [ -z "$ref" ]; then
+      ref="$out"
+    elif ! cmp -s "$ref" "$out"; then
+      echo "serving_determinism_check: digest differs between" \
+           "$(basename "$ref") and shards=$shards threads=$threads" >&2
+      diff "$ref" "$out" >&2 || true
+      exit 1
+    fi
+  done
+done
+echo "serving_determinism_check: state digest is byte-identical across" \
+     "shards {1,4} x threads {1,4}"
