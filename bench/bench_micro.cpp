@@ -34,8 +34,11 @@
 #include "src/obs/timeseries.h"
 #include "src/pastry/leaf_set.h"
 #include "src/pastry/messages.h"
+#include "src/pastry/node_intern.h"
+#include "src/pastry/overlay.h"
 #include "src/pastry/routing_table.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/timer_wheel.h"
 #include "src/sim/network.h"
 #include "src/sim/topology.h"
 #include "src/storage/cache.h"
@@ -404,6 +407,67 @@ void BM_EventQueueScheduleCancel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
 }
 BENCHMARK(BM_EventQueueScheduleCancel)->Arg(64)->Arg(4096);
+
+// Timer-wheel schedule + fire throughput with quantized deadlines, the
+// keep-alive pattern: range(0) timers per batch land on 16 shared buckets,
+// so the underlying queue sees ~16 events instead of range(0).
+void BM_TimerWheelSchedule(benchmark::State& state) {
+  EventQueue queue;
+  TimerWheel wheel(&queue, 64);
+  const int batch = static_cast<int>(state.range(0));
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      wheel.After(1000 + (i % 16) * 64, [&fired] { ++fired; });
+    }
+    queue.RunAll();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_TimerWheelSchedule)->Arg(64)->Arg(4096);
+
+// Steady-state interning: the handle-table hit path (hash + two indexed
+// loads) every compact-structure insert and resolve pays at scale.
+void BM_NodeIdIntern(benchmark::State& state) {
+  Rng rng(33);
+  std::vector<NodeDescriptor> descs;
+  for (int i = 0; i < 8192; ++i) {
+    descs.push_back(NodeDescriptor{rng.NextU128(), static_cast<NodeAddr>(i + 1)});
+  }
+  NodeInternTable table;
+  table.Reserve(descs.size());
+  for (const NodeDescriptor& d : descs) {
+    (void)table.Intern(d);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeInternTable::Handle h = table.Intern(descs[i & 8191]);
+    benchmark::DoNotOptimize(table.id(h));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NodeIdIntern);
+
+// One full keep-alive round at N=10k: every node's wheel timer fires, pings
+// its leaf set, and reschedules. Items processed = node ticks, so the
+// per-node maintenance cost is the reported rate's reciprocal.
+void BM_KeepAliveTick(benchmark::State& state) {
+  OverlayOptions opts;
+  opts.seed = 3401;
+  opts.pastry.keep_alive_period = 1 * kMicrosPerSecond;
+  opts.pastry.keep_alive_quantum = 100 * kMicrosPerMilli;
+  opts.pastry.failure_timeout = 4 * kMicrosPerSecond;
+  opts.network.expected_endpoints = 10000;
+  Overlay overlay(opts);
+  overlay.BuildFast(10000);
+  for (auto _ : state) {
+    overlay.Run(opts.pastry.keep_alive_period);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_KeepAliveTick)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 struct NullReceiver : NetReceiver {
   uint64_t received = 0;

@@ -13,14 +13,16 @@ int main(int argc, char** argv) {
               "state <= (2^b-1)*ceil(log_16 N) + 2l entries; rows ~ log_16 N");
 
   PastryConfig config;
-  std::printf("%8s %12s %12s %12s %10s %10s %12s\n", "N", "avg RT", "max RT",
-              "RT bound", "avg rows", "log16 N", "leaf+nb");
+  std::printf("%8s %12s %12s %12s %10s %10s %12s %12s\n", "N", "avg RT",
+              "max RT", "RT bound", "avg rows", "log16 N", "leaf+nb",
+              "bytes/node");
   const std::vector<int> sizes =
       args.smoke ? std::vector<int>{128, 256} : std::vector<int>{256, 1024, 4096, 10000};
 
   struct TrialResult {
     double rt_sum = 0, rows_sum = 0, leaf_nb_sum = 0;
     size_t rt_max = 0;
+    double mem_bytes_per_node = 0;
     JsonValue metrics;
   };
 
@@ -36,16 +38,19 @@ int main(int argc, char** argv) {
       r.leaf_nb_sum += static_cast<double>(node->leaf_set().size() +
                                            node->neighborhood_set().size());
     }
+    net.overlay->RecordMemoryMetrics();
+    r.mem_bytes_per_node =
+        net.overlay->network().metrics().FindGauge("sim.mem.bytes_per_node")->value();
     r.metrics = net.overlay->network().metrics().ToJson();
     return r;
   };
   auto commit = [&](size_t index, TrialResult& r) {
     const int n = sizes[index];
     double bound = (config.cols() - 1) * std::ceil(Log16(n));
-    std::printf("%8d %12.1f %12zu %12.0f %10.2f %10.2f %12.1f\n", n,
+    std::printf("%8d %12.1f %12zu %12.0f %10.2f %10.2f %12.1f %12.0f\n", n,
                 r.rt_sum / static_cast<double>(n), r.rt_max, bound,
                 r.rows_sum / static_cast<double>(n), Log16(n),
-                r.leaf_nb_sum / static_cast<double>(n));
+                r.leaf_nb_sum / static_cast<double>(n), r.mem_bytes_per_node);
 
     JsonValue row = JsonValue::Object();
     row.Set("n", n);
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
     row.Set("rt_bound", bound);
     row.Set("avg_populated_rows", r.rows_sum / static_cast<double>(n));
     row.Set("avg_leaf_plus_neighborhood", r.leaf_nb_sum / static_cast<double>(n));
+    row.Set("mem_bytes_per_node", r.mem_bytes_per_node);
     json.AddRow("state_vs_n", std::move(row));
     json.SetMetricsJson(std::move(r.metrics));
   };

@@ -1,13 +1,17 @@
 // json_check — validates a BENCH_*.json document.
 //
-//   json_check <file> [required/key/path ...]
+//   json_check <file> [required/key/path ...] [--le path value ...]
 //
 // Parses the file with the same JSON implementation the exporters use (so a
 // round-trip failure is caught either way) and then checks that each
 // '/'-separated key path resolves. Metric names contain dots, hence the '/'
-// separator: e.g. "metrics/counters/net.sent". Exits non-zero with a message
-// on parse failure or a missing path; used by the bench_smoke ctest.
+// separator: e.g. "metrics/counters/net.sent". Each --le triple additionally
+// asserts that the numeric value at `path` is <= `value` — the scale gate
+// uses this to enforce the bytes-per-node budget. Exits non-zero with a
+// message on parse failure, a missing path, or a violated bound; used by the
+// bench_smoke and scale ctests.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -16,7 +20,9 @@
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file> [required/key/path ...]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <file> [required/key/path ...] [--le path value ...]\n",
+                 argv[0]);
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -33,16 +39,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "json_check: %s is not valid JSON\n", argv[1]);
     return 1;
   }
-  int missing = 0;
+  int failures = 0;
+  int checked = 0;
   for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--le") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "json_check: --le needs <path> <value>\n");
+        return 2;
+      }
+      const char* path = argv[++i];
+      const double bound = std::atof(argv[++i]);
+      ++checked;
+      const past::JsonValue* v = root.FindPath(path);
+      if (v == nullptr) {
+        std::fprintf(stderr, "json_check: missing key path %s\n", path);
+        ++failures;
+      } else if (!v->is_number()) {
+        std::fprintf(stderr, "json_check: %s is not a number\n", path);
+        ++failures;
+      } else if (v->AsDouble() > bound) {
+        std::fprintf(stderr, "json_check: %s = %g exceeds bound %g\n", path,
+                     v->AsDouble(), bound);
+        ++failures;
+      }
+      continue;
+    }
+    ++checked;
     if (root.FindPath(argv[i]) == nullptr) {
       std::fprintf(stderr, "json_check: missing key path %s\n", argv[i]);
-      ++missing;
+      ++failures;
     }
   }
-  if (missing == 0) {
-    std::printf("json_check: %s ok (%d path%s checked)\n", argv[1], argc - 2,
-                argc - 2 == 1 ? "" : "s");
+  if (failures == 0) {
+    std::printf("json_check: %s ok (%d check%s)\n", argv[1], checked,
+                checked == 1 ? "" : "s");
   }
-  return missing == 0 ? 0 : 1;
+  return failures == 0 ? 0 : 1;
 }

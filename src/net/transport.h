@@ -35,6 +35,8 @@
 
 namespace past {
 
+class TimerWheel;
+
 using NodeAddr = uint32_t;
 constexpr NodeAddr kInvalidAddr = 0xffffffff;
 
@@ -79,6 +81,13 @@ class Transport {
   // EventId, and reads Now() — microseconds of virtual time under the
   // simulator, microseconds since transport start under real sockets.
   virtual EventQueue* queue() = 0;
+
+  // Coarse maintenance timers (keep-alives, retries). Backends that own a
+  // TimerWheel (see sim/timer_wheel.h) return it so per-node periodic timers
+  // coalesce into one queue event per wheel bucket; callers must fall back to
+  // queue() when this returns null. Timer *firing times* are exact either
+  // way — the wheel only batches heap events, it never rounds deadlines.
+  virtual TimerWheel* wheel() { return nullptr; }
 
   // Shared observability: one registry/tracer per transport captures the
   // whole stack riding on it.

@@ -29,6 +29,19 @@ void Histogram::Observe(double value) {
   sum_ += value;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  PAST_CHECK_MSG(bounds_ == other.bounds_,
+                 "merging histograms with different bounds");
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  invalid_ += other.invalid_;
+  sum_ += other.sum_;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
@@ -114,6 +127,21 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
 const LogHistogram* MetricsRegistry::FindLogHistogram(std::string_view name) const {
   auto it = log_histograms_.find(name);
   return it == log_histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    GetCounter(name)->MergeFrom(*c);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    GetGauge(name)->MergeFrom(*g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    GetHistogram(name, h->bounds())->MergeFrom(*h);
+  }
+  for (const auto& [name, h] : other.log_histograms_) {
+    GetLogHistogram(name, h->sub_buckets())->MergeFrom(*h);
+  }
 }
 
 void MetricsRegistry::ResetAll() {

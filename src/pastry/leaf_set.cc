@@ -12,28 +12,42 @@ U128 UpOffset(const NodeId& from, const NodeId& to) { return to.Sub(from); }
 
 }  // namespace
 
-LeafSet::LeafSet(const NodeId& self, int leaf_set_size)
+LeafSet::LeafSet(const NodeId& self, int leaf_set_size, NodeInternTable* intern)
     : self_(self), capacity_per_side_(leaf_set_size / 2) {
   PAST_CHECK(leaf_set_size >= 2 && leaf_set_size % 2 == 0);
+  if (intern == nullptr) {
+    owned_intern_ = std::make_unique<NodeInternTable>();
+    intern = owned_intern_.get();
+  }
+  intern_ = intern;
 }
 
-bool LeafSet::InsertSide(std::vector<NodeDescriptor>* side,
-                         const NodeDescriptor& candidate, const U128& offset,
-                         bool larger_side) {
+std::vector<NodeDescriptor> LeafSet::Resolve(const std::vector<uint32_t>& side) const {
+  std::vector<NodeDescriptor> out;
+  out.reserve(side.size());
+  for (uint32_t h : side) {
+    out.push_back(intern_->Get(h));
+  }
+  return out;
+}
+
+bool LeafSet::InsertSide(std::vector<uint32_t>* side, const NodeDescriptor& candidate,
+                         const U128& offset, bool larger_side) {
   // Find the insertion point: sides are sorted by ascending offset.
-  auto offset_of = [this, larger_side](const NodeDescriptor& d) {
-    return larger_side ? UpOffset(self_, d.id) : UpOffset(d.id, self_);
+  auto offset_of = [this, larger_side](uint32_t h) {
+    const NodeId& id = intern_->id(h);
+    return larger_side ? UpOffset(self_, id) : UpOffset(id, self_);
   };
   for (size_t i = 0; i < side->size(); ++i) {
-    if ((*side)[i].id == candidate.id) {
-      if ((*side)[i].addr != candidate.addr) {
-        (*side)[i].addr = candidate.addr;  // rejoined node, refresh address
+    if (intern_->id((*side)[i]) == candidate.id) {
+      if (intern_->addr((*side)[i]) != candidate.addr) {
+        (*side)[i] = intern_->Intern(candidate);  // rejoined node, refresh address
         return true;
       }
       return false;
     }
     if (offset < offset_of((*side)[i])) {
-      side->insert(side->begin() + static_cast<long>(i), candidate);
+      side->insert(side->begin() + static_cast<long>(i), intern_->Intern(candidate));
       if (side->size() > static_cast<size_t>(capacity_per_side_)) {
         side->pop_back();
       }
@@ -41,7 +55,7 @@ bool LeafSet::InsertSide(std::vector<NodeDescriptor>* side,
     }
   }
   if (side->size() < static_cast<size_t>(capacity_per_side_)) {
-    side->push_back(candidate);
+    side->push_back(intern_->Intern(candidate));
     return true;
   }
   return false;
@@ -61,9 +75,9 @@ bool LeafSet::MaybeAdd(const NodeDescriptor& candidate) {
 
 bool LeafSet::Remove(const NodeId& id) {
   bool removed = false;
-  auto drop = [&](std::vector<NodeDescriptor>* side) {
+  auto drop = [&](std::vector<uint32_t>* side) {
     for (size_t i = 0; i < side->size(); ++i) {
-      if ((*side)[i].id == id) {
+      if (intern_->id((*side)[i]) == id) {
         side->erase(side->begin() + static_cast<long>(i));
         removed = true;
         return;
@@ -76,9 +90,9 @@ bool LeafSet::Remove(const NodeId& id) {
 }
 
 bool LeafSet::Contains(const NodeId& id) const {
-  auto in = [&](const std::vector<NodeDescriptor>& side) {
-    for (const auto& d : side) {
-      if (d.id == id) {
+  auto in = [&](const std::vector<uint32_t>& side) {
+    for (uint32_t h : side) {
+      if (intern_->id(h) == id) {
         return true;
       }
     }
@@ -88,17 +102,18 @@ bool LeafSet::Contains(const NodeId& id) const {
 }
 
 std::vector<NodeDescriptor> LeafSet::Members() const {
-  std::vector<NodeDescriptor> out = smaller_;
-  for (const auto& d : larger_) {
+  std::vector<NodeDescriptor> out = Resolve(smaller_);
+  for (uint32_t h : larger_) {
+    const NodeId& id = intern_->id(h);
     bool dup = false;
     for (const auto& e : out) {
-      if (e.id == d.id) {
+      if (e.id == id) {
         dup = true;
         break;
       }
     }
     if (!dup) {
-      out.push_back(d);
+      out.push_back(intern_->Get(h));
     }
   }
   return out;
@@ -119,8 +134,8 @@ bool LeafSet::CoversKey(const NodeId& key) const {
   }
   U128 up = UpOffset(self_, key);
   U128 down = UpOffset(key, self_);
-  U128 max_up = UpOffset(self_, larger_.back().id);
-  U128 max_down = UpOffset(smaller_.back().id, self_);
+  U128 max_up = UpOffset(self_, intern_->id(larger_.back()));
+  U128 max_down = UpOffset(intern_->id(smaller_.back()), self_);
   return up <= max_up || down <= max_down;
 }
 
@@ -138,11 +153,11 @@ NodeDescriptor LeafSet::ClosestTo(const NodeId& key, const NodeDescriptor& self_
   if (include_self) {
     consider(self_desc);
   }
-  for (const auto& d : smaller_) {
-    consider(d);
+  for (uint32_t h : smaller_) {
+    consider(intern_->Get(h));
   }
-  for (const auto& d : larger_) {
-    consider(d);
+  for (uint32_t h : larger_) {
+    consider(intern_->Get(h));
   }
   return best;
 }
@@ -170,15 +185,25 @@ std::vector<NodeDescriptor> LeafSet::ClosestMembers(const NodeId& key,
 NodeDescriptor LeafSet::FarthestOnSideOf(const NodeId& failed_id) const {
   U128 up = UpOffset(self_, failed_id);
   U128 down = UpOffset(failed_id, self_);
-  const std::vector<NodeDescriptor>& side = (up <= down) ? larger_ : smaller_;
+  const std::vector<uint32_t>& side = (up <= down) ? larger_ : smaller_;
   if (side.empty()) {
     // Fall back to the other side.
-    const std::vector<NodeDescriptor>& other = (up <= down) ? smaller_ : larger_;
-    return other.empty() ? NodeDescriptor{} : other.back();
+    const std::vector<uint32_t>& other = (up <= down) ? smaller_ : larger_;
+    return other.empty() ? NodeDescriptor{} : intern_->Get(other.back());
   }
-  return side.back();
+  return intern_->Get(side.back());
 }
 
 size_t LeafSet::size() const { return Members().size(); }
+
+size_t LeafSet::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += smaller_.capacity() * sizeof(uint32_t);
+  bytes += larger_.capacity() * sizeof(uint32_t);
+  if (owned_intern_ != nullptr) {
+    bytes += owned_intern_->MemoryUsage();
+  }
+  return bytes;
+}
 
 }  // namespace past

@@ -9,17 +9,25 @@
 // When the overlay is small a node can legitimately appear on both sides
 // (it is simultaneously among the closest-larger and closest-smaller ids);
 // Members() deduplicates.
+//
+// Sides store 4-byte interned handles (node_intern.h), not descriptors, so a
+// full l=32 leaf set costs 128 bytes per node at million-node scale; the
+// descriptor-returning accessors materialize on demand.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/pastry/node_id.h"
+#include "src/pastry/node_intern.h"
 
 namespace past {
 
 class LeafSet {
  public:
-  LeafSet(const NodeId& self, int leaf_set_size);
+  // `intern` is the network-shared descriptor table; when null the set owns
+  // a private one (unit tests, standalone use).
+  LeafSet(const NodeId& self, int leaf_set_size, NodeInternTable* intern = nullptr);
 
   // Considers a node for both sides. Returns true if membership changed.
   bool MaybeAdd(const NodeDescriptor& candidate);
@@ -31,8 +39,8 @@ class LeafSet {
   // All members, deduplicated; does not include the local node.
   std::vector<NodeDescriptor> Members() const;
   // Members on one side, ordered by increasing ring offset from self.
-  const std::vector<NodeDescriptor>& Smaller() const { return smaller_; }
-  const std::vector<NodeDescriptor>& Larger() const { return larger_; }
+  std::vector<NodeDescriptor> Smaller() const { return Resolve(smaller_); }
+  std::vector<NodeDescriptor> Larger() const { return Resolve(larger_); }
 
   // True when both sides are at capacity. An incomplete leaf set means the
   // node's horizon covers the whole (small) ring, so every key is in range.
@@ -68,16 +76,21 @@ class LeafSet {
     larger_.clear();
   }
 
+  // Heap footprint in bytes (plus the private intern table when owned).
+  size_t MemoryUsage() const;
+
  private:
   // Sorted ascending by ring offset from self (direction depends on side).
-  bool InsertSide(std::vector<NodeDescriptor>* side, const NodeDescriptor& candidate,
+  bool InsertSide(std::vector<uint32_t>* side, const NodeDescriptor& candidate,
                   const U128& offset, bool larger_side);
+  std::vector<NodeDescriptor> Resolve(const std::vector<uint32_t>& side) const;
 
   NodeId self_;
   int capacity_per_side_;
-  std::vector<NodeDescriptor> smaller_;
-  std::vector<NodeDescriptor> larger_;
+  std::unique_ptr<NodeInternTable> owned_intern_;
+  NodeInternTable* intern_;
+  std::vector<uint32_t> smaller_;  // interned handles
+  std::vector<uint32_t> larger_;
 };
 
 }  // namespace past
-

@@ -5,11 +5,17 @@
 namespace past {
 
 NeighborhoodSet::NeighborhoodSet(const NodeId& self, int capacity,
-                                 std::function<double(NodeAddr)> proximity)
+                                 std::function<double(NodeAddr)> proximity,
+                                 NodeInternTable* intern)
     : self_(self), capacity_(static_cast<size_t>(capacity)),
       proximity_(std::move(proximity)) {
   PAST_CHECK(capacity > 0);
   PAST_CHECK(proximity_ != nullptr);
+  if (intern == nullptr) {
+    owned_intern_ = std::make_unique<NodeInternTable>();
+    intern = owned_intern_.get();
+  }
+  intern_ = intern;
 }
 
 bool NeighborhoodSet::MaybeAdd(const NodeDescriptor& candidate) {
@@ -17,9 +23,9 @@ bool NeighborhoodSet::MaybeAdd(const NodeDescriptor& candidate) {
     return false;
   }
   for (size_t i = 0; i < members_.size(); ++i) {
-    if (members_[i].id == candidate.id) {
-      if (members_[i].addr != candidate.addr) {
-        members_[i].addr = candidate.addr;
+    if (intern_->id(members_[i]) == candidate.id) {
+      if (intern_->addr(members_[i]) != candidate.addr) {
+        members_[i] = intern_->Intern(candidate);
         distances_[i] = proximity_(candidate.addr);
         return true;
       }
@@ -37,7 +43,8 @@ bool NeighborhoodSet::MaybeAdd(const NodeDescriptor& candidate) {
   if (pos >= capacity_) {
     return false;
   }
-  members_.insert(members_.begin() + static_cast<long>(pos), candidate);
+  members_.insert(members_.begin() + static_cast<long>(pos),
+                  intern_->Intern(candidate));
   distances_.insert(distances_.begin() + static_cast<long>(pos), dist);
   if (members_.size() > capacity_) {
     members_.pop_back();
@@ -48,7 +55,7 @@ bool NeighborhoodSet::MaybeAdd(const NodeDescriptor& candidate) {
 
 bool NeighborhoodSet::Remove(const NodeId& id) {
   for (size_t i = 0; i < members_.size(); ++i) {
-    if (members_[i].id == id) {
+    if (intern_->id(members_[i]) == id) {
       members_.erase(members_.begin() + static_cast<long>(i));
       distances_.erase(distances_.begin() + static_cast<long>(i));
       return true;
@@ -58,12 +65,31 @@ bool NeighborhoodSet::Remove(const NodeId& id) {
 }
 
 bool NeighborhoodSet::Contains(const NodeId& id) const {
-  for (const auto& d : members_) {
-    if (d.id == id) {
+  for (uint32_t h : members_) {
+    if (intern_->id(h) == id) {
       return true;
     }
   }
   return false;
+}
+
+std::vector<NodeDescriptor> NeighborhoodSet::Members() const {
+  std::vector<NodeDescriptor> out;
+  out.reserve(members_.size());
+  for (uint32_t h : members_) {
+    out.push_back(intern_->Get(h));
+  }
+  return out;
+}
+
+size_t NeighborhoodSet::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += members_.capacity() * sizeof(uint32_t);
+  bytes += distances_.capacity() * sizeof(double);
+  if (owned_intern_ != nullptr) {
+    bytes += owned_intern_->MemoryUsage();
+  }
+  return bytes;
 }
 
 }  // namespace past

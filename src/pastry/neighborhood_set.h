@@ -2,19 +2,27 @@
 // according to the *proximity* metric (not the id space). It is not used for
 // routing decisions; it seeds locality-aware routing-table maintenance and is
 // handed to joining nodes so they start with proximally relevant candidates.
+//
+// Members are 4-byte interned handles (node_intern.h) paired with cached
+// proximity distances; Members() materializes descriptors on demand.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/pastry/node_id.h"
+#include "src/pastry/node_intern.h"
 
 namespace past {
 
 class NeighborhoodSet {
  public:
+  // `intern` is the network-shared descriptor table; when null the set owns
+  // a private one (unit tests, standalone use).
   NeighborhoodSet(const NodeId& self, int capacity,
-                  std::function<double(NodeAddr)> proximity);
+                  std::function<double(NodeAddr)> proximity,
+                  NodeInternTable* intern = nullptr);
 
   // Returns true if membership changed.
   bool MaybeAdd(const NodeDescriptor& candidate);
@@ -22,7 +30,7 @@ class NeighborhoodSet {
   bool Contains(const NodeId& id) const;
 
   // Members ordered by increasing proximity distance.
-  const std::vector<NodeDescriptor>& Members() const { return members_; }
+  std::vector<NodeDescriptor> Members() const;
   size_t size() const { return members_.size(); }
 
   // Drops all members (used when a failed node rejoins with fresh state).
@@ -31,13 +39,17 @@ class NeighborhoodSet {
     distances_.clear();
   }
 
+  // Heap footprint in bytes (plus the private intern table when owned).
+  size_t MemoryUsage() const;
+
  private:
   NodeId self_;
   size_t capacity_;
   std::function<double(NodeAddr)> proximity_;
-  std::vector<NodeDescriptor> members_;  // sorted by proximity
-  std::vector<double> distances_;        // parallel to members_
+  std::unique_ptr<NodeInternTable> owned_intern_;
+  NodeInternTable* intern_;
+  std::vector<uint32_t> members_;  // interned handles, sorted by proximity
+  std::vector<double> distances_;  // parallel to members_
 };
 
 }  // namespace past
-

@@ -1,0 +1,43 @@
+#include "src/pastry/node_intern.h"
+
+#include "src/common/check.h"
+
+namespace past {
+
+NodeInternTable::NodeInternTable() {
+  // Handle 0: the invalid sentinel, so structures can use 0 as "empty slot"
+  // and still resolve it to an invalid descriptor without branching.
+  ids_.push_back(NodeId());
+  addrs_.push_back(kInvalidAddr);
+}
+
+NodeInternTable::Handle NodeInternTable::Intern(const NodeDescriptor& d) {
+  PAST_CHECK_MSG(d.valid(), "interning an invalid descriptor");
+  auto [it, inserted] =
+      index_.try_emplace(d, static_cast<Handle>(ids_.size()));
+  if (inserted) {
+    PAST_CHECK_MSG(ids_.size() < UINT32_MAX, "intern table exhausted");
+    ids_.push_back(d.id);
+    addrs_.push_back(d.addr);
+  }
+  return it->second;
+}
+
+void NodeInternTable::Reserve(size_t n) {
+  ids_.reserve(n + 1);
+  addrs_.reserve(n + 1);
+  index_.reserve(n);
+}
+
+size_t NodeInternTable::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += ids_.capacity() * sizeof(NodeId);
+  bytes += addrs_.capacity() * sizeof(NodeAddr);
+  // Hash-map overhead: a node per element (key + value + next pointer,
+  // approximated) plus the hash-bucket pointer array.
+  bytes += index_.size() * (sizeof(NodeDescriptor) + sizeof(Handle) + 2 * sizeof(void*));
+  bytes += index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace past

@@ -1,5 +1,8 @@
 #include "src/pastry/overlay.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "src/common/check.h"
 #include "src/common/logging.h"
 
@@ -19,7 +22,8 @@ PastryNode* Overlay::AddNode() {
 }
 
 PastryNode* Overlay::AddNodeWithId(const NodeId& id) {
-  auto node = std::make_unique<PastryNode>(&net_, id, options_.pastry, rng_.NextU64());
+  auto node = std::make_unique<PastryNode>(&net_, id, options_.pastry, rng_.NextU64(),
+                                           &intern_);
   PastryNode* raw = node.get();
   nodes_.push_back(std::move(node));
   JoinAndSettle(raw);
@@ -30,7 +34,7 @@ void Overlay::JoinAndSettle(PastryNode* node) {
   // First node bootstraps the overlay.
   bool any_live = false;
   for (const auto& n : nodes_) {
-    if (n.get() != node && n->active()) {
+    if (n != nullptr && n.get() != node && n->active()) {
       any_live = true;
       break;
     }
@@ -59,11 +63,126 @@ void Overlay::Build(int n) {
   }
 }
 
+void Overlay::BuildFast(int n) {
+  PAST_CHECK_MSG(nodes_.empty(), "BuildFast requires an empty overlay");
+  PAST_CHECK(n > 0);
+  net_.ReserveEndpoints(static_cast<size_t>(n));
+  intern_.Reserve(static_cast<size_t>(n));
+  nodes_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Same id derivation and per-node RNG draws as AddNode.
+    Bytes fake_key = rng_.RandomBytes(64);
+    nodes_.push_back(std::make_unique<PastryNode>(&net_, NodeIdFromPublicKey(fake_key),
+                                                  options_.pastry, rng_.NextU64(),
+                                                  &intern_));
+  }
+  // Sorted view over the id ring.
+  std::vector<uint32_t> order(nodes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return nodes_[a]->id() < nodes_[b]->id();
+  });
+  // Exact leaf sets: hand each node its l/2 ring neighbors per side (all
+  // other nodes when the ring is smaller than that). SeedState also offers
+  // the neighbor to the routing table and neighborhood set, exactly as
+  // learning it from a join message would.
+  const int count = static_cast<int>(order.size());
+  const int half = std::min(options_.pastry.leaf_set_size / 2, count - 1);
+  for (int i = 0; i < count; ++i) {
+    PastryNode* node = nodes_[order[static_cast<size_t>(i)]].get();
+    for (int off = 1; off <= half; ++off) {
+      node->SeedState(nodes_[order[static_cast<size_t>((i + off) % count)]]->descriptor());
+      node->SeedState(
+          nodes_[order[static_cast<size_t>((i - off + count) % count)]]->descriptor());
+    }
+  }
+  SeedRoutingRange(order, 0, count, 0);
+  for (auto& node : nodes_) {
+    node->ActivateSeeded();
+  }
+}
+
+void Overlay::SeedRoutingRange(const std::vector<uint32_t>& order, int begin, int end,
+                               int depth) {
+  if (end - begin <= 1 || depth >= options_.pastry.digits()) {
+    return;
+  }
+  const int b = options_.pastry.b;
+  const int cols = options_.pastry.cols();
+  // The subrange shares its first `depth` digits and is id-sorted, so digit
+  // `depth` partitions it into contiguous runs; find the run boundaries.
+  std::vector<int> start(static_cast<size_t>(cols) + 1, end);
+  int pos = begin;
+  for (int c = 0; c < cols; ++c) {
+    start[static_cast<size_t>(c)] = pos;
+    while (pos < end &&
+           nodes_[order[static_cast<size_t>(pos)]]->id().Digit(depth, b) == c) {
+      ++pos;
+    }
+  }
+  start[static_cast<size_t>(cols)] = end;
+  // Each node's row `depth` wants, per column c != its own digit, a member of
+  // run c. Offer a few evenly-spaced samples; with locality on, the routing
+  // table keeps the proximally closest, approximating a converged join.
+  constexpr int kSamplesPerSlot = 2;
+  for (int i = begin; i < end; ++i) {
+    PastryNode* node = nodes_[order[static_cast<size_t>(i)]].get();
+    const int own = node->id().Digit(depth, b);
+    for (int c = 0; c < cols; ++c) {
+      if (c == own) {
+        continue;
+      }
+      const int run_begin = start[static_cast<size_t>(c)];
+      const int span = start[static_cast<size_t>(c) + 1] - run_begin;
+      if (span <= 0) {
+        continue;
+      }
+      const int samples = std::min(kSamplesPerSlot, span);
+      for (int k = 0; k < samples; ++k) {
+        const int pick = run_begin + (span * (2 * k + 1)) / (2 * samples);
+        node->SeedRoutingEntry(
+            nodes_[order[static_cast<size_t>(pick)]]->descriptor());
+      }
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    SeedRoutingRange(order, start[static_cast<size_t>(c)],
+                     start[static_cast<size_t>(c) + 1], depth + 1);
+  }
+}
+
+void Overlay::RemoveNode(size_t i) {
+  PAST_CHECK(i < nodes_.size() && nodes_[i] != nullptr);
+  PastryNode* node = nodes_[i].get();
+  node->Fail();
+  net_.Unregister(node->addr());
+  nodes_[i].reset();
+}
+
+void Overlay::RecordMemoryMetrics() {
+  size_t live = 0;
+  size_t total = 0;
+  for (const auto& n : nodes_) {
+    if (n == nullptr) {
+      continue;
+    }
+    ++live;
+    total += n->MemoryUsage();
+  }
+  total += intern_.MemoryUsage();
+  total += net_.EndpointMemoryUsage();
+  total += topo_.MemoryUsage();
+  total += queue_.MemoryUsage();
+  net_.metrics().GetGauge("sim.mem.total_bytes")->Set(static_cast<double>(total));
+  net_.metrics().GetGauge("sim.mem.bytes_per_node")
+      ->Set(live > 0 ? static_cast<double>(total) / static_cast<double>(live) : 0.0);
+}
+
 PastryNode* Overlay::RandomLiveNode() {
   std::vector<PastryNode*> live;
   live.reserve(nodes_.size());
   for (const auto& n : nodes_) {
-    if (n->active()) {
+    if (n != nullptr && n->active()) {
       live.push_back(n.get());
     }
   }
@@ -77,7 +196,7 @@ PastryNode* Overlay::NearestLiveNode(NodeAddr addr) {
   PastryNode* best = nullptr;
   double best_dist = 0.0;
   for (const auto& n : nodes_) {
-    if (!n->active() || n->addr() == addr) {
+    if (n == nullptr || !n->active() || n->addr() == addr) {
       continue;
     }
     double dist = net_.Proximity(addr, n->addr());
@@ -93,7 +212,7 @@ PastryNode* Overlay::GloballyClosestLiveNode(const U128& key) {
   PastryNode* best = nullptr;
   U128 best_dist = U128::Max();
   for (const auto& n : nodes_) {
-    if (!n->active()) {
+    if (n == nullptr || !n->active()) {
       continue;
     }
     U128 dist = n->id().RingDistance(key);

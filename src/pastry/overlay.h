@@ -38,6 +38,25 @@ class Overlay {
   // Adds `n` nodes sequentially.
   void Build(int n);
 
+  // Builds an `n`-node overlay directly from global knowledge instead of
+  // running n sequential joins — the only feasible construction at 100k+
+  // nodes. Leaf sets are exact (the l/2 ring neighbors per side); routing
+  // tables are filled by recursive digit partition of the sorted id ring,
+  // sampling a few evenly-spaced candidates per slot (with locality on, the
+  // proximally better sample wins, mirroring converged-join quality). All
+  // nodes are then activated. Requires an empty overlay.
+  void BuildFast(int n);
+
+  // Fails node `i`, releases its network endpoint for reuse, and destroys
+  // it; node(i) returns nullptr afterwards. Models permanent departure
+  // (Build/AddNode may re-let the endpoint slot to a future node).
+  void RemoveNode(size_t i);
+
+  // Refreshes sim.mem.total_bytes (all per-node state + shared tables +
+  // endpoint/topology/queue storage) and sim.mem.bytes_per_node (total over
+  // live node count) in the network's registry.
+  void RecordMemoryMetrics();
+
   // Advances the simulation by `duration`.
   void Run(SimTime duration) { queue_.RunUntil(queue_.Now() + duration); }
   // Drains every pending event (only safe when periodic timers are off).
@@ -49,8 +68,10 @@ class Overlay {
   Rng& rng() { return rng_; }
 
   size_t size() const { return nodes_.size(); }
+  // nullptr if slot `i` was removed via RemoveNode.
   PastryNode* node(size_t i) { return nodes_[i].get(); }
   const std::vector<std::unique_ptr<PastryNode>>& nodes() const { return nodes_; }
+  NodeInternTable& intern_table() { return intern_; }
 
   // A uniformly random live (active) node; nullptr if none.
   PastryNode* RandomLiveNode();
@@ -66,12 +87,17 @@ class Overlay {
 
  private:
   void JoinAndSettle(PastryNode* node);
+  // BuildFast helper: fills routing-table slots at `depth` for the sorted-id
+  // subrange order[begin, end), then recurses into its digit partitions.
+  void SeedRoutingRange(const std::vector<uint32_t>& order, int begin, int end,
+                        int depth);
 
   OverlayOptions options_;
   Rng rng_;
   EventQueue queue_;
   Topology topo_;
   Network net_;
+  NodeInternTable intern_;  // shared by every node's overlay structures
   std::vector<std::unique_ptr<PastryNode>> nodes_;
 };
 

@@ -16,17 +16,20 @@ constexpr uint16_t kMaxHops = 64;
 }  // namespace
 
 PastryNode::PastryNode(Transport* net, const NodeId& id, const PastryConfig& config,
-                       uint64_t seed)
+                       uint64_t seed, NodeInternTable* intern)
     : net_(net),
       queue_(net->queue()),
+      wheel_(net->wheel()),
       id_(id),
       config_(config),
       addr_(kInvalidAddr),
       rng_(seed),
-      rt_(id, config, [this](NodeAddr a) { return net_->Proximity(addr_, a); }),
-      leaf_(id, config.leaf_set_size),
+      owned_intern_(intern == nullptr ? std::make_unique<NodeInternTable>() : nullptr),
+      intern_(intern != nullptr ? intern : owned_intern_.get()),
+      rt_(id, config, [this](NodeAddr a) { return net_->Proximity(addr_, a); }, intern_),
+      leaf_(id, config.leaf_set_size, intern_),
       nb_(id, config.neighborhood_size,
-          [this](NodeAddr a) { return net_->Proximity(addr_, a); }) {
+          [this](NodeAddr a) { return net_->Proximity(addr_, a); }, intern_) {
   addr_ = net_->Register(this);
   MetricsRegistry& m = net_->metrics();
   obs_.msgs_sent = m.GetCounter("pastry.msgs_sent");
@@ -49,6 +52,25 @@ PastryNode::PastryNode(Transport* net, const NodeId& id, const PastryConfig& con
 }
 
 PastryNode::~PastryNode() = default;
+
+uint64_t PastryNode::ScheduleMaintTimer(SimTime delay, EventFn fn) {
+  if (wheel_ != nullptr) {
+    return wheel_->After(delay, std::move(fn));
+  }
+  return queue_->After(delay, std::move(fn));
+}
+
+void PastryNode::CancelMaintTimer(uint64_t* timer) {
+  if (*timer == 0) {
+    return;
+  }
+  if (wheel_ != nullptr) {
+    wheel_->Cancel(*timer);
+  } else {
+    queue_->Cancel(*timer);
+  }
+  *timer = 0;
+}
 
 uint64_t PastryNode::NextSeq() {
   return (static_cast<uint64_t>(addr_) << 32) | (++seq_counter_ & 0xffffffffULL);
@@ -94,10 +116,8 @@ void PastryNode::SendJoinRequest() {
   req.seq = join_seq_;
   SendMsg(join_bootstrap_, req, /*join_traffic=*/true);
   // Retry if the join gets lost (bootstrap died, message dropped).
-  if (join_retry_timer_ != 0) {
-    queue_->Cancel(join_retry_timer_);
-  }
-  join_retry_timer_ = queue_->After(config_.join_retry_timeout, [this] {
+  CancelMaintTimer(&join_retry_timer_);
+  join_retry_timer_ = ScheduleMaintTimer(config_.join_retry_timeout, [this] {
     join_retry_timer_ = 0;
     if (joining_) {
       PAST_DEBUG("node %s retrying join", id_.ToHex().substr(0, 8).c_str());
@@ -111,20 +131,20 @@ void PastryNode::Fail() {
   joining_ = false;
   malicious_ = false;
   net_->SetUp(addr_, false);
-  if (keep_alive_timer_ != 0) {
-    queue_->Cancel(keep_alive_timer_);
-    keep_alive_timer_ = 0;
-  }
-  if (join_retry_timer_ != 0) {
-    queue_->Cancel(join_retry_timer_);
-    join_retry_timer_ = 0;
-  }
+  CancelMaintTimer(&keep_alive_timer_);
+  CancelMaintTimer(&join_retry_timer_);
   for (auto& [seq, pending] : pending_acks_) {
     if (pending.timer != 0) {
       queue_->Cancel(pending.timer);
     }
   }
   pending_acks_.clear();
+  for (auto& [seq, pending] : pending_join_acks_) {
+    if (pending.timer != 0) {
+      queue_->Cancel(pending.timer);
+    }
+  }
+  pending_join_acks_.clear();
   last_heard_.clear();
   death_list_.clear();
 }
@@ -144,6 +164,38 @@ void PastryNode::Recover(NodeAddr fallback_bootstrap) {
     }
   }
   Join(bootstrap);
+}
+
+void PastryNode::ActivateSeeded() {
+  PAST_CHECK(!active_ && !joining_);
+  active_ = true;
+  last_leaf_members_ = leaf_.Members();
+  ScheduleKeepAlive();
+}
+
+size_t PastryNode::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += rt_.MemoryUsage() - sizeof(rt_);
+  bytes += leaf_.MemoryUsage() - sizeof(leaf_);
+  bytes += nb_.MemoryUsage() - sizeof(nb_);
+  // Hash maps: node per element plus the bucket pointer array (approximate,
+  // the idiom used across the repo's MemoryUsage accounting).
+  auto map_bytes = [](size_t elems, size_t buckets, size_t entry_size) {
+    return elems * (entry_size + 2 * sizeof(void*)) + buckets * sizeof(void*);
+  };
+  bytes += map_bytes(pending_acks_.size(), pending_acks_.bucket_count(),
+                     sizeof(uint64_t) + sizeof(PendingAck));
+  bytes += map_bytes(pending_join_acks_.size(), pending_join_acks_.bucket_count(),
+                     sizeof(uint64_t) + sizeof(PendingJoinAck));
+  bytes += map_bytes(last_heard_.size(), last_heard_.bucket_count(),
+                     sizeof(U128) + sizeof(SimTime));
+  bytes += map_bytes(death_list_.size(), death_list_.bucket_count(),
+                     sizeof(U128) + sizeof(SimTime));
+  bytes += last_leaf_members_.capacity() * sizeof(NodeDescriptor);
+  if (owned_intern_ != nullptr) {
+    bytes += owned_intern_->MemoryUsage();
+  }
+  return bytes;
 }
 
 // --- routing -----------------------------------------------------------------
@@ -423,9 +475,16 @@ void PastryNode::ForwardTo(const RouteChoice& choice, RouteMsg msg, int attempts
 // --- join protocol ------------------------------------------------------------
 
 void PastryNode::HandleJoinRequest(NodeAddr from, JoinRequestMsg msg) {
-  (void)from;
   if (!active_ || msg.joiner.id == id_) {
+    // Misdirected (recycled endpoint slot, or the join looped back to the
+    // joiner itself): stay silent so the forwarder's hop timeout fires.
     return;
+  }
+  if (config_.per_hop_acks && from != msg.joiner.addr) {
+    // Ack the forwarder so it can clear its in-flight join-hop record.
+    RouteAckMsg ack;
+    ack.seq = msg.seq;
+    SendMsg(from, ack, /*join_traffic=*/true);
   }
   // Contribute routing-table rows 0..shl to the joiner. Rows below the shared
   // prefix length still contain useful candidates for the joiner because the
@@ -451,10 +510,40 @@ void PastryNode::HandleJoinRequest(NodeAddr from, JoinRequestMsg msg) {
     SendMsg(msg.joiner.addr, nb_msg, /*join_traffic=*/true);
   }
 
+  ForwardJoin(std::move(msg), 0);
+}
+
+void PastryNode::ForwardJoin(JoinRequestMsg msg, int attempts) {
   std::optional<RouteChoice> next = NextHop(msg.joiner.id, 0);
   if (next.has_value() && next->next.id != msg.joiner.id && msg.hops < kMaxHops) {
     JoinRequestMsg fwd = msg;
     fwd.hops += 1;
+    if (config_.per_hop_acks) {
+      // Track the in-flight join hop; a silent next hop is declared failed
+      // and the join re-forwarded, mirroring ForwardTo's reroute path.
+      const uint64_t seq = msg.seq;
+      auto [it, inserted] = pending_join_acks_.try_emplace(seq);
+      if (!inserted && it->second.timer != 0) {
+        queue_->Cancel(it->second.timer);
+      }
+      it->second.msg = std::move(msg);
+      it->second.next = next->next;
+      it->second.attempts = attempts;
+      it->second.timer = queue_->After(config_.ack_timeout, [this, seq] {
+        auto pit = pending_join_acks_.find(seq);
+        if (pit == pending_join_acks_.end()) {
+          return;
+        }
+        PendingJoinAck pending = std::move(pit->second);
+        pending_join_acks_.erase(pit);
+        ++stats_.reroutes;
+        obs_.reroutes->Inc();
+        HandleNodeFailure(pending.next);
+        if (pending.attempts + 1 < config_.max_reroute_attempts && active_) {
+          ForwardJoin(std::move(pending.msg), pending.attempts + 1);
+        }
+      });
+    }
     SendMsg(next->next.addr, fwd, /*join_traffic=*/true);
     return;
   }
@@ -495,10 +584,7 @@ void PastryNode::HandleJoinLeafSet(const JoinLeafSetMsg& msg) {
 void PastryNode::FinalizeJoin() {
   joining_ = false;
   active_ = true;
-  if (join_retry_timer_ != 0) {
-    queue_->Cancel(join_retry_timer_);
-    join_retry_timer_ = 0;
-  }
+  CancelMaintTimer(&join_retry_timer_);
   // Announce arrival to every node now present in our state, so they fold us
   // into their tables (restoring all Pastry invariants).
   AnnounceArrivalMsg announce;
@@ -531,6 +617,19 @@ void PastryNode::FinalizeJoin() {
 
 // --- maintenance ---------------------------------------------------------------
 
+SimTime PastryNode::QuantizeMaintDelay(SimTime delay) const {
+  if (config_.keep_alive_quantum <= 0) {
+    return delay;
+  }
+  // Round the ABSOLUTE deadline up to a quantum multiple, so co-located
+  // nodes' ticks land on shared instants (one wheel dispatch serves many).
+  // A protocol-level adjustment: the scheduled time is identical at every
+  // wheel granularity and with no wheel at all.
+  const SimTime q = config_.keep_alive_quantum;
+  const SimTime deadline = queue_->Now() + delay;
+  return ((deadline + q - 1) / q) * q - queue_->Now();
+}
+
 void PastryNode::ScheduleKeepAlive() {
   if (config_.keep_alive_period <= 0) {
     return;
@@ -538,7 +637,8 @@ void PastryNode::ScheduleKeepAlive() {
   // Random phase avoids a synchronized heartbeat storm.
   SimTime first = static_cast<SimTime>(
       config_.keep_alive_period * (0.5 + 0.5 * rng_.UniformDouble()));
-  keep_alive_timer_ = queue_->After(first, [this] { KeepAliveTick(); });
+  keep_alive_timer_ =
+      ScheduleMaintTimer(QuantizeMaintDelay(first), [this] { KeepAliveTick(); });
 }
 
 void PastryNode::KeepAliveTick() {
@@ -567,8 +667,8 @@ void PastryNode::KeepAliveTick() {
     HandleNodeFailure(d);
   }
   last_leaf_members_ = leaf_.Members();
-  keep_alive_timer_ =
-      queue_->After(config_.keep_alive_period, [this] { KeepAliveTick(); });
+  keep_alive_timer_ = ScheduleMaintTimer(QuantizeMaintDelay(config_.keep_alive_period),
+                                         [this] { KeepAliveTick(); });
 }
 
 void PastryNode::HandleNodeFailure(const NodeDescriptor& failed) {
@@ -626,7 +726,11 @@ bool PastryNode::Learn(const NodeDescriptor& d) {
   bool leaf_changed = leaf_.MaybeAdd(d);
   rt_.MaybeAdd(d);
   nb_.MaybeAdd(d);
-  if (leaf_changed && last_heard_.find(d.id) == last_heard_.end()) {
+  // last_heard_ feeds only KeepAliveTick's failure suspicion; with
+  // keep-alives off the map would grow to ~leaf-set size per node for
+  // nothing, which is real memory at million-node scale.
+  if (config_.keep_alive_period > 0 && leaf_changed &&
+      last_heard_.find(d.id) == last_heard_.end()) {
     last_heard_[d.id] = queue_->Now();
   }
   return leaf_changed;
@@ -645,6 +749,9 @@ bool PastryNode::IsQuarantined(const NodeId& node_id) {
 }
 
 void PastryNode::TouchLiveness(const NodeId& node_id) {
+  if (config_.keep_alive_period <= 0) {
+    return;  // nothing reads last_heard_ without keep-alives
+  }
   last_heard_[node_id] = queue_->Now();
 }
 
@@ -704,6 +811,13 @@ void PastryNode::OnMessage(NodeAddr from, ByteSpan wire) {
           queue_->Cancel(it->second.timer);
         }
         pending_acks_.erase(it);
+      }
+      auto jit = pending_join_acks_.find(msg.seq);
+      if (jit != pending_join_acks_.end()) {
+        if (jit->second.timer != 0) {
+          queue_->Cancel(jit->second.timer);
+        }
+        pending_join_acks_.erase(jit);
       }
       break;
     }

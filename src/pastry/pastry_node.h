@@ -10,6 +10,7 @@
 // deliver/forward/newLeafs API.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -23,7 +24,9 @@
 #include "src/pastry/messages.h"
 #include "src/pastry/neighborhood_set.h"
 #include "src/pastry/node_id.h"
+#include "src/pastry/node_intern.h"
 #include "src/pastry/routing_table.h"
+#include "src/sim/timer_wheel.h"
 
 namespace past {
 
@@ -79,8 +82,11 @@ class PastryNode : public NetReceiver {
   // Registers with the transport immediately; the node stays inactive until
   // Bootstrap() or Join() completes. The node is transport-agnostic: `net`
   // may be the deterministic simulator (sim::Network) or a real socket
-  // backend (SocketTransport).
-  PastryNode(Transport* net, const NodeId& id, const PastryConfig& config, uint64_t seed);
+  // backend (SocketTransport). `intern` is the overlay-shared descriptor
+  // table backing routing/leaf/neighborhood storage; when null the node owns
+  // a private one (standalone use, unit tests).
+  PastryNode(Transport* net, const NodeId& id, const PastryConfig& config, uint64_t seed,
+             NodeInternTable* intern = nullptr);
   ~PastryNode() override;
 
   PastryNode(const PastryNode&) = delete;
@@ -101,6 +107,24 @@ class PastryNode : public NetReceiver {
   void Recover(NodeAddr fallback_bootstrap);
 
   bool active() const { return active_; }
+
+  // --- global-knowledge construction (Overlay::BuildFast) -------------------
+  //
+  // At simulation scales where running the join protocol N times is
+  // infeasible, the overlay constructs each node's state directly from
+  // global knowledge and then activates it. These bypass the wire protocol
+  // only — the state they build is exactly what a converged join would have
+  // produced.
+
+  // Folds `d` into all three state components (leaf set, routing table,
+  // neighborhood set), as if learned from a protocol message.
+  void SeedState(const NodeDescriptor& d) { Learn(d); }
+  // Offers `d` to the routing table only — the cheap bulk path for
+  // BuildFast's digit-subrange sampling.
+  void SeedRoutingEntry(const NodeDescriptor& d) { rt_.MaybeAdd(d); }
+  // Marks the seeded node live: snapshots the leaf set for recovery and
+  // starts keep-alives. The node must not already be active or joining.
+  void ActivateSeeded();
 
   // --- application ----------------------------------------------------------
 
@@ -173,12 +197,30 @@ class PastryNode : public NetReceiver {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Heap footprint of this node's overlay state in bytes: routing table,
+  // leaf set, neighborhood set, liveness/quarantine maps, in-flight ack
+  // bookkeeping. The shared intern table is not included (it is accounted
+  // once per network by Overlay::RecordMemoryMetrics).
+  size_t MemoryUsage() const;
+
   // NetReceiver:
   void OnMessage(NodeAddr from, ByteSpan wire) override;
 
  private:
   struct PendingAck {
     RouteMsg msg;
+    NodeDescriptor next;
+    EventQueue::EventId timer = 0;
+    int attempts = 0;
+  };
+
+  // An in-flight join-request forward awaiting its hop ack. A next hop that
+  // never acks (departed node, recycled endpoint slot) is declared failed and
+  // the join is re-forwarded, exactly like the routed-message reroute path —
+  // without this, a stale table entry strands the join until keep-alive
+  // failure detection evicts it, which never happens with keep-alives off.
+  struct PendingJoinAck {
+    JoinRequestMsg msg;  // pre-hop state, for re-forwarding on timeout
     NodeDescriptor next;
     EventQueue::EventId timer = 0;
     int attempts = 0;
@@ -201,11 +243,21 @@ class PastryNode : public NetReceiver {
 
   // Join protocol.
   void HandleJoinRequest(NodeAddr from, JoinRequestMsg msg);
+  void ForwardJoin(JoinRequestMsg msg, int attempts);
   void HandleJoinRows(const JoinRowsMsg& msg);
   void HandleJoinLeafSet(const JoinLeafSetMsg& msg);
   void HandleJoinNeighborhood(const JoinNeighborhoodMsg& msg);
   void FinalizeJoin();
   void SendJoinRequest();
+
+  // Maintenance timers ride the transport's TimerWheel when it has one
+  // (coalesced heap events at scale) and fall back to the EventQueue
+  // otherwise. Both id spaces are uint64 with 0 = "none"; a node uses one
+  // engine for its whole lifetime, so a bare id field stays unambiguous.
+  uint64_t ScheduleMaintTimer(SimTime delay, EventFn fn);
+  void CancelMaintTimer(uint64_t* timer);
+  // Applies PastryConfig::keep_alive_quantum to a keep-alive delay.
+  SimTime QuantizeMaintDelay(SimTime delay) const;
 
   // Maintenance.
   void ScheduleKeepAlive();
@@ -235,11 +287,14 @@ class PastryNode : public NetReceiver {
 
   Transport* net_;
   EventQueue* queue_;
+  TimerWheel* wheel_;  // maintenance timer engine; null = use queue_
   NodeId id_;
   PastryConfig config_;
   NodeAddr addr_;
   Rng rng_;
 
+  std::unique_ptr<NodeInternTable> owned_intern_;  // only when ctor got null
+  NodeInternTable* intern_;
   RoutingTable rt_;
   LeafSet leaf_;
   NeighborhoodSet nb_;
@@ -250,11 +305,12 @@ class PastryNode : public NetReceiver {
   bool malicious_ = false;
   uint64_t join_seq_ = 0;
   NodeAddr join_bootstrap_ = kInvalidAddr;
-  EventQueue::EventId join_retry_timer_ = 0;
-  EventQueue::EventId keep_alive_timer_ = 0;
+  uint64_t join_retry_timer_ = 0;  // TimerWheel or EventQueue id, see wheel_
+  uint64_t keep_alive_timer_ = 0;
   uint64_t seq_counter_ = 0;
 
   std::unordered_map<uint64_t, PendingAck> pending_acks_;
+  std::unordered_map<uint64_t, PendingJoinAck> pending_join_acks_;
   std::unordered_map<U128, SimTime, U128Hash> last_heard_;
   // Recently failed nodes: id -> time of death declaration.
   std::unordered_map<U128, SimTime, U128Hash> death_list_;

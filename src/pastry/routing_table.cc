@@ -5,9 +5,22 @@
 namespace past {
 
 RoutingTable::RoutingTable(const NodeId& self, const PastryConfig& config,
-                           std::function<double(NodeAddr)> proximity)
+                           std::function<double(NodeAddr)> proximity,
+                           NodeInternTable* intern)
     : self_(self), config_(config), proximity_(std::move(proximity)) {
-  slots_.resize(static_cast<size_t>(config_.digits()) * config_.cols());
+  if (intern == nullptr) {
+    owned_intern_ = std::make_unique<NodeInternTable>();
+    intern = owned_intern_.get();
+  }
+  intern_ = intern;
+}
+
+void RoutingTable::EnsureRow(int row) {
+  if (row < allocated_rows_) {
+    return;
+  }
+  allocated_rows_ = row + 1;
+  slots_.resize(static_cast<size_t>(allocated_rows_) * config_.cols(), 0);
 }
 
 std::optional<NodeDescriptor> RoutingTable::EntryForKey(const NodeId& key) const {
@@ -20,7 +33,14 @@ std::optional<NodeDescriptor> RoutingTable::EntryForKey(const NodeId& key) const
 
 std::optional<NodeDescriptor> RoutingTable::Get(int row, int col) const {
   PAST_CHECK(row >= 0 && row < rows() && col >= 0 && col < cols());
-  return slots_[SlotIndex(row, col)];
+  if (row >= allocated_rows_) {
+    return std::nullopt;
+  }
+  uint32_t handle = slots_[SlotIndex(row, col)];
+  if (handle == NodeInternTable::kNoHandle) {
+    return std::nullopt;
+  }
+  return intern_->Get(handle);
 }
 
 bool RoutingTable::MaybeAdd(const NodeDescriptor& candidate) {
@@ -30,23 +50,24 @@ bool RoutingTable::MaybeAdd(const NodeDescriptor& candidate) {
   int row = self_.SharedPrefixLength(candidate.id, config_.b);
   PAST_CHECK(row < config_.digits());
   int col = candidate.id.Digit(row, config_.b);
-  auto& slot = slots_[SlotIndex(row, col)];
-  if (!slot.has_value()) {
-    slot = candidate;
+  EnsureRow(row);
+  uint32_t& slot = slots_[SlotIndex(row, col)];
+  if (slot == NodeInternTable::kNoHandle) {
+    slot = intern_->Intern(candidate);
     ++entry_count_;
     return true;
   }
-  if (slot->id == candidate.id) {
+  if (intern_->id(slot) == candidate.id) {
     // Refresh the address in case the node rejoined elsewhere.
-    if (slot->addr != candidate.addr) {
-      slot->addr = candidate.addr;
+    if (intern_->addr(slot) != candidate.addr) {
+      slot = intern_->Intern(candidate);
       return true;
     }
     return false;
   }
   if (config_.locality_aware && proximity_) {
-    if (proximity_(candidate.addr) < proximity_(slot->addr)) {
-      slot = candidate;
+    if (proximity_(candidate.addr) < proximity_(intern_->addr(slot))) {
+      slot = intern_->Intern(candidate);
       return true;
     }
   }
@@ -57,11 +78,11 @@ std::vector<std::pair<int, int>> RoutingTable::RemoveNode(const NodeId& id) {
   std::vector<std::pair<int, int>> vacated;
   // A node occupies at most one slot, but scan all to be safe against stale
   // duplicates after address refreshes.
-  for (int r = 0; r < rows(); ++r) {
+  for (int r = 0; r < allocated_rows_; ++r) {
     for (int c = 0; c < cols(); ++c) {
-      auto& slot = slots_[SlotIndex(r, c)];
-      if (slot.has_value() && slot->id == id) {
-        slot.reset();
+      uint32_t& slot = slots_[SlotIndex(r, c)];
+      if (slot != NodeInternTable::kNoHandle && intern_->id(slot) == id) {
+        slot = NodeInternTable::kNoHandle;
         --entry_count_;
         vacated.emplace_back(r, c);
       }
@@ -73,9 +94,9 @@ std::vector<std::pair<int, int>> RoutingTable::RemoveNode(const NodeId& id) {
 std::vector<NodeDescriptor> RoutingTable::Entries() const {
   std::vector<NodeDescriptor> out;
   out.reserve(entry_count_);
-  for (const auto& slot : slots_) {
-    if (slot.has_value()) {
-      out.push_back(*slot);
+  for (uint32_t slot : slots_) {
+    if (slot != NodeInternTable::kNoHandle) {
+      out.push_back(intern_->Get(slot));
     }
   }
   return out;
@@ -84,33 +105,43 @@ std::vector<NodeDescriptor> RoutingTable::Entries() const {
 std::vector<NodeDescriptor> RoutingTable::Row(int row) const {
   PAST_CHECK(row >= 0 && row < rows());
   std::vector<NodeDescriptor> out;
+  if (row >= allocated_rows_) {
+    return out;
+  }
   for (int c = 0; c < cols(); ++c) {
-    const auto& slot = slots_[SlotIndex(row, c)];
-    if (slot.has_value()) {
-      out.push_back(*slot);
+    uint32_t slot = slots_[SlotIndex(row, c)];
+    if (slot != NodeInternTable::kNoHandle) {
+      out.push_back(intern_->Get(slot));
     }
   }
   return out;
 }
 
 void RoutingTable::Clear() {
-  for (auto& slot : slots_) {
-    slot.reset();
-  }
+  slots_.clear();
+  allocated_rows_ = 0;
   entry_count_ = 0;
 }
 
 int RoutingTable::PopulatedRows() const {
   int populated = 0;
-  for (int r = 0; r < rows(); ++r) {
+  for (int r = 0; r < allocated_rows_; ++r) {
     for (int c = 0; c < cols(); ++c) {
-      if (slots_[SlotIndex(r, c)].has_value()) {
+      if (slots_[SlotIndex(r, c)] != NodeInternTable::kNoHandle) {
         ++populated;
         break;
       }
     }
   }
   return populated;
+}
+
+size_t RoutingTable::MemoryUsage() const {
+  size_t bytes = sizeof(*this) + slots_.capacity() * sizeof(uint32_t);
+  if (owned_intern_ != nullptr) {
+    bytes += owned_intern_->MemoryUsage();
+  }
+  return bytes;
 }
 
 }  // namespace past

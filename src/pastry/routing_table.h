@@ -7,13 +7,22 @@
 // empty. Among candidate nodes for a slot, the proximally closest one is kept
 // when locality awareness is on (the heuristic behind Pastry's route-locality
 // results).
+//
+// Storage is compact for million-node simulations: slots hold 4-byte interned
+// handles (see node_intern.h) instead of 20-byte descriptors, and rows are
+// allocated lazily up to the deepest touched row. Random ids populate only
+// ~log_2^b N rows, so a node costs a few hundred bytes instead of the
+// rows() * cols() * sizeof(descriptor) a dense table would pin.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/pastry/node_id.h"
+#include "src/pastry/node_intern.h"
 
 namespace past {
 
@@ -21,8 +30,11 @@ class RoutingTable {
  public:
   // `proximity` maps a node address to the scalar proximity metric from the
   // local node; it is consulted only when locality awareness is on.
+  // `intern` is the network-shared descriptor table; when null the table
+  // owns a private one (unit tests, standalone use).
   RoutingTable(const NodeId& self, const PastryConfig& config,
-               std::function<double(NodeAddr)> proximity);
+               std::function<double(NodeAddr)> proximity,
+               NodeInternTable* intern = nullptr);
 
   // The entry a message with key `key` should use: row = shared prefix length
   // of (self, key), column = key's digit at that row. Empty optional if the
@@ -55,15 +67,26 @@ class RoutingTable {
   // Number of rows with at least one entry (should be ~ log_2^b N).
   int PopulatedRows() const;
 
+  // Heap footprint in bytes (slot storage; plus the private intern table when
+  // this instance owns one). The shared intern table is accounted once at the
+  // network level, not per node.
+  size_t MemoryUsage() const;
+
  private:
   int SlotIndex(int row, int col) const { return row * config_.cols() + col; }
+  // Grows the slot array so `row` is addressable (all-new slots vacant).
+  void EnsureRow(int row);
 
   NodeId self_;
   PastryConfig config_;
   std::function<double(NodeAddr)> proximity_;
-  std::vector<std::optional<NodeDescriptor>> slots_;
+  std::unique_ptr<NodeInternTable> owned_intern_;
+  NodeInternTable* intern_;
+  // Interned handles, row-major over the first allocated_rows_ rows; 0 =
+  // vacant. Rows >= allocated_rows_ are implicitly empty.
+  std::vector<uint32_t> slots_;
+  int allocated_rows_ = 0;
   size_t entry_count_ = 0;
 };
 
 }  // namespace past
-

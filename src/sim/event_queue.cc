@@ -26,18 +26,26 @@ void EventQueue::ReleaseSlot(uint32_t index) {
   free_head_ = index;
 }
 
-EventQueue::EventId EventQueue::At(SimTime when, EventFn fn) {
+EventQueue::EventId EventQueue::Schedule(SimTime when, EventFn fn, uint64_t band) {
   PAST_CHECK_MSG(when >= now_, "cannot schedule events in the past");
   uint32_t index = AllocSlot();
   Slot& slot = slots_[index];
   slot.when = when;
-  slot.seq = next_seq_++;
+  slot.seq = next_seq_++ | band;
   slot.live = true;
   slot.fn = std::move(fn);
   heap_.push_back(index);
   SiftUp(heap_.size() - 1);
   ++live_count_;
   return (static_cast<EventId>(slot.generation) << 32) | index;
+}
+
+EventQueue::EventId EventQueue::At(SimTime when, EventFn fn) {
+  return Schedule(when, std::move(fn), 0);
+}
+
+EventQueue::EventId EventQueue::AtMaintenance(SimTime when, EventFn fn) {
+  return Schedule(when, std::move(fn), kMaintenanceBand);
 }
 
 EventQueue::EventId EventQueue::After(SimTime delay, EventFn fn) {

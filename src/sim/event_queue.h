@@ -142,6 +142,15 @@ class EventQueue {
   // Schedules `fn` after `delay` microseconds.
   EventId After(SimTime delay, EventFn fn);
 
+  // Schedules `fn` in the *maintenance band*: at equal timestamps it fires
+  // after every normally-scheduled event, regardless of the order the two
+  // were scheduled in. The timer wheel arms its bucket-dispatch events here,
+  // which makes tie-breaking independent of the wheel granularity (a bucket
+  // event's heap seq depends on scheduling history; its band does not) —
+  // the property the granularity-determinism ctests check. Within the band,
+  // equal-time events still fire in schedule order.
+  EventId AtMaintenance(SimTime when, EventFn fn);
+
   // Cancels a pending event; the callback's captures are released
   // immediately. Idempotent; cancelling an already-fired, already-cancelled,
   // or never-issued id is a no-op (the generation tag rejects stale ids even
@@ -173,6 +182,11 @@ class EventQueue {
   // workload that schedules and fires in a steady state should plateau.
   size_t SlabSize() const { return slots_.size(); }
 
+  // Approximate heap footprint in bytes (slot slab + heap array).
+  size_t MemoryUsage() const {
+    return slots_.capacity() * sizeof(Slot) + heap_.capacity() * sizeof(uint32_t);
+  }
+
   // Optional callback-dispatch-time instrument, observed (wall-clock
   // microseconds) around every fired event — but only in opt-in PAST_PROF
   // builds; default builds never read it, keeping dispatch deterministic
@@ -181,6 +195,9 @@ class EventQueue {
 
  private:
   static constexpr uint32_t kNoSlot = 0xffffffff;
+  // High bit of a slot's seq: the maintenance tie-break band. Sequence
+  // numbers count up from 1, so the bit can never be reached by counting.
+  static constexpr uint64_t kMaintenanceBand = 1ULL << 63;
 
   struct Slot {
     SimTime when = 0;
@@ -193,6 +210,8 @@ class EventQueue {
 
   uint32_t AllocSlot();
   void ReleaseSlot(uint32_t index);
+
+  EventId Schedule(SimTime when, EventFn fn, uint64_t band);
 
   // (when, seq) strict ordering between two slots in the heap.
   bool Earlier(uint32_t a, uint32_t b) const {

@@ -8,8 +8,12 @@ namespace past {
 
 Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& config,
                  uint64_t seed)
-    : queue_(queue), topology_(topology), config_(config), rng_(seed) {
+    : queue_(queue), topology_(topology), config_(config), rng_(seed),
+      wheel_(queue, config.timer_wheel_granularity) {
   PAST_CHECK(queue != nullptr && topology != nullptr);
+  if (config_.expected_endpoints > 0) {
+    ReserveEndpoints(config_.expected_endpoints);
+  }
   sent_ = metrics_.GetCounter("net.sent");
   delivered_ = metrics_.GetCounter("net.delivered");
   dropped_loss_ = metrics_.GetCounter("net.dropped_loss");
@@ -25,6 +29,10 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
   // workloads that never issue the op (count 0, quantiles 0).
   metrics_.GetLogHistogram("past.insert.latency_us");
   metrics_.GetLogHistogram("past.lookup.latency_us");
+  // Memory gauges, refreshed by Overlay::RecordMemoryMetrics; pre-registered
+  // so every dump carries them even when no one measures.
+  metrics_.GetGauge("sim.mem.bytes_per_node");
+  metrics_.GetGauge("sim.mem.total_bytes");
 #if defined(PAST_PROF)
   queue_->set_dispatch_prof(metrics_.GetLogHistogram("sim.dispatch_us"));
 #endif
@@ -32,11 +40,40 @@ Network::Network(EventQueue* queue, Topology* topology, const NetworkConfig& con
 
 NodeAddr Network::Register(NetReceiver* receiver) {
   PAST_CHECK(receiver != nullptr);
+  if (!free_endpoints_.empty()) {
+    NodeAddr addr = free_endpoints_.back();
+    free_endpoints_.pop_back();
+    Endpoint& ep = endpoints_[addr];
+    ep.receiver = receiver;
+    ep.up = true;
+    ep.in_use = true;
+    // A recycled slot is a different physical host: give it a fresh position
+    // (same RNG draws as AddHost, so churned and churn-free runs of equal
+    // registration counts consume identical topology randomness).
+    topology_->ResampleHost(ep.topo_index);
+    return addr;
+  }
   Endpoint ep;
   ep.receiver = receiver;
   ep.topo_index = topology_->AddHost();
   endpoints_.push_back(ep);
   return static_cast<NodeAddr>(endpoints_.size() - 1);
+}
+
+void Network::Unregister(NodeAddr addr) {
+  PAST_CHECK(addr < endpoints_.size());
+  Endpoint& ep = endpoints_[addr];
+  PAST_CHECK_MSG(ep.in_use, "double Unregister of an endpoint");
+  ep.receiver = nullptr;
+  ep.up = false;
+  ep.in_use = false;
+  ++ep.epoch;  // orphan in-flight deliveries addressed to the old tenant
+  free_endpoints_.push_back(addr);
+}
+
+void Network::ReserveEndpoints(size_t n) {
+  endpoints_.reserve(n);
+  topology_->Reserve(n);
 }
 
 void Network::SetUp(NodeAddr addr, bool up) {
@@ -59,6 +96,14 @@ SimTime Network::SampleLatency(NodeAddr from, NodeAddr to) {
   return latency < 1 ? 1 : latency;
 }
 
+void Network::SampleQueueDepth() {
+  // Logical depth: every wheel timer counts as one pending event and the
+  // armed per-bucket dispatch events are subtracted, so the gauge reads the
+  // same at every wheel granularity.
+  size_t depth = queue_->PendingCount() - wheel_.ArmedBuckets() + wheel_.PendingCount();
+  queue_depth_->Set(static_cast<double>(depth));
+}
+
 void Network::Send(NodeAddr from, NodeAddr to, SharedBytes wire) {
   PAST_CHECK(from < endpoints_.size() && to < endpoints_.size());
   sent_->Inc();
@@ -66,7 +111,7 @@ void Network::Send(NodeAddr from, NodeAddr to, SharedBytes wire) {
   msg_bytes_->Observe(static_cast<double>(wire.size()));
   if (++sends_since_depth_sample_ >= kQueueDepthSampleInterval) {
     sends_since_depth_sample_ = 0;
-    queue_depth_->Set(static_cast<double>(queue_->PendingCount()));
+    SampleQueueDepth();
   }
   if (wire.size() > config_.max_message_bytes) {
     // Mirrors the socket backend's frame-size cap so the Transport
@@ -94,15 +139,22 @@ void Network::Send(NodeAddr from, NodeAddr to, SharedBytes wire) {
   // Zero-copy: the closure holds a refcounted handle onto the caller's
   // buffer. EventFn stores move-only callables inline, so neither the
   // payload nor the closure is heap-allocated here.
-  queue_->After(latency, [this, from, to, wire = std::move(wire)] {
+  uint32_t to_epoch = endpoints_[to].epoch;
+  queue_->After(latency, [this, from, to, to_epoch, wire = std::move(wire)] {
     Endpoint& dest = endpoints_[to];
-    if (!dest.up) {
+    if (!dest.up || dest.epoch != to_epoch) {
+      // Down, or the slot was re-let to a new tenant after this message left.
       dropped_down_->Inc();
       return;
     }
     delivered_->Inc();
     dest.receiver->OnMessage(from, wire.span());
   });
+}
+
+size_t Network::EndpointMemoryUsage() const {
+  return endpoints_.capacity() * sizeof(Endpoint) +
+         free_endpoints_.capacity() * sizeof(NodeAddr) + wheel_.MemoryUsage();
 }
 
 Network::Stats Network::stats() const {

@@ -20,6 +20,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/timer_wheel.h"
 #include "src/sim/topology.h"
 
 namespace past {
@@ -36,6 +37,14 @@ struct NetworkConfig {
   // mirroring the socket backend's frame-size cap. Unlimited by default so
   // existing simulations are unaffected.
   size_t max_message_bytes = SIZE_MAX;
+  // Bucket width of the maintenance timer wheel (see sim/timer_wheel.h).
+  // Purely a heap-batching knob: timers fire at their exact scheduled
+  // microsecond at every granularity, so simulation output is
+  // granularity-invariant.
+  SimTime timer_wheel_granularity = 64;
+  // When > 0, endpoint and topology storage is reserved up front so a trial
+  // that registers this many endpoints never reallocates mid-run.
+  size_t expected_endpoints = 0;
 };
 
 class Network : public Transport {
@@ -46,7 +55,19 @@ class Network : public Transport {
   Network& operator=(const Network&) = delete;
 
   // Registers a receiver; assigns it an address and a topology position.
+  // Slots freed by Unregister() are reused (most recently freed first) with a
+  // bumped epoch and a freshly sampled topology position, so endpoint storage
+  // is bounded by the peak live count, not the cumulative churn count.
   NodeAddr Register(NetReceiver* receiver) override;
+
+  // Releases an endpoint slot for reuse. In-flight messages to the old
+  // tenant are dropped at delivery time (counted as net.dropped_down): each
+  // send captures the destination epoch, and Unregister bumps it.
+  void Unregister(NodeAddr addr);
+
+  // Pre-sizes endpoint and topology storage (idempotent; also driven by
+  // NetworkConfig::expected_endpoints).
+  void ReserveEndpoints(size_t n);
 
   // Node liveness. A down node neither receives nor (by protocol convention)
   // sends; in-flight messages to it are dropped at delivery time.
@@ -65,8 +86,14 @@ class Network : public Transport {
   double Proximity(NodeAddr a, NodeAddr b) const override;
 
   EventQueue* queue() override { return queue_; }
+  TimerWheel* wheel() override { return &wheel_; }
   Topology* topology() { return topology_; }
   size_t endpoint_count() const { return endpoints_.size(); }
+  size_t free_endpoint_count() const { return free_endpoints_.size(); }
+
+  // Heap footprint of the endpoint table plus the timer wheel, in bytes
+  // (topology storage is reported by Topology::MemoryUsage).
+  size_t EndpointMemoryUsage() const;
 
   // The per-simulation metrics registry. Every layer riding on this network
   // (Pastry nodes, the PAST storage layer, experiment drivers) records into
@@ -99,9 +126,14 @@ class Network : public Transport {
     NetReceiver* receiver = nullptr;
     int topo_index = -1;
     bool up = true;
+    bool in_use = true;
+    // Incremented on Unregister; in-flight deliveries carry the epoch they
+    // were sent under and are dropped if the slot has been re-let since.
+    uint32_t epoch = 0;
   };
 
   SimTime SampleLatency(NodeAddr from, NodeAddr to);
+  void SampleQueueDepth();
 
   // The queue-depth gauge is refreshed once per this many sends instead of on
   // every send: PendingCount() is cheap but the gauge store was measurable on
@@ -112,7 +144,9 @@ class Network : public Transport {
   Topology* topology_;
   NetworkConfig config_;
   Rng rng_;
+  TimerWheel wheel_;
   std::vector<Endpoint> endpoints_;
+  std::vector<NodeAddr> free_endpoints_;  // LIFO of unregistered slots
   uint64_t sends_since_depth_sample_ = 0;
 
   MetricsRegistry metrics_;

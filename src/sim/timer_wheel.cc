@@ -1,0 +1,237 @@
+#include "src/sim/timer_wheel.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace past {
+
+TimerWheel::TimerWheel(EventQueue* queue, SimTime granularity)
+    : queue_(queue), granularity_(granularity) {
+  PAST_CHECK(queue != nullptr);
+  PAST_CHECK_MSG(granularity >= 1, "wheel granularity must be >= 1 us");
+}
+
+TimerWheel::~TimerWheel() {
+  // Disarm every bucket so the queue does not keep dangling `this` captures.
+  for (auto& [index, bucket] : buckets_) {
+    if (bucket.event != 0) {
+      queue_->Cancel(bucket.event);
+      bucket.event = 0;
+    }
+  }
+}
+
+uint32_t TimerWheel::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  PAST_CHECK_MSG(slots_.size() < kNoSlot, "timer wheel pool exhausted");
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void TimerWheel::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // invalidates every outstanding id for this slot
+  slot.live = false;
+  slot.fn.Reset();
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+TimerWheel::TimerId TimerWheel::At(SimTime when, EventFn fn) {
+  PAST_CHECK_MSG(when >= queue_->Now(), "cannot schedule timers in the past");
+  const int64_t bucket_index = when / granularity_;
+  uint32_t index = AllocSlot();
+  Slot& slot = slots_[index];
+  slot.when = when;
+  slot.seq = next_seq_++;
+  slot.bucket = bucket_index;
+  slot.live = true;
+  slot.fn = std::move(fn);
+  ++live_count_;
+
+  Bucket& bucket = buckets_[bucket_index];
+  bucket.entries.push_back(index);
+  ++bucket.live;
+  // Keep the bucket's queue event armed at its minimum pending deadline.
+  // While the bucket is mid-dispatch its epilogue re-arms, so arming here
+  // would double up.
+  if (!bucket.dispatching && (bucket.event == 0 || when < bucket.armed_for)) {
+    DisarmBucket(&bucket);
+    bucket.event = queue_->AtMaintenance(
+        when, [this, bucket_index] { Dispatch(bucket_index); });
+    bucket.armed_for = when;
+    ++armed_buckets_;
+  }
+  return (static_cast<TimerId>(slot.generation) << 32) | index;
+}
+
+TimerWheel::TimerId TimerWheel::After(SimTime delay, EventFn fn) {
+  PAST_CHECK(delay >= 0);
+  return At(queue_->Now() + delay, std::move(fn));
+}
+
+void TimerWheel::DisarmBucket(Bucket* bucket) {
+  if (bucket->event != 0) {
+    queue_->Cancel(bucket->event);
+    bucket->event = 0;
+    --armed_buckets_;
+  }
+}
+
+void TimerWheel::DropBucket(int64_t bucket_index) {
+  auto it = buckets_.find(bucket_index);
+  PAST_CHECK(it != buckets_.end());
+  DisarmBucket(&it->second);
+  for (uint32_t entry : it->second.entries) {
+    ReleaseSlot(entry);
+  }
+  buckets_.erase(it);
+}
+
+void TimerWheel::Cancel(TimerId id) {
+  uint32_t index = static_cast<uint32_t>(id & 0xffffffff);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || !slot.live) {
+    return;  // already fired, already cancelled, or a recycled/stale id
+  }
+  slot.live = false;
+  slot.fn.Reset();
+  --live_count_;
+
+  auto it = buckets_.find(slot.bucket);
+  PAST_CHECK(it != buckets_.end());
+  Bucket& bucket = it->second;
+  PAST_CHECK(bucket.live > 0);
+  --bucket.live;
+  if (bucket.dispatching) {
+    return;  // the dispatch epilogue sweeps dead slots and re-arms
+  }
+  if (bucket.live == 0) {
+    // An all-cancelled bucket frees its heap event immediately — a node whose
+    // maintenance was cancelled costs nothing until it schedules again.
+    DropBucket(slot.bucket);
+    return;
+  }
+  if (bucket.event != 0 && slot.when == bucket.armed_for) {
+    // The armed deadline may have belonged to the cancelled entry. Re-arm at
+    // the true minimum so the queue event always matches a live deadline —
+    // firing at a dead deadline would advance the clock at times that depend
+    // on the granularity.
+    SimTime min_when = 0;
+    bool any = false;
+    for (uint32_t entry : bucket.entries) {
+      if (slots_[entry].live && (!any || slots_[entry].when < min_when)) {
+        min_when = slots_[entry].when;
+        any = true;
+      }
+    }
+    PAST_CHECK(any);
+    if (min_when != bucket.armed_for) {
+      const int64_t bucket_index = slot.bucket;
+      DisarmBucket(&bucket);
+      bucket.event = queue_->AtMaintenance(
+          min_when, [this, bucket_index] { Dispatch(bucket_index); });
+      bucket.armed_for = min_when;
+      ++armed_buckets_;
+    }
+  }
+}
+
+void TimerWheel::Dispatch(int64_t bucket_index) {
+  auto it = buckets_.find(bucket_index);
+  if (it == buckets_.end()) {
+    return;  // defensive: a dropped bucket cancels its event first
+  }
+  it->second.event = 0;  // this event is the one firing
+  --armed_buckets_;
+  it->second.dispatching = true;
+  const SimTime now = queue_->Now();
+
+  // Fire every live entry due exactly now, in wheel schedule order. Loop:
+  // callbacks may schedule further timers at `now` into this same bucket,
+  // which must also fire in this dispatch (exactly as they would at
+  // granularity 1). References into `buckets_`/`slots_` are re-resolved
+  // around callbacks: both containers may reallocate while user code runs.
+  std::vector<uint32_t> due;
+  while (true) {
+    due.clear();
+    for (uint32_t entry : buckets_.find(bucket_index)->second.entries) {
+      if (slots_[entry].live && slots_[entry].when == now) {
+        due.push_back(entry);
+      }
+    }
+    if (due.empty()) {
+      break;
+    }
+    std::sort(due.begin(), due.end(), [this](uint32_t a, uint32_t b) {
+      return slots_[a].seq < slots_[b].seq;
+    });
+    for (uint32_t entry : due) {
+      Slot& slot = slots_[entry];
+      if (!slot.live || slot.when != now) {
+        continue;  // cancelled by an earlier callback in this batch
+      }
+      slot.live = false;
+      --live_count_;
+      --buckets_.find(bucket_index)->second.live;
+      EventFn fn = std::move(slot.fn);
+      // The slot stays unreleased (generation unbumped) until the sweep below
+      // so its bucket entry stays valid; Cancel() on the fired id is already
+      // a no-op via the live flag.
+      fn();
+    }
+  }
+
+  auto post = buckets_.find(bucket_index);
+  Bucket& bucket = post->second;
+  bucket.dispatching = false;
+  // Sweep: release fired and cancelled slots, keep live ones.
+  size_t kept = 0;
+  for (uint32_t entry : bucket.entries) {
+    if (slots_[entry].live) {
+      bucket.entries[kept++] = entry;
+    } else {
+      ReleaseSlot(entry);
+    }
+  }
+  bucket.entries.resize(kept);
+  PAST_CHECK(bucket.live == kept);
+  if (bucket.entries.empty()) {
+    PAST_CHECK(bucket.event == 0);  // At() defers arming while dispatching
+    buckets_.erase(post);
+    return;
+  }
+  SimTime min_when = slots_[bucket.entries[0]].when;
+  for (size_t i = 1; i < bucket.entries.size(); ++i) {
+    min_when = std::min(min_when, slots_[bucket.entries[i]].when);
+  }
+  bucket.event = queue_->AtMaintenance(
+      min_when, [this, bucket_index] { Dispatch(bucket_index); });
+  bucket.armed_for = min_when;
+  ++armed_buckets_;
+}
+
+size_t TimerWheel::MemoryUsage() const {
+  size_t bytes = sizeof(*this) + slots_.capacity() * sizeof(Slot);
+  // Hash-map overhead: one bucket-array pointer per hash bucket plus a node
+  // per element (key + value + a next pointer, approximated).
+  bytes += buckets_.bucket_count() * sizeof(void*);
+  for (const auto& [index, bucket] : buckets_) {
+    (void)index;
+    bytes += sizeof(int64_t) + sizeof(Bucket) + sizeof(void*);
+    bytes += bucket.entries.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace past

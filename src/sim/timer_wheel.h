@@ -1,0 +1,119 @@
+// TimerWheel — bucketed maintenance timers over an EventQueue.
+//
+// Protocol maintenance (keep-alive heartbeats, join retries) at large N would
+// otherwise keep one live heap event per node at all times: a million idle
+// nodes is a million-entry binary heap that every routing event then pays
+// O(log N) to push past. The wheel coalesces timers into buckets of
+// `granularity` microseconds and keeps exactly ONE EventQueue event armed per
+// non-empty bucket — at the earliest pending deadline in that bucket — so a
+// node with an armed keep-alive costs a 16-byte wheel slot, not a heap entry,
+// and thousands of ticks due in the same bucket dispatch from one fired
+// event.
+//
+// Determinism contract (checked by the scale determinism ctests):
+//  * Callbacks fire at their EXACT scheduled microsecond — the bucket event
+//    is armed at the minimum pending deadline and re-armed at the next
+//    minimum after each dispatch, so granularity affects batching, never
+//    firing times.
+//  * At one timestamp, wheel callbacks fire in schedule order (a wheel-global
+//    sequence number), and always AFTER every normally-scheduled event at
+//    that timestamp: the bucket event is scheduled in the EventQueue's
+//    maintenance band. Both orders are independent of the granularity and of
+//    how buckets happened to be armed, so experiment output is byte-identical
+//    at any granularity and any --threads count.
+//
+// Single-threaded, like the EventQueue it rides on. TimerIds follow the
+// EventQueue convention: (generation << 32) | slot, 0 = "no timer armed".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace past {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;  // (generation << 32) | slot; 0 is never issued
+
+  // `granularity` is the bucket width in microseconds (>= 1; 1 degenerates
+  // to one bucket per distinct deadline).
+  TimerWheel(EventQueue* queue, SimTime granularity);
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+  ~TimerWheel();
+
+  // Schedules `fn` at absolute time `when` (>= queue->Now()).
+  TimerId At(SimTime when, EventFn fn);
+  // Schedules `fn` after `delay` microseconds.
+  TimerId After(SimTime delay, EventFn fn);
+
+  // Cancels a pending timer and releases its callback's captures. Idempotent:
+  // stale, fired, and never-issued ids are cheap no-ops (generation-tagged,
+  // like EventQueue::Cancel).
+  void Cancel(TimerId id);
+
+  SimTime granularity() const { return granularity_; }
+  // Pending (scheduled, not yet fired or cancelled) timers.
+  size_t PendingCount() const { return live_count_; }
+  // Buckets currently holding an armed EventQueue event. The simulator's
+  // queue-depth gauge reports queue.PendingCount() - ArmedBuckets() +
+  // wheel.PendingCount() so the depth it publishes is the logical timer count,
+  // independent of how the wheel batched them.
+  size_t ArmedBuckets() const { return armed_buckets_; }
+  size_t BucketCount() const { return buckets_.size(); }
+  // Pooled slots ever allocated; a steady-state schedule/fire workload
+  // plateaus (same introspection contract as EventQueue::SlabSize).
+  size_t SlabSize() const { return slots_.size(); }
+
+  // Approximate heap footprint in bytes (slab + bucket table). Deterministic
+  // for a given schedule history at a given granularity.
+  size_t MemoryUsage() const;
+
+ private:
+  static constexpr uint32_t kNoSlot = 0xffffffff;
+
+  struct Slot {
+    SimTime when = 0;
+    uint64_t seq = 0;  // wheel-global schedule order; ties fire in this order
+    int64_t bucket = 0;
+    uint32_t generation = 1;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
+    EventFn fn;
+  };
+
+  struct Bucket {
+    std::vector<uint32_t> entries;  // slot indices, live and cancelled mixed
+    size_t live = 0;                // live entries among `entries`
+    EventQueue::EventId event = 0;  // armed dispatch event (0 = none)
+    SimTime armed_for = 0;
+    bool dispatching = false;
+  };
+
+  uint32_t AllocSlot();
+  void ReleaseSlot(uint32_t index);
+  // Fires every live entry due at Now() in this bucket (including entries the
+  // callbacks themselves add at Now()), then sweeps dead slots and re-arms
+  // the bucket at its next minimum deadline (or erases it when empty).
+  void Dispatch(int64_t bucket_index);
+  void DisarmBucket(Bucket* bucket);
+  void DropBucket(int64_t bucket_index);
+
+  EventQueue* queue_;
+  SimTime granularity_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
+  // Keyed by when / granularity. Never iterated in an order-sensitive way
+  // (lint:allow-nondeterminism would not even be needed: lookups are by key
+  // and MemoryUsage sums sizes).
+  std::unordered_map<int64_t, Bucket> buckets_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+  size_t armed_buckets_ = 0;
+};
+
+}  // namespace past

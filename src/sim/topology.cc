@@ -26,7 +26,7 @@ Topology::Topology(TopologyKind kind, double scale, Rng* rng)
   }
 }
 
-int Topology::AddHost() {
+Topology::Point Topology::SamplePoint(size_t slot) {
   Point p{0, 0, 0};
   switch (kind_) {
     case TopologyKind::kPlane: {
@@ -49,15 +49,35 @@ int Topology::AddHost() {
     }
     case TopologyKind::kClustered: {
       int c = static_cast<int>(rng_->UniformU64(cluster_centers_.size()));
-      cluster_of_.push_back(c);
+      if (slot < cluster_of_.size()) {
+        cluster_of_[slot] = c;
+      } else {
+        cluster_of_.push_back(c);
+      }
       const Point& center = cluster_centers_[c];
       p.x = center.x + (rng_->UniformDouble() - 0.5) * scale_ * kClusterSpread;
       p.y = center.y + (rng_->UniformDouble() - 0.5) * scale_ * kClusterSpread;
       break;
     }
   }
-  points_.push_back(p);
+  return p;
+}
+
+int Topology::AddHost() {
+  points_.push_back(SamplePoint(points_.size()));
   return static_cast<int>(points_.size()) - 1;
+}
+
+void Topology::ResampleHost(int index) {
+  PAST_CHECK(index >= 0 && index < host_count());
+  points_[static_cast<size_t>(index)] = SamplePoint(static_cast<size_t>(index));
+}
+
+void Topology::Reserve(size_t n) {
+  points_.reserve(n);
+  if (kind_ == TopologyKind::kClustered) {
+    cluster_of_.reserve(n);
+  }
 }
 
 double Topology::Distance(int a, int b) const {
@@ -89,6 +109,12 @@ double Topology::MaxDistance() const {
       return scale_ * std::sqrt(2.0) * (1.0 + kClusterSpread);
   }
   return scale_;
+}
+
+size_t Topology::MemoryUsage() const {
+  return sizeof(*this) + points_.capacity() * sizeof(Point) +
+         cluster_centers_.capacity() * sizeof(Point) +
+         cluster_of_.capacity() * sizeof(int);
 }
 
 }  // namespace past

@@ -27,6 +27,15 @@ class Topology {
   // Samples a position for a new host and returns its index.
   int AddHost();
 
+  // Re-samples the position of an existing host, drawing exactly the RNG
+  // stream AddHost would. Used when a network endpoint slot is recycled: the
+  // new tenant is a different physical host and must not inherit the old
+  // tenant's position.
+  void ResampleHost(int index);
+
+  // Pre-sizes point storage for `n` hosts (no positions are sampled).
+  void Reserve(size_t n);
+
   double Distance(int a, int b) const;
   int host_count() const { return static_cast<int>(points_.size()); }
   TopologyKind kind() const { return kind_; }
@@ -35,10 +44,17 @@ class Topology {
   // normalize locality metrics).
   double MaxDistance() const;
 
+  // Heap footprint in bytes.
+  size_t MemoryUsage() const;
+
  private:
   struct Point {
     double x, y, z;
   };
+
+  // Samples a fresh position (and, for kClustered, a cluster assignment
+  // written to cluster_of_[slot]).
+  Point SamplePoint(size_t slot);
 
   TopologyKind kind_;
   double scale_;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/route_trace.h"
@@ -161,6 +163,123 @@ TEST(RouteTraceTest, ToJsonEmitsEveryHop) {
   EXPECT_EQ(hops->at(0).Find("rule")->AsString(), "routing_table");
   EXPECT_DOUBLE_EQ(hops->at(0).Find("distance")->AsDouble(), 120.5);
   EXPECT_EQ(hops->at(1).Find("rule")->AsString(), "leaf_set");
+}
+
+TEST(MergeTest, CounterAndGaugeMergeBySum) {
+  Counter a, b;
+  a.Inc(3);
+  b.Inc(4);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.value(), 7u);
+  Gauge g, h;
+  g.Add(1.5);
+  h.Add(2.5);
+  g.MergeFrom(h);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(MergeTest, HistogramMergeMatchesSequentialObservation) {
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  Histogram merged(bounds);
+  Histogram shard_a(bounds), shard_b(bounds);
+  Histogram oracle(bounds);
+  for (double v : {0.5, 5.0, 50.0, 500.0}) {
+    shard_a.Observe(v);
+    oracle.Observe(v);
+  }
+  for (double v : {2.0, 20.0, 200.0}) {
+    shard_b.Observe(v);
+    oracle.Observe(v);
+  }
+  merged.MergeFrom(shard_a);
+  merged.MergeFrom(shard_b);
+  EXPECT_EQ(merged.buckets(), oracle.buckets());
+  EXPECT_EQ(merged.count(), oracle.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), oracle.sum());
+}
+
+TEST(MergeTest, LogHistogramMergeMatchesSequentialObservation) {
+  LogHistogram merged, shard_a, shard_b, oracle;
+  Rng rng(55);
+  for (int i = 0; i < 500; ++i) {
+    double v = 0.001 + rng.UniformDouble() * 1e6;
+    (i % 2 == 0 ? shard_a : shard_b).Observe(v);
+    oracle.Observe(v);
+  }
+  shard_a.Observe(0.0);
+  oracle.Observe(0.0);
+  merged.MergeFrom(shard_a);
+  merged.MergeFrom(shard_b);
+  EXPECT_EQ(merged.count(), oracle.count());
+  EXPECT_EQ(merged.zero_count(), oracle.zero_count());
+  EXPECT_DOUBLE_EQ(merged.min(), oracle.min());
+  EXPECT_DOUBLE_EQ(merged.max(), oracle.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), oracle.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(MergeTest, RegistryMergeRegistersMissingAndSumsExisting) {
+  MetricsRegistry into, shard;
+  into.GetCounter("net.sent")->Inc(10);
+  shard.GetCounter("net.sent")->Inc(5);
+  shard.GetCounter("net.delivered")->Inc(2);
+  shard.GetGauge("sim.queue_depth")->Set(3.0);
+  shard.GetHistogram("pastry.route.hops", {1.0, 2.0, 4.0})->Observe(3.0);
+  shard.GetLogHistogram("past.lookup.latency_us")->Observe(123.0);
+  into.MergeFrom(shard);
+  EXPECT_EQ(into.FindCounter("net.sent")->value(), 15u);
+  EXPECT_EQ(into.FindCounter("net.delivered")->value(), 2u);
+  EXPECT_DOUBLE_EQ(into.FindGauge("sim.queue_depth")->value(), 3.0);
+  ASSERT_NE(into.FindHistogram("pastry.route.hops"), nullptr);
+  EXPECT_EQ(into.FindHistogram("pastry.route.hops")->count(), 1u);
+  ASSERT_NE(into.FindLogHistogram("past.lookup.latency_us"), nullptr);
+  EXPECT_EQ(into.FindLogHistogram("past.lookup.latency_us")->count(), 1u);
+}
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  RunningStat s;
+  const std::vector<double> values{4.0, 7.0, 13.0, 16.0};
+  for (double v : values) {
+    s.Observe(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 22.5);  // population: ((36+9+9+36)/4)
+}
+
+TEST(RunningStatTest, EmptyAndSingleSampleEdgeCases) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.Observe(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequentialObservation) {
+  RunningStat merged, shard_a, shard_b, oracle;
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble() * 100.0 - 50.0;
+    (i < 300 ? shard_a : shard_b).Observe(v);
+    oracle.Observe(v);
+  }
+  merged.MergeFrom(shard_a);
+  merged.MergeFrom(shard_b);
+  EXPECT_EQ(merged.count(), oracle.count());
+  EXPECT_NEAR(merged.mean(), oracle.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), oracle.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), oracle.min());
+  EXPECT_DOUBLE_EQ(merged.max(), oracle.max());
+  // Merging into an empty stat adopts the other side wholesale.
+  RunningStat empty;
+  empty.MergeFrom(oracle);
+  EXPECT_DOUBLE_EQ(empty.mean(), oracle.mean());
 }
 
 TEST(RouteTraceTest, RuleNamesCoverEveryEnumerator) {

@@ -1,6 +1,9 @@
 // Overlay builder tests: determinism, helper queries, growth.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "src/pastry/overlay.h"
 
 namespace past {
@@ -112,6 +115,96 @@ TEST(OverlayTest, ExplicitIdIsUsed) {
   PastryNode* node = overlay.AddNodeWithId(id);
   EXPECT_EQ(node->id(), id);
   EXPECT_TRUE(node->active());
+}
+
+struct CollectApp : public PastryApp {
+  std::vector<DeliverContext> delivered;
+  void Deliver(const DeliverContext& ctx, ByteSpan) override {
+    delivered.push_back(ctx);
+  }
+};
+
+TEST(OverlayTest, BuildFastRoutesCorrectlyWithinHopBound) {
+  Overlay overlay(QuietOptions(501));
+  const int n = 500;
+  overlay.BuildFast(n);
+  ASSERT_EQ(overlay.size(), static_cast<size_t>(n));
+  for (size_t i = 0; i < overlay.size(); ++i) {
+    EXPECT_TRUE(overlay.node(i)->active());
+  }
+  CollectApp app;
+  for (size_t i = 0; i < overlay.size(); ++i) {
+    overlay.node(i)->SetApp(&app);
+  }
+  const double bound = std::ceil(std::log(n) / std::log(16.0));
+  double total_hops = 0;
+  const int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    U128 key = overlay.RandomKey();
+    PastryNode* expected = overlay.GloballyClosestLiveNode(key);
+    app.delivered.clear();
+    overlay.RandomLiveNode()->Route(key, 1, {});
+    overlay.RunAll();
+    ASSERT_EQ(app.delivered.size(), 1u) << "lookup " << i << " not delivered";
+    const DeliverContext& ctx = app.delivered.back();
+    // The global-knowledge construction must yield exact delivery: leaf
+    // sets are the true ring neighbors, so the last hop cannot miss.
+    EXPECT_EQ(overlay.node(ctx.path.back())->id(), expected->id());
+    total_hops += ctx.hops;
+  }
+  EXPECT_LT(total_hops / kLookups, bound);
+}
+
+TEST(OverlayTest, BuildFastIsDeterministic) {
+  Overlay a(QuietOptions(77));
+  Overlay b(QuietOptions(77));
+  a.BuildFast(300);
+  b.BuildFast(300);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i)->id(), b.node(i)->id());
+    EXPECT_EQ(a.node(i)->routing_table().EntryCount(),
+              b.node(i)->routing_table().EntryCount());
+    EXPECT_EQ(a.node(i)->leaf_set().size(), b.node(i)->leaf_set().size());
+  }
+}
+
+TEST(OverlayTest, RecordMemoryMetricsPublishesPlausibleGauges) {
+  Overlay overlay(QuietOptions(91));
+  overlay.BuildFast(400);
+  overlay.RecordMemoryMetrics();
+  const Gauge* per_node =
+      overlay.network().metrics().FindGauge("sim.mem.bytes_per_node");
+  const Gauge* total =
+      overlay.network().metrics().FindGauge("sim.mem.total_bytes");
+  ASSERT_NE(per_node, nullptr);
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(per_node->value(), 0.0);
+  // The compact-state budget the scale gate enforces at 100k, checked here
+  // at unit scale too (shared simulation overheads amortize worse at N=400,
+  // so this is the harder direction).
+  EXPECT_LT(per_node->value(), 8192.0);
+  EXPECT_NEAR(total->value(), per_node->value() * 400.0, per_node->value());
+}
+
+TEST(OverlayTest, RemoveNodeFreesSlotAndKeepsQueriesSafe) {
+  Overlay overlay(QuietOptions(31));
+  overlay.Build(12);
+  const size_t victim = 5;
+  overlay.RemoveNode(victim);
+  EXPECT_EQ(overlay.node(victim), nullptr);
+  EXPECT_EQ(overlay.network().free_endpoint_count(), 1u);
+  // Live-node queries must skip the destroyed slot.
+  for (int i = 0; i < 20; ++i) {
+    PastryNode* n = overlay.RandomLiveNode();
+    ASSERT_NE(n, nullptr);
+  }
+  U128 key = overlay.RandomKey();
+  EXPECT_NE(overlay.GloballyClosestLiveNode(key), nullptr);
+  // A later join re-lets the endpoint slot.
+  PastryNode* extra = overlay.AddNode();
+  EXPECT_TRUE(extra->active());
+  EXPECT_EQ(overlay.network().free_endpoint_count(), 0u);
 }
 
 }  // namespace

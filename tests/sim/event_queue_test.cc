@@ -286,6 +286,39 @@ TEST(EventQueueTest, PoolStressRandomInterleavings) {
   EXPECT_LT(q.SlabSize(), 1'000u);
 }
 
+TEST(EventQueueTest, MaintenanceBandFiresAfterNormalEventsAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  // Schedule order deliberately interleaved: the maintenance band must sort
+  // after every normal event at the same timestamp regardless.
+  q.AtMaintenance(10, [&] { order.push_back(100); });
+  q.At(10, [&] { order.push_back(1); });
+  q.AtMaintenance(10, [&] { order.push_back(101); });
+  q.At(10, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 100, 101}));
+}
+
+TEST(EventQueueTest, MaintenanceBandStillOrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.AtMaintenance(10, [&] { order.push_back(1); });
+  q.At(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.Now(), 20);
+}
+
+TEST(EventQueueTest, MaintenanceEventsCancelLikeNormalOnes) {
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId id = q.AtMaintenance(10, [&] { ++fired; });
+  q.Cancel(id);
+  q.AtMaintenance(10, [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(EventQueueDeathTest, SchedulingInPastAborts) {
   EventQueue q;
   q.At(100, [] {});

@@ -243,5 +243,70 @@ TEST_F(NetworkTest, ManyEndpointsDistinctAddresses) {
   EXPECT_EQ(net.endpoint_count(), 100u);
 }
 
+TEST_F(NetworkTest, UnregisterReleasesSlotForReuse) {
+  Network net = MakeNetwork({});
+  Recorder a, b, c;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Unregister(addr_b);
+  EXPECT_EQ(net.free_endpoint_count(), 1u);
+  // The freed slot is re-let instead of growing the endpoint table.
+  NodeAddr addr_c = net.Register(&c);
+  EXPECT_EQ(addr_c, addr_b);
+  EXPECT_EQ(net.endpoint_count(), 2u);
+  EXPECT_EQ(net.free_endpoint_count(), 0u);
+  net.Send(addr_a, addr_c, Bytes{9});
+  queue_.RunAll();
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetworkTest, InFlightMessageToRecycledSlotIsDropped) {
+  Network net = MakeNetwork({});
+  Recorder a, b, c;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  // The message is in flight when b's endpoint is torn down and re-let to a
+  // new tenant; the epoch guard must drop it rather than deliver one node's
+  // traffic to its slot successor.
+  net.Send(addr_a, addr_b, Bytes{1, 2});
+  net.Unregister(addr_b);
+  NodeAddr addr_c = net.Register(&c);
+  ASSERT_EQ(addr_c, addr_b);
+  queue_.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(c.received.empty());
+  EXPECT_EQ(net.metrics().FindCounter("net.dropped_down")->value(), 1u);
+}
+
+TEST_F(NetworkTest, ReserveEndpointsPreallocatesWithoutRegistering) {
+  NetworkConfig config;
+  config.expected_endpoints = 64;
+  Network net = MakeNetwork(config);
+  EXPECT_EQ(net.endpoint_count(), 0u);
+  Recorder a;
+  NodeAddr addr_a = net.Register(&a);
+  EXPECT_EQ(addr_a, 0u);
+  EXPECT_EQ(net.endpoint_count(), 1u);
+  EXPECT_GT(net.EndpointMemoryUsage(), 0u);
+}
+
+TEST_F(NetworkTest, ReusedSlotKeepsTrafficFlowingBothWays) {
+  Network net = MakeNetwork({});
+  Recorder a, b, c;
+  NodeAddr addr_a = net.Register(&a);
+  NodeAddr addr_b = net.Register(&b);
+  net.Unregister(addr_b);
+  NodeAddr addr_c = net.Register(&c);
+  ASSERT_EQ(addr_c, addr_b);
+  net.Send(addr_c, addr_a, Bytes{3});
+  net.Send(addr_a, addr_c, Bytes{4});
+  queue_.RunAll();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].from, addr_c);
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(c.received[0].data, (Bytes{4}));
+}
+
 }  // namespace
 }  // namespace past

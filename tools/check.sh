@@ -9,6 +9,9 @@
 #   tools/check.sh tidy       # clang-tidy on every compile (build-tidy/)
 #   tools/check.sh lint       # fast mode: build only past_lint/past_stats,
 #                             # run the static rules + fixture self-tests
+#   tools/check.sh scale      # fast mode: build the scale targets, run the
+#                             # 100k-node gate + wheel determinism grid
+#                             # (asserts the bytes-per-node budget)
 #
 # The asan run is the configuration the fuzz drivers are most valuable under:
 # a decoder overread that slips past the invariant checks still aborts. The
@@ -32,6 +35,18 @@ if [ "$preset" = "lint" ]; then
   echo "== lint gate (ctest -L lint, determinism reruns excluded)"
   ctest --test-dir build-release -L lint -LE determinism --output-on-failure
   echo "== check.sh: lint gate passed"
+  exit 0
+fi
+
+if [ "$preset" = "scale" ]; then
+  echo "== configure (preset: release)"
+  cmake --preset release
+  echo "== build (scale targets only)"
+  cmake --build --preset release --target exp_scale exp_churn json_check \
+    -j "$(nproc 2>/dev/null || echo 4)"
+  echo "== scale gate (ctest -L scale)"
+  ctest --test-dir build-release -L scale --output-on-failure
+  echo "== check.sh: scale gate passed"
   exit 0
 fi
 
@@ -60,6 +75,12 @@ echo "== serving gate (ctest -R 'serving_smoke|serving_determinism')"
 # contract, then the shard/thread state-digest determinism check.
 ctest --test-dir "$build_dir" -R "serving_smoke|serving_determinism" \
   --output-on-failure
+
+echo "== scale gate (ctest -L scale)"
+# Million-node-path acceptance: the 100k-node BuildFast overlay must route
+# correctly within the log_16 hop bound and under the bytes-per-node budget,
+# and output must be byte-identical across wheel granularities and threads.
+ctest --test-dir "$build_dir" -L scale --output-on-failure
 
 echo "== cluster gate (ctest -L cluster)"
 # Real daemons over localhost sockets: N processes, cross-process

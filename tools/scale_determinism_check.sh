@@ -1,0 +1,49 @@
+#!/bin/sh
+# Runs an exp_* binary across the (timer-wheel granularity, thread count)
+# grid {1, 64} x {1, 4} and requires stdout and the --json document to be
+# byte-identical in every cell. This is the acceptance contract of the
+# batched maintenance scheduler: the wheel may coalesce however many timers
+# per bucket the granularity allows, but callbacks fire at their exact
+# scheduled times in a bucket-independent order, so no simulation outcome —
+# and therefore no output byte — may depend on the bucket width (or on the
+# TrialRunner's worker count).
+#
+# usage: scale_determinism_check.sh <exp-binary> <out-dir> <tag>
+set -eu
+exe="$1"
+dir="$2"
+tag="$3"
+
+ref_json=""
+ref_txt=""
+ok=0
+for gran in 1 64; do
+  for threads in 1 4; do
+    cell="g${gran}_t${threads}"
+    json="$dir/SDET_${tag}_${cell}.json"
+    txt="$dir/SDET_${tag}_${cell}.txt"
+    "$exe" --smoke --threads "$threads" --wheel-granularity "$gran" \
+      --json "$json" > "$txt.raw"
+    # The trailing "wrote <path>" line names the per-cell output file; drop
+    # it so stdout comparison covers only simulation-derived bytes.
+    sed '/^wrote /d' "$txt.raw" > "$txt"
+    rm -f "$txt.raw"
+    if [ -z "$ref_json" ]; then
+      ref_json="$json"
+      ref_txt="$txt"
+      continue
+    fi
+    if ! cmp -s "$ref_json" "$json"; then
+      echo "scale_determinism_check: $exe JSON differs at $cell" >&2
+      diff "$ref_json" "$json" | head -20 >&2 || true
+      ok=1
+    fi
+    if ! cmp -s "$ref_txt" "$txt"; then
+      echo "scale_determinism_check: $exe stdout differs at $cell" >&2
+      diff "$ref_txt" "$txt" | head -20 >&2 || true
+      ok=1
+    fi
+  done
+done
+[ "$ok" -eq 0 ] || exit 1
+echo "scale_determinism_check: $exe output is byte-identical across granularity {1,64} x threads {1,4}"
